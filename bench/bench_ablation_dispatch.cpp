@@ -1,0 +1,63 @@
+// Ablation — one-round static dispatch vs per-task dynamic dispatch under
+// master latency.
+//
+// The paper's master sends each worker its whole task list once ("one round
+// master-slave approach"). The alternative — pulling one task at a time —
+// pays a master round-trip per task. This harness sweeps that dispatch
+// latency and shows where each strategy wins, justifying the design choice.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "platform/des.h"
+#include "sched/dual_approx.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace swdual;
+  using namespace swdual::sched;
+  bench::banner("Ablation: one-round static vs dynamic dispatch latency",
+                "makespans on a 4 CPU + 4 GPU platform, 20 instances/cell");
+
+  const HybridPlatform platform{4, 4};
+  TextTable table;
+  table.set_header({"dispatch latency (s)", "swdual one-round (s)",
+                    "self-scheduling (s)", "dynamic penalty"});
+
+  Rng rng(2020);
+  for (const double latency : {0.0, 0.01, 0.1, 0.5, 2.0}) {
+    RunningStats one_round, dynamic_mode;
+    for (int rep = 0; rep < 20; ++rep) {
+      std::vector<Task> tasks;
+      const std::size_t n = 40 + rng.below(40);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double cpu = 1.0 + rng.uniform() * 99.0;
+        tasks.push_back({i, cpu, cpu / (2.0 + rng.uniform() * 18.0)});
+      }
+      // One-round static: a single dispatch round-trip per worker, paid once
+      // and overlapped across workers — effectively `latency` added to the
+      // start of every PE's timeline.
+      const Schedule plan = swdual_schedule(tasks, platform);
+      one_round.add(platform::simulate_static(plan, tasks, platform).makespan +
+                    latency);
+      // Dynamic: one round-trip per task pull.
+      dynamic_mode.add(
+          platform::simulate_self_scheduling(tasks, platform, latency)
+              .makespan);
+    }
+    table.add_row({TextTable::fmt(latency, 2),
+                   TextTable::fmt(one_round.mean(), 2),
+                   TextTable::fmt(dynamic_mode.mean(), 2),
+                   TextTable::fmt(dynamic_mode.mean() / one_round.mean(), 2) +
+                       "x"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nwith negligible latency dynamic pulling is competitive; as the\n"
+      "master round-trip grows (distributed workers, Fig. 6's registration\n"
+      "protocol over a network) the one-round schedule's advantage grows —\n"
+      "and it additionally exploits the CPU/GPU time heterogeneity that\n"
+      "plain self-scheduling ignores.\n");
+  bench::emit_csv(table, "ablation_dispatch.csv");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation — fine-grained vs very coarse-grained parallelization (Figs. 2/3).
+//
+// The paper's §II-C describes two ways to parallelize SW across PEs:
+//   fine-grained   — one DP matrix split into column blocks, wavefront
+//                    parallel (Fig. 2): pipeline fill/drain leaves PEs idle
+//                    at the edges, speedup = m·P / (m + P - 1) for m block
+//                    rows on P PEs;
+//   coarse-grained — one whole query-vs-database task per PE (Fig. 3):
+//                    perfect within a task but prone to load imbalance.
+// SWDUAL combines both: coarse across tasks, fine inside each worker.
+// This harness quantifies the trade-off in virtual time.
+#include <cstdio>
+
+#include "align/scalar.h"
+#include "align/wavefront.h"
+#include "bench_common.h"
+#include "core/workload.h"
+#include "platform/des.h"
+#include "sched/baselines.h"
+#include "seq/dbgen.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace swdual;
+
+/// Wavefront pipeline model of Fig. 2: m block-rows streamed over P PEs.
+double fine_grained_seconds(double serial_seconds, std::size_t block_rows,
+                            std::size_t pes) {
+  const double per_row = serial_seconds / static_cast<double>(block_rows);
+  // PE p starts after p pipeline steps; total steps = block_rows + P - 1,
+  // each step computing one block of 1/P of a row per PE.
+  return per_row / static_cast<double>(pes) *
+         static_cast<double>(block_rows + pes - 1);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: fine-grained (Fig. 2) vs coarse-grained (Fig. 3)",
+                "40-query UniProt workload, SWIPE-class CPU workers");
+
+  const core::Workload workload =
+      core::make_workload("uniprot", seq::QuerySetKind::kPaper, 1);
+  platform::PerfModel model;
+
+  TextTable table;
+  table.set_header({"PEs", "fine-grained (s)", "coarse self-sched (s)",
+                    "coarse LPT (s)", "fine speedup", "coarse speedup"});
+
+  // Serial baseline: whole workload on one SWIPE-class CPU.
+  double serial = 0.0;
+  std::vector<sched::Task> tasks;
+  for (std::size_t q = 0; q < workload.query_lengths.size(); ++q) {
+    const double seconds =
+        model.swipe_cpu.seconds_for(workload.cells(q));
+    serial += seconds;
+    tasks.push_back({q, seconds, seconds});
+  }
+
+  for (const std::size_t pes : {2u, 4u, 8u, 16u, 32u}) {
+    // Fine-grained: every task individually wavefront-parallelized over all
+    // PEs (block rows ≈ query length / 64-row blocks), tasks in sequence.
+    double fine = 0.0;
+    for (std::size_t q = 0; q < workload.query_lengths.size(); ++q) {
+      const std::size_t block_rows =
+          std::max<std::size_t>(1, workload.query_lengths[q] / 64);
+      fine += fine_grained_seconds(
+          model.swipe_cpu.seconds_for(workload.cells(q)), block_rows, pes);
+    }
+    // Coarse-grained: task-level distribution (Fig. 3), no intra-task split.
+    const sched::HybridPlatform platform{pes, 0};
+    const double coarse_ss =
+        platform::simulate_self_scheduling(tasks, platform).makespan;
+    const double coarse_lpt =
+        sched::lpt_hybrid(tasks, platform).makespan();
+    table.add_row({std::to_string(pes), TextTable::fmt(fine, 1),
+                   TextTable::fmt(coarse_ss, 1), TextTable::fmt(coarse_lpt, 1),
+                   TextTable::fmt(serial / fine, 2),
+                   TextTable::fmt(serial / coarse_ss, 2)});
+  }
+  std::printf("serial reference: %.1f s\n\n%s", serial,
+              table.render().c_str());
+  std::printf(
+      "\nfine-grained scales inside one comparison but pays pipeline "
+      "fill/drain;\ncoarse-grained scales across tasks but the longest task "
+      "bounds the tail\n— with 40 tasks both saturate near the task count, "
+      "which is why SWDUAL\nuses coarse scheduling across workers and "
+      "fine-grained SIMD inside each.\n");
+  bench::emit_csv(table, "ablation_granularity.csv");
+
+  // Real Fig. 2 kernel on this host: the tile-wavefront implementation run
+  // at several block counts, verified against the scalar oracle (on one
+  // core this measures tiling overhead; on a multi-core host it measures
+  // the fine-grained speedup directly).
+  std::printf("\nreal wavefront kernel (2000x2000 cells, this host):\n");
+  Rng rng(5);
+  const seq::Sequence q = seq::random_protein(rng, "q", 2000);
+  const seq::Sequence d = seq::random_protein(rng, "d", 2000);
+  const align::ScoringScheme scheme;
+  const std::span<const std::uint8_t> qv(q.residues.data(),
+                                         q.residues.size());
+  const std::span<const std::uint8_t> dv(d.residues.data(),
+                                         d.residues.size());
+  const int oracle = align::gotoh_score(qv, dv, scheme).score;
+  TextTable real_table;
+  real_table.set_header({"col blocks", "time (ms)", "score ok"});
+  ThreadPool pool(4);
+  for (const std::size_t blocks : {1u, 2u, 4u, 8u}) {
+    WallTimer timer;
+    const auto r =
+        align::wavefront_gotoh_score(qv, dv, scheme, pool, {64, blocks});
+    real_table.add_row({std::to_string(blocks),
+                        TextTable::fmt(timer.millis(), 1),
+                        r.score == oracle ? "yes" : "NO"});
+  }
+  std::printf("%s", real_table.render().c_str());
+  return 0;
+}

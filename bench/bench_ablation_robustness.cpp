@@ -1,0 +1,77 @@
+// Ablation — sensitivity of the allocation policies to task-time
+// misprediction.
+//
+// SWDUAL schedules from *predicted* processing times (cell counts over a
+// GCUPS model); reality deviates. This harness plans each policy's schedule
+// on noise-perturbed estimates and replays it against the true times in the
+// discrete-event simulator, reporting the makespan degradation vs planning
+// with perfect information. Dynamic self-scheduling needs no estimates and
+// serves as the noise-immune reference.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "platform/des.h"
+#include "sched/baselines.h"
+#include "sched/dual_approx.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace swdual;
+  using namespace swdual::sched;
+  bench::banner("Ablation: robustness to task-time misprediction",
+                "makespan vs perfect-information plan, 20 instances/cell");
+
+  const HybridPlatform platform{4, 4};
+  TextTable table;
+  table.set_header({"noise sigma", "swdual", "swdual-refined", "proportional",
+                    "lpt", "self-sched (dynamic)"});
+
+  Rng rng(7777);
+  for (const double sigma : {0.0, 0.05, 0.10, 0.25, 0.50}) {
+    RunningStats dual, refined, prop, lpt_s, ss;
+    for (int rep = 0; rep < 20; ++rep) {
+      // True instance.
+      std::vector<Task> truth;
+      const std::size_t n = 40 + rng.below(40);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double cpu = 1.0 + rng.uniform() * 99.0;
+        truth.push_back({i, cpu, cpu / (2.0 + rng.uniform() * 18.0)});
+      }
+      // Perturbed estimates (multiplicative log-normal noise).
+      std::vector<Task> estimate = truth;
+      for (Task& task : estimate) {
+        task.cpu_time *= rng.lognormal(0.0, sigma);
+        task.gpu_time *= rng.lognormal(0.0, sigma);
+      }
+      // Plan on estimates, execute with the truth; normalize by the
+      // perfect-information makespan of the same policy.
+      const auto replay = [&](const Schedule& planned) {
+        return platform::simulate_static(planned, truth, platform).makespan;
+      };
+      dual.add(replay(swdual_schedule(estimate, platform)) /
+               replay(swdual_schedule(truth, platform)));
+      refined.add(replay(swdual_schedule_refined(estimate, platform)) /
+                  replay(swdual_schedule_refined(truth, platform)));
+      prop.add(replay(proportional_static(estimate, platform)) /
+               replay(proportional_static(truth, platform)));
+      lpt_s.add(replay(lpt_hybrid(estimate, platform)) /
+                replay(lpt_hybrid(truth, platform)));
+      // Self-scheduling ignores estimates entirely.
+      ss.add(1.0);
+    }
+    table.add_row({TextTable::fmt(sigma * 100, 0) + "%",
+                   TextTable::fmt(dual.mean(), 3),
+                   TextTable::fmt(refined.mean(), 3),
+                   TextTable::fmt(prop.mean(), 3),
+                   TextTable::fmt(lpt_s.mean(), 3),
+                   TextTable::fmt(ss.mean(), 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nvalues are degradation factors (1.000 = unaffected by noise).\n"
+      "Sequence-comparison task times are highly predictable (cells/GCUPS),\n"
+      "which is why the paper's one-round static allocation is viable.\n");
+  bench::emit_csv(table, "ablation_robustness.csv");
+  return 0;
+}

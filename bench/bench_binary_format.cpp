@@ -1,0 +1,125 @@
+// §IV — the binary random-access format vs FASTA.
+//
+// The paper motivates SWDB with two properties: direct reads of sequences
+// "in any position inside the file" and simplified memory allocation from
+// known lengths. This harness measures both against FASTA on a synthetic
+// database: full-scan parse time, k random record reads, and length-only
+// index access.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.h"
+#include "seq/dbgen.h"
+#include "seq/fasta.h"
+#include "seq/fasta_index.h"
+#include "seq/swdb.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace swdual;
+  const std::size_t num_records = argc > 1 ? std::stoul(argv[1]) : 20000;
+  bench::banner("§IV: binary random-access format (SWDB) vs FASTA",
+                std::to_string(num_records) + " synthetic records");
+
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  const std::string fasta_path = dir + "/swdual_bench_db.fa";
+  const std::string swdb_path = dir + "/swdual_bench_db.swdb";
+
+  seq::DatabaseProfile profile{"bench", num_records, 50, 2000, 5.7, 0.65, 5};
+  const auto records = seq::generate_database(profile);
+  seq::write_fasta_file(fasta_path, records);
+  seq::write_swdb(swdb_path, records, seq::AlphabetKind::kProtein);
+
+  TextTable table;
+  table.set_header(
+      {"operation", "FASTA (parse)", "FASTA (indexed)", "SWDB",
+       "SWDB speedup vs parse"});
+
+  // Full sequential load.
+  WallTimer timer;
+  const auto fasta_all =
+      seq::read_fasta_file(fasta_path, seq::AlphabetKind::kProtein);
+  const double fasta_scan = timer.seconds();
+  timer.reset();
+  const seq::FastaIndex fai(fasta_path, seq::AlphabetKind::kProtein);
+  const double fai_build = timer.seconds();
+  timer.reset();
+  const seq::SwdbReader reader(swdb_path);
+  const auto swdb_all = reader.read_all();
+  const double swdb_scan = timer.seconds();
+  table.add_row({"full scan / index build (s)", TextTable::fmt(fasta_scan, 3),
+                 TextTable::fmt(fai_build, 3), TextTable::fmt(swdb_scan, 3),
+                 TextTable::fmt(fasta_scan / swdb_scan, 1) + "x"});
+
+  // 1000 random record reads: plain FASTA must re-parse; the index and SWDB
+  // seek directly.
+  Rng rng(17);
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 1000; ++i) picks.push_back(rng.below(records.size()));
+
+  timer.reset();
+  {
+    const auto parsed =
+        seq::read_fasta_file(fasta_path, seq::AlphabetKind::kProtein);
+    std::size_t checksum = 0;
+    for (std::size_t pick : picks) checksum += parsed[pick].length();
+    std::printf("(fasta checksum %zu)\n", checksum);
+  }
+  const double fasta_random = timer.seconds();
+  timer.reset();
+  {
+    std::size_t checksum = 0;
+    for (std::size_t pick : picks) checksum += fai.read(pick).length();
+    std::printf("(fai checksum %zu)\n", checksum);
+  }
+  const double fai_random = timer.seconds();
+  timer.reset();
+  {
+    std::size_t checksum = 0;
+    for (std::size_t pick : picks) checksum += reader.read(pick).length();
+    std::printf("(swdb checksum %zu)\n", checksum);
+  }
+  const double swdb_random = timer.seconds();
+  table.add_row({"1000 random reads (s)", TextTable::fmt(fasta_random, 3),
+                 TextTable::fmt(fai_random, 3),
+                 TextTable::fmt(swdb_random, 3),
+                 TextTable::fmt(fasta_random / swdb_random, 1) + "x"});
+
+  // Length-only access (the scheduler's task-cost estimation path).
+  timer.reset();
+  {
+    const auto parsed =
+        seq::read_fasta_file(fasta_path, seq::AlphabetKind::kProtein);
+    std::uint64_t total = 0;
+    for (const auto& r : parsed) total += r.length();
+    std::printf("(fasta residues %llu)\n",
+                static_cast<unsigned long long>(total));
+  }
+  const double fasta_lengths = timer.seconds();
+  timer.reset();
+  {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < fai.size(); ++i) total += fai.length(i);
+    std::printf("(fai residues %llu)\n",
+                static_cast<unsigned long long>(total));
+  }
+  const double fai_lengths = std::max(timer.seconds(), 1e-7);
+  timer.reset();
+  {
+    std::uint64_t total = reader.total_residues();
+    std::printf("(swdb residues %llu)\n",
+                static_cast<unsigned long long>(total));
+  }
+  const double swdb_lengths = std::max(timer.seconds(), 1e-7);
+  table.add_row({"length sweep (s)", TextTable::fmt(fasta_lengths, 4),
+                 TextTable::fmt(fai_lengths, 4),
+                 TextTable::fmt(swdb_lengths, 4),
+                 TextTable::fmt(fasta_lengths / swdb_lengths, 1) + "x"});
+
+  std::printf("%s", table.render().c_str());
+  bench::emit_csv(table, "binary_format.csv");
+  std::filesystem::remove(fasta_path);
+  std::filesystem::remove(swdb_path);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.h"
+
+namespace swdual::bench {
+
+/// Print a reproduction banner: which paper artifact this regenerates and
+/// under what substitution.
+inline void banner(const std::string& artifact, const std::string& note) {
+  std::printf("==============================================================\n");
+  std::printf("Reproduction of %s\n", artifact.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+/// Write the CSV next to the binary's working directory and say so.
+inline void emit_csv(const TextTable& table, const std::string& filename) {
+  table.write_csv(filename);
+  std::printf("\n[csv written to %s]\n\n", filename.c_str());
+}
+
+}  // namespace swdual::bench

@@ -1,0 +1,124 @@
+// Kernel microbenchmarks (google-benchmark): real measured GCUPS on this
+// host for every alignment kernel, across query lengths. These are the
+// numbers behind the --calibrate path of the performance model.
+#include <benchmark/benchmark.h>
+
+#include "align/banded.h"
+#include "align/kernel_interseq.h"
+#include "align/kernel_striped.h"
+#include "align/scalar.h"
+#include "align/search.h"
+#include "seq/dbgen.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace swdual;
+
+struct KernelFixtureData {
+  seq::Sequence query;
+  std::vector<seq::Sequence> db;
+  align::DbView views;
+  align::ScoringScheme scheme;
+  std::uint64_t cells = 0;
+
+  KernelFixtureData(std::size_t query_len, std::size_t db_count,
+                    std::size_t db_len) {
+    Rng rng(1234);
+    query = seq::random_protein(rng, "q", query_len);
+    for (std::size_t i = 0; i < db_count; ++i) {
+      db.push_back(seq::random_protein(rng, "d", db_len));
+    }
+    views = align::make_db_view(db);
+    cells = static_cast<std::uint64_t>(query_len) * db_count * db_len;
+  }
+};
+
+void report_gcups(benchmark::State& state, std::uint64_t cells_per_iter) {
+  state.counters["GCUPS"] = benchmark::Counter(
+      static_cast<double>(cells_per_iter) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ScalarGotoh(benchmark::State& state) {
+  const KernelFixtureData data(static_cast<std::size_t>(state.range(0)), 16,
+                               256);
+  for (auto _ : state) {
+    int total = 0;
+    for (const auto& view : data.views) {
+      total += align::gotoh_score({data.query.residues.data(),
+                                   data.query.residues.size()},
+                                  view, data.scheme)
+                   .score;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  report_gcups(state, data.cells);
+}
+BENCHMARK(BM_ScalarGotoh)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_StripedKernel(benchmark::State& state) {
+  const KernelFixtureData data(static_cast<std::size_t>(state.range(0)), 16,
+                               256);
+  const align::StripedProfile profile(
+      {data.query.residues.data(), data.query.residues.size()},
+      *data.scheme.matrix);
+  for (auto _ : state) {
+    int total = 0;
+    for (const auto& view : data.views) {
+      total += align::striped_score(profile, view, data.scheme.gap).score;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  report_gcups(state, data.cells);
+}
+BENCHMARK(BM_StripedKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_InterSeqKernel(benchmark::State& state) {
+  const KernelFixtureData data(static_cast<std::size_t>(state.range(0)), 64,
+                               256);
+  align::SequenceViews views;
+  for (const auto& v : data.views) views.push_back(v);
+  for (auto _ : state) {
+    const auto result = align::interseq_scores(
+        {data.query.residues.data(), data.query.residues.size()}, views,
+        data.scheme);
+    benchmark::DoNotOptimize(result.scores.data());
+  }
+  report_gcups(state, data.cells);
+}
+BENCHMARK(BM_InterSeqKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BandedKernel(benchmark::State& state) {
+  const KernelFixtureData data(256, 16, 256);
+  const auto band = static_cast<std::size_t>(state.range(0));
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    std::uint64_t iter_cells = 0;
+    for (const auto& view : data.views) {
+      const auto r = align::banded_gotoh_score(
+          {data.query.residues.data(), data.query.residues.size()}, view,
+          data.scheme, band);
+      iter_cells += r.cells;
+    }
+    cells = iter_cells;
+    benchmark::DoNotOptimize(cells);
+  }
+  report_gcups(state, cells);
+}
+BENCHMARK(BM_BandedKernel)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_QueryProfileBuild(benchmark::State& state) {
+  const KernelFixtureData data(static_cast<std::size_t>(state.range(0)), 1, 1);
+  for (auto _ : state) {
+    const align::StripedProfile profile(
+        {data.query.residues.data(), data.query.residues.size()},
+        *data.scheme.matrix);
+    benchmark::DoNotOptimize(profile.segment_length());
+  }
+}
+BENCHMARK(BM_QueryProfileBuild)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

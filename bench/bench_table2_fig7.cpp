@@ -1,0 +1,88 @@
+// Table II + Fig. 7 — execution time vs number of workers, UniProt database,
+// 40 query sequences (100..5000 aa).
+//
+// Baselines run with 1..4 workers of their own PE type; SWDUAL runs with 2..8
+// mixed workers split per §V-A (GPUs first). Times are virtual (modeled on
+// the paper's hardware classes; see DESIGN.md calibration) at the paper's
+// full database scale. The paper's measured values are printed alongside.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "core/apps.h"
+
+int main(int argc, char** argv) {
+  using namespace swdual;
+  using core::AppKind;
+
+  // Full paper scale by default; pass a denominator to shrink.
+  const std::size_t scale = argc > 1 ? std::stoul(argv[1]) : 1;
+  bench::banner(
+      "Table II + Fig. 7: execution times vs workers (UniProt, 40 queries)",
+      scale == 1 ? "database at full paper scale (537,505 sequences), "
+                   "virtual-time model"
+                 : "database scaled down by 1/" + std::to_string(scale));
+
+  const core::Workload workload =
+      core::make_workload("uniprot", seq::QuerySetKind::kPaper, scale);
+  std::printf("workload: %zu queries, %zu db sequences, %.3e cells\n\n",
+              workload.query_lengths.size(), workload.db_sequences,
+              static_cast<double>(workload.total_cells()));
+
+  // Paper Table II values for side-by-side comparison (full scale only).
+  const std::map<std::string, std::vector<double>> paper = {
+      {"SWPS3", {69208.2, 36174.09, 25206.563, 18904.31}},
+      {"STRIPED", {7190, 3615.38, 1369.33, 1027.28}},
+      {"SWIPE", {2367.24, 1199.47, 816.61, 610.23}},
+      {"CUDASW++", {785.26, 445.611, 350.09, 292.157}},
+      {"SWDUAL", {543.28, 472.84, 271.98, 266.69, 239.04, 183.12, 142.98}},
+  };
+
+  TextTable table;
+  table.set_header({"application", "workers", "time (s, reproduced)",
+                    "time (s, paper)", "GCUPS", "idle %"});
+  const auto emit = [&](AppKind app, std::size_t workers,
+                        std::size_t paper_index) {
+    const core::AppRunResult run =
+        core::run_app_virtual(app, workload, workers);
+    const auto& paper_row = paper.at(core::app_name(app));
+    const std::string paper_value =
+        scale == 1 && paper_index < paper_row.size()
+            ? TextTable::fmt(paper_row[paper_index], 2)
+            : "-";
+    table.add_row({core::app_name(app), std::to_string(workers),
+                   TextTable::fmt(run.virtual_seconds, 2), paper_value,
+                   TextTable::fmt(run.gcups, 2),
+                   TextTable::fmt(run.idle_fraction * 100, 1)});
+  };
+
+  for (const AppKind app : {AppKind::kSwps3, AppKind::kStriped,
+                            AppKind::kSwipe, AppKind::kCudasw}) {
+    for (std::size_t workers = 1; workers <= 4; ++workers) {
+      emit(app, workers, workers - 1);
+    }
+  }
+  // SWDUAL: workers 2..8 (paper's Table II bottom block).
+  for (std::size_t workers = 2; workers <= 8; ++workers) {
+    emit(AppKind::kSwdual, workers, workers - 2);
+  }
+
+  std::printf("%s", table.render().c_str());
+  bench::emit_csv(table, "table2_fig7.csv");
+
+  // Fig. 7 headline checks from §V-A.
+  const double swdual2 =
+      core::run_app_virtual(AppKind::kSwdual, workload, 2).virtual_seconds;
+  const double swipe2 =
+      core::run_app_virtual(AppKind::kSwipe, workload, 2).virtual_seconds;
+  const double striped2 =
+      core::run_app_virtual(AppKind::kStriped, workload, 2).virtual_seconds;
+  const double swps3_2 =
+      core::run_app_virtual(AppKind::kSwps3, workload, 2).virtual_seconds;
+  std::printf(
+      "2-worker reductions vs SWDUAL (paper: 54.7%% / 85%% / 98%%):\n"
+      "  vs SWIPE   %.1f%%\n  vs STRIPED %.1f%%\n  vs SWPS3   %.1f%%\n",
+      100.0 * (1.0 - swdual2 / swipe2), 100.0 * (1.0 - swdual2 / striped2),
+      100.0 * (1.0 - swdual2 / swps3_2));
+  return 0;
+}

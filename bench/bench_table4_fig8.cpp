@@ -1,0 +1,72 @@
+// Table IV + Fig. 8 — SWDUAL on the five genomic databases, workers 2..8:
+// execution time and GCUPS, plus the §VI extension to 8 CPUs + 8 GPUs.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "core/apps.h"
+
+int main(int argc, char** argv) {
+  using namespace swdual;
+  const std::size_t scale = argc > 1 ? std::stoul(argv[1]) : 1;
+  bench::banner(
+      "Table IV + Fig. 8: SWDUAL on 5 databases (time & GCUPS)",
+      "virtual-time model at paper scale; paper values in parentheses");
+
+  // Paper Table IV: per database {time, gcups} for workers 2, 4, 8.
+  struct PaperCell {
+    double time;
+    double gcups;
+  };
+  const std::map<std::string, std::array<PaperCell, 3>> paper = {
+      {"ensembl_dog", {{{78.36, 18.91}, {39.63, 37.39}, {20.45, 72.45}}}},
+      {"ensembl_rat", {{{75.85, 22.97}, {37.97, 45.89}, {20.17, 86.38}}}},
+      {"refseq_mouse", {{{84.40, 18.99}, {46.25, 34.66}, {23.59, 67.95}}}},
+      {"refseq_human", {{{95.09, 20.70}, {48.01, 41.00}, {24.82, 79.31}}}},
+      {"uniprot", {{{543.28, 35.81}, {271.98, 71.53}, {142.98, 136.06}}}},
+  };
+
+  TextTable table;
+  table.set_header({"database", "workers", "time (s)", "time (paper)",
+                    "GCUPS", "GCUPS (paper)"});
+  TextTable curve;  // Fig. 8: full 2..8 series
+  curve.set_header({"database", "workers", "time (s)"});
+
+  for (const auto& [db_name, paper_cells] : paper) {
+    const core::Workload workload =
+        core::make_workload(db_name, seq::QuerySetKind::kPaper, scale);
+    for (std::size_t workers = 2; workers <= 8; ++workers) {
+      const core::AppRunResult run =
+          core::run_app_virtual(core::AppKind::kSwdual, workload, workers);
+      curve.add_row({db_name, std::to_string(workers),
+                     TextTable::fmt(run.virtual_seconds, 2)});
+      const int paper_index =
+          workers == 2 ? 0 : (workers == 4 ? 1 : (workers == 8 ? 2 : -1));
+      if (paper_index >= 0) {
+        const PaperCell& cell =
+            paper_cells[static_cast<std::size_t>(paper_index)];
+        table.add_row(
+            {db_name, std::to_string(workers),
+             TextTable::fmt(run.virtual_seconds, 2),
+             scale == 1 ? TextTable::fmt(cell.time, 2) : "-",
+             TextTable::fmt(run.gcups, 2),
+             scale == 1 ? TextTable::fmt(cell.gcups, 2) : "-"});
+      }
+    }
+  }
+  std::printf("%s\nFig. 8 series (execution time, workers 2..8):\n%s",
+              table.render().c_str(), curve.render().c_str());
+  bench::emit_csv(table, "table4_fig8.csv");
+  curve.write_csv("fig8_series.csv");
+
+  // §VI extension: 8 CPUs + 8 GPUs on UniProt (543 s -> 86 s in the paper).
+  const core::Workload uniprot =
+      core::make_workload("uniprot", seq::QuerySetKind::kPaper, scale);
+  const core::AppRunResult big =
+      core::run_swdual_virtual(uniprot, {8, 8});
+  std::printf(
+      "\n8 CPUs + 8 GPUs on UniProt: %.2f s, %.2f GCUPS "
+      "(paper: 86 s, 225 GCUPS)\n",
+      big.virtual_seconds, big.gcups);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table V + Fig. 9 — homogeneous (4500..5000 aa) vs heterogeneous
+// (4..35213 aa) query sets against UniProt, workers 2..8.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/apps.h"
+
+int main(int argc, char** argv) {
+  using namespace swdual;
+  const std::size_t scale = argc > 1 ? std::stoul(argv[1]) : 1;
+  bench::banner(
+      "Table V + Fig. 9: homogeneous vs heterogeneous query sets (UniProt)",
+      "virtual-time model at paper scale; paper values in parentheses");
+
+  struct PaperCell {
+    double time;
+    double gcups;
+  };
+  const struct {
+    const char* label;
+    seq::QuerySetKind kind;
+    std::array<PaperCell, 3> paper;  // workers 2, 4, 8
+  } sets[] = {
+      {"Heterogeneous", seq::QuerySetKind::kHeterogeneous,
+       {{{3554.36, 37.55}, {1785.73, 74.74}, {908.45, 146.92}}}},
+      {"Homogeneous", seq::QuerySetKind::kHomogeneous,
+       {{{998.27, 36.3}, {484.74, 74.76}, {249.69, 145.14}}}},
+  };
+
+  TextTable table;
+  table.set_header({"set", "workers", "time (s)", "time (paper)", "GCUPS",
+                    "GCUPS (paper)"});
+  TextTable curve;
+  curve.set_header({"set", "workers", "time (s)"});
+
+  for (const auto& set : sets) {
+    const core::Workload workload =
+        core::make_workload("uniprot", set.kind, scale);
+    std::printf("%s set: %.3e cells total\n", set.label,
+                static_cast<double>(workload.total_cells()));
+    for (std::size_t workers = 2; workers <= 8; ++workers) {
+      const core::AppRunResult run =
+          core::run_app_virtual(core::AppKind::kSwdual, workload, workers);
+      curve.add_row({set.label, std::to_string(workers),
+                     TextTable::fmt(run.virtual_seconds, 2)});
+      const int paper_index =
+          workers == 2 ? 0 : (workers == 4 ? 1 : (workers == 8 ? 2 : -1));
+      if (paper_index >= 0) {
+        const PaperCell& cell =
+            set.paper[static_cast<std::size_t>(paper_index)];
+        table.add_row({set.label, std::to_string(workers),
+                       TextTable::fmt(run.virtual_seconds, 2),
+                       scale == 1 ? TextTable::fmt(cell.time, 2) : "-",
+                       TextTable::fmt(run.gcups, 2),
+                       scale == 1 ? TextTable::fmt(cell.gcups, 2) : "-"});
+      }
+    }
+  }
+  std::printf("\n%s\nFig. 9 series:\n%s", table.render().c_str(),
+              curve.render().c_str());
+  bench::emit_csv(table, "table5_fig9.csv");
+  curve.write_csv("fig9_series.csv");
+  return 0;
+}

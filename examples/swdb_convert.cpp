@@ -1,0 +1,75 @@
+// swdb_convert: FASTA <-> SWDB conversion utility (paper §IV's format step).
+//
+//   ./swdb_convert db.fasta db.swdb          # FASTA -> binary
+//   ./swdb_convert db.swdb db.fasta          # binary -> FASTA
+//   ./swdb_convert --stats db.swdb           # print database statistics
+#include <iostream>
+
+#include "seq/dbstats.h"
+#include "seq/fasta.h"
+#include "seq/swdb.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace swdual;
+
+  CliParser cli("swdb_convert", "convert between FASTA and SWDB");
+  cli.add_flag("stats", "print statistics of the input instead of converting");
+  cli.add_option("alphabet", "protein | dna | rna", "protein");
+
+  try {
+    cli.parse(argc, argv);
+    if (cli.help_requested() || cli.positional().empty()) {
+      std::cout << cli.usage()
+                << "\nusage: swdb_convert [--stats] <input> [output]\n";
+      return cli.help_requested() ? 0 : 2;
+    }
+
+    seq::AlphabetKind alphabet = seq::AlphabetKind::kProtein;
+    if (cli.option("alphabet") == "dna") alphabet = seq::AlphabetKind::kDna;
+    if (cli.option("alphabet") == "rna") alphabet = seq::AlphabetKind::kRna;
+
+    const std::string& input = cli.positional()[0];
+    WallTimer timer;
+    const std::vector<seq::Sequence> records =
+        ends_with(input, ".swdb")
+            ? seq::SwdbReader(input).read_all()
+            : seq::read_fasta_file(input, alphabet);
+    std::cerr << "read " << records.size() << " records in "
+              << TextTable::fmt(timer.millis(), 1) << " ms\n";
+
+    if (cli.flag("stats")) {
+      const seq::DatabaseStats stats = seq::compute_stats(records);
+      TextTable table;
+      table.set_header({"metric", "value"});
+      table.add_row({"sequences", std::to_string(stats.num_sequences)});
+      table.add_row({"residues", std::to_string(stats.total_residues)});
+      table.add_row({"min length", std::to_string(stats.min_length)});
+      table.add_row({"max length", std::to_string(stats.max_length)});
+      table.add_row({"mean length", TextTable::fmt(stats.mean_length, 1)});
+      std::cout << table.render();
+      return 0;
+    }
+
+    if (cli.positional().size() < 2) {
+      std::cerr << "need an output path (or --stats)\n";
+      return 2;
+    }
+    const std::string& output = cli.positional()[1];
+    timer.reset();
+    if (ends_with(output, ".swdb")) {
+      seq::write_swdb(output, records, alphabet);
+    } else {
+      seq::write_fasta_file(output, records);
+    }
+    std::cerr << "wrote " << output << " in "
+              << TextTable::fmt(timer.millis(), 1) << " ms\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

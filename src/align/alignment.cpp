@@ -1,0 +1,70 @@
+#include "align/alignment.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace swdual::align {
+
+std::size_t Alignment::matches() const {
+  std::size_t count = 0;
+  for (std::size_t c = 0; c < aligned_query.size(); ++c) {
+    if (aligned_query[c] != '-' && aligned_query[c] == aligned_db[c]) ++count;
+  }
+  return count;
+}
+
+std::size_t Alignment::mismatches() const {
+  std::size_t count = 0;
+  for (std::size_t c = 0; c < aligned_query.size(); ++c) {
+    if (aligned_query[c] != '-' && aligned_db[c] != '-' &&
+        aligned_query[c] != aligned_db[c]) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t Alignment::gaps() const {
+  std::size_t count = 0;
+  for (std::size_t c = 0; c < aligned_query.size(); ++c) {
+    if (aligned_query[c] == '-' || aligned_db[c] == '-') ++count;
+  }
+  return count;
+}
+
+double Alignment::identity() const {
+  if (aligned_query.empty()) return 0.0;
+  return 100.0 * static_cast<double>(matches()) /
+         static_cast<double>(aligned_query.size());
+}
+
+std::string render_alignment(const Alignment& alignment, std::size_t width) {
+  SWDUAL_REQUIRE(width > 0, "render width must be positive");
+  SWDUAL_REQUIRE(alignment.aligned_query.size() == alignment.aligned_db.size(),
+                 "alignment strings must have equal length");
+  std::ostringstream os;
+  const std::size_t len = alignment.aligned_query.size();
+  for (std::size_t start = 0; start < len; start += width) {
+    const std::size_t chunk = std::min(width, len - start);
+    os << "query: " << alignment.aligned_query.substr(start, chunk) << '\n';
+    os << "       ";
+    for (std::size_t c = start; c < start + chunk; ++c) {
+      const char q = alignment.aligned_query[c];
+      const char d = alignment.aligned_db[c];
+      if (q == '-' || d == '-') {
+        os << ' ';
+      } else if (q == d) {
+        os << '|';
+      } else {
+        os << '.';
+      }
+    }
+    os << '\n';
+    os << "db:    " << alignment.aligned_db.substr(start, chunk) << '\n';
+  }
+  os << "score = " << alignment.score << '\n';
+  return os.str();
+}
+
+}  // namespace swdual::align

@@ -1,0 +1,36 @@
+// Alignment value type and pretty-printing (the paper's Fig. 1 rendering).
+#pragma once
+
+#include <string>
+
+#include "seq/alphabet.h"
+
+namespace swdual::align {
+
+/// A computed pairwise alignment: two equal-length strings over the residue
+/// alphabet plus '-' gap characters, with score and coordinates.
+struct Alignment {
+  std::string aligned_query;  ///< query residues with gaps inserted
+  std::string aligned_db;     ///< database residues with gaps inserted
+  int score = 0;
+  /// 1-based inclusive coordinates of the aligned region in each sequence.
+  /// For a global alignment these span the whole sequences; for a local one
+  /// they delimit the optimal local region.
+  std::size_t query_begin = 0, query_end = 0;
+  std::size_t db_begin = 0, db_end = 0;
+
+  std::size_t length() const { return aligned_query.size(); }
+  std::size_t matches() const;
+  std::size_t mismatches() const;
+  std::size_t gaps() const;
+
+  /// Percent identity over aligned columns (0 for empty alignments).
+  double identity() const;
+};
+
+/// Render in the Fig. 1 style: query line, midline (| match, . mismatch,
+/// space gap), database line, wrapped at `width` columns, score last.
+std::string render_alignment(const Alignment& alignment,
+                             std::size_t width = 60);
+
+}  // namespace swdual::align

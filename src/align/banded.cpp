@@ -1,0 +1,78 @@
+#include "align/banded.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.h"
+
+namespace swdual::align {
+
+ScoreResult banded_gotoh_score(std::span<const std::uint8_t> query,
+                               std::span<const std::uint8_t> db,
+                               const ScoringScheme& scheme, std::size_t band) {
+  SWDUAL_REQUIRE(band >= 1, "band half-width must be at least 1");
+  const ScoreMatrix& matrix = *scheme.matrix;
+  const int gs = scheme.gap.open;
+  const int ge = scheme.gap.extend;
+
+  ScoreResult result;
+  if (query.empty() || db.empty()) return result;
+
+  const std::size_t m = query.size();
+  const std::size_t n = db.size();
+  const double slope = static_cast<double>(n) / static_cast<double>(m);
+
+  constexpr int kNegInf = -(1 << 28);
+  // Full-width rows, but only band columns are touched per row. Cells never
+  // written stay at their unreachable defaults.
+  std::vector<int> h_row(n + 1, 0);
+  std::vector<int> f_row(n + 1, kNegInf);
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    const auto center = static_cast<std::ptrdiff_t>(slope * static_cast<double>(i));
+    const std::size_t j_lo = static_cast<std::size_t>(
+        std::max<std::ptrdiff_t>(1, center - static_cast<std::ptrdiff_t>(band)));
+    const std::size_t j_hi =
+        std::min(n, static_cast<std::size_t>(center + static_cast<std::ptrdiff_t>(band)));
+    if (j_lo > j_hi) continue;
+
+    const std::int8_t* scores = matrix.row(query[i - 1]);
+    // Outside-band cells on row i-1 (and this row's left edge) behave as 0
+    // for H (a local alignment can always restart) and -inf for gap states;
+    // since h_row holds 0 wherever untouched, this falls out naturally for
+    // the first rows. To avoid stale in-band values leaking when the band
+    // slides right, clear the cell just left of the window.
+    int diag = (j_lo >= 1) ? h_row[j_lo - 1] : 0;
+    int h_left = 0;
+    int e = kNegInf;
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      result.cells++;
+      const int f = std::max(f_row[j] - ge, h_row[j] - gs - ge);
+      e = std::max(e - ge, h_left - gs - ge);
+      int h = diag + scores[db[j - 1]];
+      h = std::max({h, e, f, 0});
+      diag = h_row[j];
+      h_row[j] = h;
+      f_row[j] = f;
+      h_left = h;
+      if (h > result.score) {
+        result.score = h;
+        result.end_query = i;
+        result.end_db = j;
+      }
+    }
+    // Invalidate the column just beyond the window so the next row does not
+    // read values from two rows ago as if they were row i.
+    if (j_hi + 1 <= n) {
+      h_row[j_hi + 1] = 0;
+      f_row[j_hi + 1] = kNegInf;
+    }
+    if (j_lo >= 1) {
+      h_row[j_lo - 1] = 0;
+      f_row[j_lo - 1] = kNegInf;
+    }
+  }
+  return result;
+}
+
+}  // namespace swdual::align

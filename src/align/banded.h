@@ -1,0 +1,23 @@
+// Banded Smith–Waterman (heuristic accelerator).
+//
+// Restricts the DP to a diagonal band of half-width `band` around the line
+// j = i·n/m. Exact when the optimal local alignment stays inside the band
+// (the common case for homologous sequences of similar length); otherwise a
+// lower bound on the true score. Cost drops from O(m·n) to O(m·band).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/scalar.h"
+#include "align/scoring.h"
+
+namespace swdual::align {
+
+/// Affine-gap banded local alignment score. `band` is the half-width in
+/// database positions; cells outside the band are treated as unreachable.
+ScoreResult banded_gotoh_score(std::span<const std::uint8_t> query,
+                               std::span<const std::uint8_t> db,
+                               const ScoringScheme& scheme, std::size_t band);
+
+}  // namespace swdual::align

@@ -1,0 +1,36 @@
+// Rognes-style inter-sequence SIMD Smith–Waterman.
+//
+// This is the kernel class behind the paper's SWIPE baseline (Rognes 2011):
+// instead of vectorizing within one DP matrix, eight *database sequences*
+// are aligned against the query simultaneously, one per SIMD lane. There is
+// no striping and no lazy-F fixup — every lane is an independent matrix, so
+// all dependencies are lane-local and the recurrence is computed directly.
+//
+// Sequences are batched in groups of eight, longest-first, with exhausted
+// lanes padded by a sentinel profile row of large negative scores (padding
+// columns can then never create or extend a positive-scoring alignment).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/profile.h"
+#include "align/scoring.h"
+
+namespace swdual::align {
+
+struct InterSeqResult {
+  std::vector<int> scores;          ///< one per input sequence, input order
+  std::vector<bool> overflow;       ///< lanes that saturated (recompute!)
+  std::uint64_t cells = 0;          ///< true DP cells (excludes padding)
+};
+
+/// Views of the database sequences to score in one call.
+using SequenceViews = std::vector<std::span<const std::uint8_t>>;
+
+/// Score one query against many database sequences, eight at a time.
+InterSeqResult interseq_scores(std::span<const std::uint8_t> query,
+                               const SequenceViews& db, const ScoringScheme& scheme);
+
+}  // namespace swdual::align

@@ -1,0 +1,38 @@
+// Farrar's striped SIMD Smith–Waterman (intra-sequence vectorization).
+//
+// This is the kernel class behind the paper's STRIPED baseline (Farrar 2007)
+// and SWPS3 (Szalkowski et al. 2008): one query/database pair at a time,
+// eight query cells per instruction in a striped layout that moves the
+// vertical-gap (F) dependency out of the inner loop, fixed up afterwards by
+// the "lazy F" loop.
+//
+// 16-bit saturating arithmetic; on saturation the driver in search.h
+// recomputes the pair with the 32-bit scalar oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/profile.h"
+#include "align/scoring.h"
+
+namespace swdual::align {
+
+struct StripedResult {
+  int score = 0;
+  bool overflow = false;  ///< true if the 16-bit range saturated
+  std::uint64_t cells = 0;
+};
+
+/// Score one query (via its striped profile) against one database sequence.
+StripedResult striped_score(const StripedProfile& profile,
+                            std::span<const std::uint8_t> db,
+                            const GapPenalty& gap);
+
+/// Convenience overload building the profile internally (prefer the profile
+/// overload when searching a whole database with one query).
+StripedResult striped_score(std::span<const std::uint8_t> query,
+                            std::span<const std::uint8_t> db,
+                            const ScoringScheme& scheme);
+
+}  // namespace swdual::align

@@ -1,0 +1,32 @@
+// Byte-precision striped Smith–Waterman (Farrar's 8-bit tier).
+//
+// Sixteen query cells per vector in unsigned saturating arithmetic: the
+// substitution scores carry a bias so they are non-negative, and
+// saturating-at-zero subtraction implements the local alignment's
+// max(…, 0) for free. Scores that reach 255 − bias are unreliable and the
+// pair must be redone at 16 bits (see search.h's fallback chain) — on
+// typical protein searches that is a small fraction of pairs, which is why
+// STRIPED/SWIPE/CUDASW++ all run byte-precision first.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/kernel_striped.h"
+#include "align/profile.h"
+
+namespace swdual::align {
+
+/// Score one query (via its byte profile) against one database sequence.
+/// result.overflow is set when the score ceiling was reached — the value in
+/// result.score is then a lower bound only.
+StripedResult striped8_score(const StripedProfileU8& profile,
+                             std::span<const std::uint8_t> db,
+                             const GapPenalty& gap);
+
+/// Convenience overload building the profile internally.
+StripedResult striped8_score(std::span<const std::uint8_t> query,
+                             std::span<const std::uint8_t> db,
+                             const ScoringScheme& scheme);
+
+}  // namespace swdual::align

@@ -1,0 +1,251 @@
+#include "align/linear_space.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "align/locate.h"
+#include "align/scalar.h"
+#include "util/error.h"
+
+namespace swdual::align {
+
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+/// Shared state of one divide-and-conquer run: the sequences, penalties,
+/// and the alignment strings being emitted in left-to-right order.
+struct MMContext {
+  std::span<const std::uint8_t> query;
+  std::span<const std::uint8_t> db;
+  const ScoreMatrix* matrix = nullptr;
+  const seq::Alphabet* alphabet = nullptr;
+  int g = 0;  ///< gap open (Gs)
+  int h = 0;  ///< gap extend (Ge)
+  std::string aligned_query;
+  std::string aligned_db;
+
+  void emit_sub(std::size_t qi, std::size_t dj) {
+    aligned_query.push_back(alphabet->decode(query[qi]));
+    aligned_db.push_back(alphabet->decode(db[dj]));
+  }
+  void emit_del(std::size_t qi) {  // query residue vs gap
+    aligned_query.push_back(alphabet->decode(query[qi]));
+    aligned_db.push_back('-');
+  }
+  void emit_ins(std::size_t dj) {  // gap vs database residue
+    aligned_query.push_back('-');
+    aligned_db.push_back(alphabet->decode(db[dj]));
+  }
+};
+
+/// Forward score-only pass over query rows [q0, q0+rows) against database
+/// columns [d0, d0+cols), with top-boundary deletion-open cost `tb`.
+/// On return cc[j] / dd[j] hold the last row's CC / DD values. `reversed`
+/// flips both sequences (for the bottom-half pass) without copying.
+void half_pass(const MMContext& ctx, std::size_t q0, std::size_t rows,
+               std::size_t d0, std::size_t cols, int tb, bool reversed,
+               std::vector<int>& cc, std::vector<int>& dd) {
+  const auto q_at = [&](std::size_t i) {
+    return reversed ? ctx.query[q0 + rows - 1 - i] : ctx.query[q0 + i];
+  };
+  const auto d_at = [&](std::size_t j) {
+    return reversed ? ctx.db[d0 + cols - 1 - j] : ctx.db[d0 + j];
+  };
+  const int g = ctx.g, h = ctx.h;
+
+  cc.assign(cols + 1, 0);
+  dd.assign(cols + 1, kNegInf);
+  for (std::size_t j = 1; j <= cols; ++j) {
+    cc[j] = -(g + static_cast<int>(j) * h);
+  }
+  for (std::size_t i = 1; i <= rows; ++i) {
+    const int open = (i == 1) ? tb : g;
+    const std::int8_t* scores = ctx.matrix->row(q_at(i - 1));
+    int diag = cc[0];                         // CC(i-1, 0)
+    cc[0] = -(tb + static_cast<int>(i) * h);  // deletion run from the top
+    dd[0] = cc[0];
+    int c = cc[0];       // CC(i, j-1)
+    int e = kNegInf;     // insertion state E(i, j)
+    for (std::size_t j = 1; j <= cols; ++j) {
+      const int d = std::max(dd[j], cc[j] - open) - h;
+      e = std::max(e, c - g) - h;
+      const int substituted = diag + scores[d_at(j - 1)];
+      const int value = std::max({substituted, d, e});
+      diag = cc[j];
+      cc[j] = value;
+      dd[j] = d;
+      c = value;
+    }
+  }
+}
+
+/// Recursive divide and conquer: align query rows [q0, q0+rows) to database
+/// columns [d0, d0+cols), where tb / te are the deletion-open costs at the
+/// top / bottom boundaries (0 when a vertical gap continues across them).
+void diff(MMContext& ctx, std::size_t q0, std::size_t rows, std::size_t d0,
+          std::size_t cols, int tb, int te) {
+  const int g = ctx.g, h = ctx.h;
+
+  if (rows == 0) {
+    for (std::size_t j = 0; j < cols; ++j) ctx.emit_ins(d0 + j);
+    return;
+  }
+  if (cols == 0) {
+    for (std::size_t i = 0; i < rows; ++i) ctx.emit_del(q0 + i);
+    return;
+  }
+  if (rows == 1) {
+    // Direct solution: either A's single residue is deleted (the deletion
+    // merges with whichever boundary is cheaper), or it is substituted
+    // against some B[j] with the flanking B residues inserted.
+    const int del_score = -(std::min(tb, te) + h) -
+                          (cols > 0 ? g + static_cast<int>(cols) * h : 0);
+    int best = del_score;
+    std::ptrdiff_t best_j = -1;  // -1 = deletion option
+    const std::int8_t* scores = ctx.matrix->row(ctx.query[q0]);
+    for (std::size_t j = 1; j <= cols; ++j) {
+      const int left =
+          j > 1 ? -(g + static_cast<int>(j - 1) * h) : 0;
+      const int right =
+          cols - j > 0 ? -(g + static_cast<int>(cols - j) * h) : 0;
+      const int value = left + scores[ctx.db[d0 + j - 1]] + right;
+      if (value > best) {
+        best = value;
+        best_j = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+    if (best_j < 0) {
+      if (tb <= te) {
+        ctx.emit_del(q0);
+        for (std::size_t j = 0; j < cols; ++j) ctx.emit_ins(d0 + j);
+      } else {
+        for (std::size_t j = 0; j < cols; ++j) ctx.emit_ins(d0 + j);
+        ctx.emit_del(q0);
+      }
+    } else {
+      const auto jm = static_cast<std::size_t>(best_j);
+      for (std::size_t j = 0; j + 1 < jm; ++j) ctx.emit_ins(d0 + j);
+      ctx.emit_sub(q0, d0 + jm - 1);
+      for (std::size_t j = jm; j < cols; ++j) ctx.emit_ins(d0 + j);
+    }
+    return;
+  }
+
+  const std::size_t mid = rows / 2;
+  std::size_t best_j = 0;
+  bool crossing_gap = false;
+  {
+    std::vector<int> cc, dd, rr, ss;
+    half_pass(ctx, q0, mid, d0, cols, tb, /*reversed=*/false, cc, dd);
+    half_pass(ctx, q0 + mid, rows - mid, d0, cols, te, /*reversed=*/true, rr,
+              ss);
+    int best = kNegInf;
+    for (std::size_t j = 0; j <= cols; ++j) {
+      const int type1 = cc[j] + rr[cols - j];
+      // A deletion spanning the boundary paid its open twice; add one back.
+      const int type2 = dd[j] + ss[cols - j] + g;
+      if (type1 >= best) {
+        best = type1;
+        best_j = j;
+        crossing_gap = false;
+      }
+      if (type2 > best) {
+        best = type2;
+        best_j = j;
+        crossing_gap = true;
+      }
+    }
+  }  // scratch freed before recursing: peak memory stays Θ(cols)
+
+  if (!crossing_gap) {
+    diff(ctx, q0, mid, d0, best_j, tb, g);
+    diff(ctx, q0 + mid, rows - mid, d0 + best_j, cols - best_j, g, te);
+  } else {
+    // Rows mid and mid+1 (1-based) are interior to one deletion run.
+    diff(ctx, q0, mid - 1, d0, best_j, tb, 0);
+    ctx.emit_del(q0 + mid - 1);
+    ctx.emit_del(q0 + mid);
+    diff(ctx, q0 + mid + 1, rows - mid - 1, d0 + best_j, cols - best_j, 0,
+         te);
+  }
+}
+
+/// True affine score of an emitted alignment (merged gap runs pay one open).
+int score_alignment(const std::string& aq, const std::string& ad,
+                    const ScoringScheme& scheme,
+                    const seq::Alphabet& alphabet) {
+  int score = 0;
+  bool gap_q = false, gap_d = false;
+  for (std::size_t c = 0; c < aq.size(); ++c) {
+    if (aq[c] == '-') {
+      score -= scheme.gap.extend + (gap_q ? 0 : scheme.gap.open);
+      gap_q = true;
+      gap_d = false;
+    } else if (ad[c] == '-') {
+      score -= scheme.gap.extend + (gap_d ? 0 : scheme.gap.open);
+      gap_d = true;
+      gap_q = false;
+    } else {
+      score += scheme.matrix->score(alphabet.encode(aq[c]),
+                                    alphabet.encode(ad[c]));
+      gap_q = gap_d = false;
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+Alignment nw_align_affine_linear(std::span<const std::uint8_t> query,
+                                 std::span<const std::uint8_t> db,
+                                 const ScoringScheme& scheme) {
+  SWDUAL_REQUIRE(scheme.gap.open >= 0 && scheme.gap.extend >= 0,
+                 "gap penalties are positive magnitudes");
+  MMContext ctx;
+  ctx.query = query;
+  ctx.db = db;
+  ctx.matrix = scheme.matrix;
+  ctx.alphabet = &seq::Alphabet::get(scheme.matrix->alphabet());
+  ctx.g = scheme.gap.open;
+  ctx.h = scheme.gap.extend;
+  ctx.aligned_query.reserve(query.size() + db.size());
+  ctx.aligned_db.reserve(query.size() + db.size());
+
+  diff(ctx, 0, query.size(), 0, db.size(), ctx.g, ctx.g);
+
+  Alignment alignment;
+  alignment.score =
+      score_alignment(ctx.aligned_query, ctx.aligned_db, scheme,
+                      *ctx.alphabet);
+  alignment.aligned_query = std::move(ctx.aligned_query);
+  alignment.aligned_db = std::move(ctx.aligned_db);
+  alignment.query_begin = query.empty() ? 0 : 1;
+  alignment.query_end = query.size();
+  alignment.db_begin = db.empty() ? 0 : 1;
+  alignment.db_end = db.size();
+  return alignment;
+}
+
+Alignment sw_align_affine_linear(std::span<const std::uint8_t> query,
+                                 std::span<const std::uint8_t> db,
+                                 const ScoringScheme& scheme) {
+  const LocalRegion region = locate_best_alignment(query, db, scheme);
+  if (region.score == 0) return {};
+
+  Alignment alignment = nw_align_affine_linear(
+      query.subspan(region.query_begin - 1,
+                    region.query_end - region.query_begin + 1),
+      db.subspan(region.db_begin - 1, region.db_end - region.db_begin + 1),
+      scheme);
+  SWDUAL_CHECK(alignment.score == region.score,
+               "linear-space region alignment lost the optimal score");
+  alignment.query_begin += region.query_begin - 1;
+  alignment.query_end += region.query_begin - 1;
+  alignment.db_begin += region.db_begin - 1;
+  alignment.db_end += region.db_begin - 1;
+  return alignment;
+}
+
+}  // namespace swdual::align

@@ -1,0 +1,44 @@
+// Memory-frugal full alignment: locate, then realign.
+//
+// sw_align_affine (traceback.h) keeps the whole O(m·n) DP matrix — fine for
+// reporting a handful of hits, prohibitive for aligning a 35,213-residue
+// query against a long database record. This module does what SSW and
+// SSEARCH do instead:
+//
+//   1. forward score-only pass (O(n) memory) → best score + END cell,
+//   2. reverse score-only pass from the end cell → START cell,
+//   3. full traceback restricted to the [start..end]×[start..end] region,
+//      whose area is the alignment's footprint, not the whole matrix.
+//
+// The result is score-identical to sw_align_affine; memory drops from
+// O(m·n) to O(n + region²).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/alignment.h"
+#include "align/scalar.h"
+#include "align/scoring.h"
+
+namespace swdual::align {
+
+/// Coordinates of the optimal local alignment (1-based, inclusive).
+struct LocalRegion {
+  int score = 0;
+  std::size_t query_begin = 0, query_end = 0;
+  std::size_t db_begin = 0, db_end = 0;
+};
+
+/// Locate the optimal local alignment's region with two O(n)-memory passes.
+LocalRegion locate_best_alignment(std::span<const std::uint8_t> query,
+                                  std::span<const std::uint8_t> db,
+                                  const ScoringScheme& scheme);
+
+/// Full local alignment using locate-then-realign (score-identical to
+/// sw_align_affine, memory proportional to the alignment region only).
+Alignment sw_align_affine_frugal(std::span<const std::uint8_t> query,
+                                 std::span<const std::uint8_t> db,
+                                 const ScoringScheme& scheme);
+
+}  // namespace swdual::align

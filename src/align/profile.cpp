@@ -1,0 +1,63 @@
+#include "align/profile.h"
+
+#include "util/error.h"
+
+namespace swdual::align {
+
+QueryProfile::QueryProfile(std::span<const std::uint8_t> query,
+                           const ScoreMatrix& matrix)
+    : length_(query.size()), alphabet_size_(matrix.size()) {
+  data_.resize(alphabet_size_ * length_);
+  for (std::size_t code = 0; code < alphabet_size_; ++code) {
+    std::int16_t* out = data_.data() + code * length_;
+    for (std::size_t i = 0; i < length_; ++i) {
+      out[i] = matrix.score(query[i], static_cast<std::uint8_t>(code));
+    }
+  }
+}
+
+StripedProfile::StripedProfile(std::span<const std::uint8_t> query,
+                               const ScoreMatrix& matrix)
+    : length_(query.size()), alphabet_size_(matrix.size()) {
+  SWDUAL_REQUIRE(!query.empty(), "striped profile needs a non-empty query");
+  segment_length_ = (length_ + kLanes16 - 1) / kLanes16;
+  data_.assign(alphabet_size_ * segment_length_ * kLanes16, 0);
+  for (std::size_t code = 0; code < alphabet_size_; ++code) {
+    std::int16_t* out = data_.data() + code * segment_length_ * kLanes16;
+    for (std::size_t s = 0; s < segment_length_; ++s) {
+      for (std::size_t lane = 0; lane < kLanes16; ++lane) {
+        const std::size_t position = lane * segment_length_ + s;
+        out[s * kLanes16 + lane] =
+            position < length_
+                ? matrix.score(query[position], static_cast<std::uint8_t>(code))
+                : std::int16_t{0};
+      }
+    }
+  }
+}
+
+StripedProfileU8::StripedProfileU8(std::span<const std::uint8_t> query,
+                                   const ScoreMatrix& matrix)
+    : length_(query.size()) {
+  SWDUAL_REQUIRE(!query.empty(), "striped profile needs a non-empty query");
+  SWDUAL_REQUIRE(matrix.min_score() <= 0,
+                 "byte profile expects a matrix with non-positive minimum");
+  bias_ = static_cast<std::uint8_t>(-matrix.min_score());
+  segment_length_ = (length_ + kLanes8 - 1) / kLanes8;
+  data_.assign(matrix.size() * segment_length_ * kLanes8, bias_);
+  for (std::size_t code = 0; code < matrix.size(); ++code) {
+    std::uint8_t* out = data_.data() + code * segment_length_ * kLanes8;
+    for (std::size_t s = 0; s < segment_length_; ++s) {
+      for (std::size_t lane = 0; lane < kLanes8; ++lane) {
+        const std::size_t position = lane * segment_length_ + s;
+        if (position < length_) {
+          out[s * kLanes8 + lane] = static_cast<std::uint8_t>(
+              matrix.score(query[position], static_cast<std::uint8_t>(code)) +
+              bias_);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace swdual::align

@@ -1,0 +1,98 @@
+// Query profiles: matrix rows re-indexed by query position.
+//
+// A query profile replaces the per-cell matrix lookup S(q[i], d[j]) with
+// profile[d[j]][i] — one table indexed by the database residue, laid out so
+// kernels stream it sequentially. Both SIMD kernels build on this, as do
+// SWIPE, STRIPED and CUDASW++ (the paper's §II-C "techniques being used to
+// optimize each comparison").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/scoring.h"
+#include "align/simd8.h"
+
+namespace swdual::align {
+
+/// Number of 16-bit lanes in one SIMD vector (SSE2 __m128i geometry; the
+/// scalar fallback emulates the same shape so results are identical).
+inline constexpr std::size_t kLanes16 = 8;
+
+/// Sequential query profile: row(code)[i] == matrix.score(q[i], code).
+class QueryProfile {
+ public:
+  QueryProfile(std::span<const std::uint8_t> query, const ScoreMatrix& matrix);
+
+  std::size_t query_length() const { return length_; }
+  std::size_t alphabet_size() const { return alphabet_size_; }
+
+  /// Scores of every query position against database residue `code`.
+  const std::int16_t* row(std::uint8_t code) const {
+    return data_.data() + static_cast<std::size_t>(code) * length_;
+  }
+
+ private:
+  std::size_t length_;
+  std::size_t alphabet_size_;
+  std::vector<std::int16_t> data_;
+};
+
+/// Farrar striped profile: the query is split into kLanes16 segments of
+/// `segment_length()` positions; vector s holds query positions
+/// { s, s+segLen, ..., s+(lanes-1)·segLen }. Padding positions (>= |q|)
+/// score 0 against everything, which provably cannot raise the maximum.
+class StripedProfile {
+ public:
+  StripedProfile(std::span<const std::uint8_t> query,
+                 const ScoreMatrix& matrix);
+
+  std::size_t query_length() const { return length_; }
+  std::size_t segment_length() const { return segment_length_; }
+  std::size_t alphabet_size() const { return alphabet_size_; }
+
+  /// Striped rows for database residue `code`:
+  /// row(code)[s * kLanes16 + lane] == score of query position
+  /// lane*segLen + s (or 0 if that position is padding).
+  const std::int16_t* row(std::uint8_t code) const {
+    return data_.data() +
+           static_cast<std::size_t>(code) * segment_length_ * kLanes16;
+  }
+
+ private:
+  std::size_t length_;
+  std::size_t segment_length_;
+  std::size_t alphabet_size_;
+  std::vector<std::int16_t> data_;
+};
+
+/// Byte-precision striped profile: scores stored *biased* (score − min_score
+/// of the matrix) so every entry is unsigned; kLanes8 = 16 query segments.
+/// Padding positions store exactly `bias` (true score 0), which cannot raise
+/// the maximum. Used by the 8-bit kernel tier (see kernel_striped8.h).
+class StripedProfileU8 {
+ public:
+  StripedProfileU8(std::span<const std::uint8_t> query,
+                   const ScoreMatrix& matrix);
+
+  std::size_t query_length() const { return length_; }
+  std::size_t segment_length() const { return segment_length_; }
+  /// The bias added to every stored score (= −min matrix score, ≥ 0).
+  std::uint8_t bias() const { return bias_; }
+
+  /// row(code)[s * kLanes8 + lane] == biased score of query position
+  /// lane*segLen + s against database residue `code`.
+  const std::uint8_t* row(std::uint8_t code) const {
+    return data_.data() +
+           static_cast<std::size_t>(code) * segment_length_ * kLanes8;
+  }
+
+ private:
+  std::size_t length_;
+  std::size_t segment_length_;
+  std::uint8_t bias_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace swdual::align

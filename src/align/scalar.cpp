@@ -1,0 +1,90 @@
+#include "align/scalar.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.h"
+
+namespace swdual::align {
+
+ScoreResult sw_score_linear(std::span<const std::uint8_t> query,
+                            std::span<const std::uint8_t> db,
+                            const ScoreMatrix& matrix, int gap) {
+  SWDUAL_REQUIRE(gap >= 0, "gap penalty is a positive magnitude");
+  ScoreResult result;
+  result.cells = static_cast<std::uint64_t>(query.size()) * db.size();
+  if (query.empty() || db.empty()) return result;
+
+  // One row of H, rolled over the query dimension.
+  std::vector<int> row(db.size() + 1, 0);
+  for (std::size_t i = 1; i <= query.size(); ++i) {
+    int diag = 0;  // H[i-1][j-1]
+    const std::int8_t* scores = matrix.row(query[i - 1]);
+    for (std::size_t j = 1; j <= db.size(); ++j) {
+      const int up = row[j];        // H[i-1][j]
+      const int left = row[j - 1];  // H[i][j-1] (already updated this row)
+      int h = diag + scores[db[j - 1]];
+      h = std::max(h, up - gap);
+      h = std::max(h, left - gap);
+      h = std::max(h, 0);
+      diag = row[j];
+      row[j] = h;
+      if (h > result.score) {
+        result.score = h;
+        result.end_query = i;
+        result.end_db = j;
+      }
+    }
+  }
+  return result;
+}
+
+ScoreResult gotoh_score(std::span<const std::uint8_t> query,
+                        std::span<const std::uint8_t> db,
+                        const ScoringScheme& scheme) {
+  const ScoreMatrix& matrix = *scheme.matrix;
+  const int gs = scheme.gap.open;
+  const int ge = scheme.gap.extend;
+  SWDUAL_REQUIRE(gs >= 0 && ge >= 0, "gap penalties are positive magnitudes");
+
+  ScoreResult result;
+  result.cells = static_cast<std::uint64_t>(query.size()) * db.size();
+  if (query.empty() || db.empty()) return result;
+
+  // Rolling rows of H and F (Eq. 4: F looks at row i-1, so it rolls over
+  // the query dimension); E (Eq. 3: looks at column j-1) is carried across
+  // the inner loop.
+  const std::size_t n = db.size();
+  std::vector<int> h_row(n + 1, 0);
+  std::vector<int> f_row(n + 1, 0);
+  constexpr int kNegInf = -(1 << 28);
+  std::fill(f_row.begin(), f_row.end(), kNegInf);
+
+  for (std::size_t i = 1; i <= query.size(); ++i) {
+    const std::int8_t* scores = matrix.row(query[i - 1]);
+    int diag = 0;       // H[i-1][j-1]
+    int h_left = 0;     // H[i][j-1]
+    int e = kNegInf;    // E[i][j-1], reset at each new row
+    for (std::size_t j = 1; j <= n; ++j) {
+      // F: vertical gap, Eq. (4) — F[i][j] = -Ge + max(F[i-1][j], H[i-1][j] - Gs).
+      const int f = std::max(f_row[j] - ge, h_row[j] - gs - ge);
+      // E: horizontal gap, Eq. (3) — E[i][j] = -Ge + max(E[i][j-1], H[i][j-1] - Gs).
+      e = std::max(e - ge, h_left - gs - ge);
+      // H, Eq. (2).
+      int h = diag + scores[db[j - 1]];
+      h = std::max({h, e, f, 0});
+      diag = h_row[j];
+      h_row[j] = h;
+      f_row[j] = f;
+      h_left = h;
+      if (h > result.score) {
+        result.score = h;
+        result.end_query = i;
+        result.end_db = j;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace swdual::align

@@ -1,0 +1,36 @@
+// Scalar (non-SIMD) Smith–Waterman kernels.
+//
+// These are the reference oracles: every vectorized kernel is property-tested
+// against gotoh_score(), and they also serve as the portable fallback when a
+// saturating SIMD kernel overflows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/scoring.h"
+
+namespace swdual::align {
+
+/// Result of a score-only local alignment.
+struct ScoreResult {
+  int score = 0;           ///< similarity (max over all local alignments)
+  std::size_t end_query = 0;  ///< 1-based query index of the best cell
+  std::size_t end_db = 0;     ///< 1-based database index of the best cell
+  std::uint64_t cells = 0;    ///< DP cells computed (for GCUPS accounting)
+};
+
+/// Smith–Waterman with the linear gap model of Equation (1): every gap
+/// character costs `gap` (a positive magnitude). O(m·n) time, O(n) space.
+ScoreResult sw_score_linear(std::span<const std::uint8_t> query,
+                            std::span<const std::uint8_t> db,
+                            const ScoreMatrix& matrix, int gap);
+
+/// Smith–Waterman with the Gotoh affine-gap model of Equations (2)–(4):
+/// the first residue of a gap costs Gs+Ge, each further residue Ge.
+/// O(m·n) time, O(n) space. This is the project's scoring oracle.
+ScoreResult gotoh_score(std::span<const std::uint8_t> query,
+                        std::span<const std::uint8_t> db,
+                        const ScoringScheme& scheme);
+
+}  // namespace swdual::align

@@ -1,0 +1,132 @@
+#include "align/search.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "align/kernel_interseq.h"
+#include "align/kernel_striped.h"
+#include "align/kernel_striped8.h"
+#include "align/scalar.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace swdual::align {
+
+const char* kernel_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar: return "scalar";
+    case KernelKind::kStriped: return "striped";
+    case KernelKind::kStriped8: return "striped8";
+    case KernelKind::kInterSeq: return "interseq";
+  }
+  return "unknown";
+}
+
+std::vector<SearchHit> SearchResult::top(std::size_t k) const {
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    hits.push_back({i, scores[i]});
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const SearchHit& a, const SearchHit& b) {
+                     return a.score > b.score;
+                   });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+DbView make_db_view(const std::vector<seq::Sequence>& records) {
+  DbView view;
+  view.reserve(records.size());
+  for (const seq::Sequence& record : records) {
+    view.emplace_back(record.residues.data(), record.residues.size());
+  }
+  return view;
+}
+
+SearchResult search_database(std::span<const std::uint8_t> query,
+                             const DbView& db, const ScoringScheme& scheme,
+                             KernelKind kernel) {
+  SearchResult result;
+  result.scores.assign(db.size(), 0);
+  WallTimer timer;
+
+  switch (kernel) {
+    case KernelKind::kScalar: {
+      for (std::size_t i = 0; i < db.size(); ++i) {
+        const ScoreResult r = gotoh_score(query, db[i], scheme);
+        result.scores[i] = r.score;
+        result.cells += r.cells;
+      }
+      break;
+    }
+    case KernelKind::kStriped: {
+      if (query.empty()) break;
+      const StripedProfile profile(query, *scheme.matrix);
+      for (std::size_t i = 0; i < db.size(); ++i) {
+        const StripedResult r = striped_score(profile, db[i], scheme.gap);
+        result.cells += r.cells;
+        if (r.overflow) {
+          result.scores[i] = gotoh_score(query, db[i], scheme).score;
+          ++result.overflow_rescans;
+        } else {
+          result.scores[i] = r.score;
+        }
+      }
+      break;
+    }
+    case KernelKind::kStriped8: {
+      // Tiered precision: bytes first, escalate saturated pairs to 16 bits,
+      // and to the 32-bit oracle if even those saturate.
+      if (query.empty()) break;
+      const StripedProfileU8 profile8(query, *scheme.matrix);
+      std::unique_ptr<StripedProfile> profile16;  // built on first escalation
+      for (std::size_t i = 0; i < db.size(); ++i) {
+        const StripedResult r8 = striped8_score(profile8, db[i], scheme.gap);
+        result.cells += r8.cells;
+        if (!r8.overflow) {
+          result.scores[i] = r8.score;
+          continue;
+        }
+        ++result.overflow_rescans;
+        if (!profile16) {
+          profile16 = std::make_unique<StripedProfile>(query, *scheme.matrix);
+        }
+        const StripedResult r16 =
+            striped_score(*profile16, db[i], scheme.gap);
+        result.scores[i] = r16.overflow
+                               ? gotoh_score(query, db[i], scheme).score
+                               : r16.score;
+      }
+      break;
+    }
+    case KernelKind::kInterSeq: {
+      const InterSeqResult r = interseq_scores(query, db, scheme);
+      result.cells = r.cells;
+      result.scores = r.scores;
+      for (std::size_t i = 0; i < db.size(); ++i) {
+        if (r.overflow[i]) {
+          result.scores[i] = gotoh_score(query, db[i], scheme).score;
+          ++result.overflow_rescans;
+        }
+      }
+      break;
+    }
+  }
+
+  result.seconds = timer.seconds();
+  return result;
+}
+
+SearchResult search_database(const seq::Sequence& query,
+                             const std::vector<seq::Sequence>& db,
+                             const ScoringScheme& scheme, KernelKind kernel) {
+  const DbView view = make_db_view(db);
+  return search_database(
+      std::span<const std::uint8_t>(query.residues.data(),
+                                    query.residues.size()),
+      view, scheme, kernel);
+}
+
+}  // namespace swdual::align

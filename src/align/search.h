@@ -1,0 +1,69 @@
+// Database-search driver: one query against many database sequences.
+//
+// This is the "fine-grained" layer of the paper's §II-C: a single task
+// (query vs whole database) is accelerated internally by the selected
+// kernel, while the task-level parallelism across queries is handled by the
+// scheduler/master in src/core. Saturating SIMD kernels that overflow are
+// transparently recomputed with the 32-bit scalar oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "align/scoring.h"
+#include "seq/sequence.h"
+
+namespace swdual::align {
+
+/// Kernel selection for one database search.
+enum class KernelKind {
+  kScalar,    ///< 32-bit Gotoh oracle (reference, no SIMD)
+  kStriped,   ///< Farrar striped SIMD, 16-bit (STRIPED/SWPS3 class)
+  kStriped8,  ///< Farrar striped SIMD, 8-bit tier with 16-bit/32-bit rescan
+  kInterSeq,  ///< Rognes inter-sequence SIMD (SWIPE class)
+};
+
+/// Printable kernel name.
+const char* kernel_name(KernelKind kind);
+
+/// One scored database record.
+struct SearchHit {
+  std::size_t db_index = 0;
+  int score = 0;
+};
+
+/// Full result of one query-vs-database task.
+struct SearchResult {
+  std::vector<int> scores;   ///< score per database record, database order
+  std::uint64_t cells = 0;   ///< DP cells computed
+  double seconds = 0.0;      ///< wall-clock kernel time
+  std::size_t overflow_rescans = 0;  ///< pairs recomputed at 32 bits
+
+  /// Billion cell updates per second (the paper's GCUPS metric).
+  double gcups() const {
+    return seconds > 0 ? static_cast<double>(cells) / seconds / 1e9 : 0.0;
+  }
+
+  /// The k best-scoring records, ties broken by database order.
+  std::vector<SearchHit> top(std::size_t k) const;
+};
+
+/// Lightweight view of an encoded database held in memory.
+using DbView = std::vector<std::span<const std::uint8_t>>;
+
+/// Make views over a record vector (records must outlive the views).
+DbView make_db_view(const std::vector<seq::Sequence>& records);
+
+/// Score `query` against every database sequence with the chosen kernel.
+SearchResult search_database(std::span<const std::uint8_t> query,
+                             const DbView& db, const ScoringScheme& scheme,
+                             KernelKind kernel);
+
+/// Convenience overload for Sequence inputs.
+SearchResult search_database(const seq::Sequence& query,
+                             const std::vector<seq::Sequence>& db,
+                             const ScoringScheme& scheme, KernelKind kernel);
+
+}  // namespace swdual::align

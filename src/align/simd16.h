@@ -1,0 +1,126 @@
+// Portable 8-lane 16-bit signed SIMD vector.
+//
+// One code path for both SIMD kernels: compiled to SSE2 intrinsics on x86
+// and to plain (auto-vectorizable) loops elsewhere, so kernel results are
+// bit-identical across platforms. Arithmetic is *saturating* — kernels
+// detect saturation at INT16_MAX and fall back to the 32-bit scalar oracle.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define SWDUAL_SIMD_SSE2 1
+#endif
+
+namespace swdual::align {
+
+struct V16 {
+#if defined(SWDUAL_SIMD_SSE2)
+  __m128i v;
+
+  static V16 zero() { return {_mm_setzero_si128()}; }
+  static V16 splat(std::int16_t x) { return {_mm_set1_epi16(x)}; }
+  static V16 load(const std::int16_t* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  void store(std::int16_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  /// Saturating lane-wise addition.
+  friend V16 adds(V16 a, V16 b) { return {_mm_adds_epi16(a.v, b.v)}; }
+  /// Saturating lane-wise subtraction.
+  friend V16 subs(V16 a, V16 b) { return {_mm_subs_epi16(a.v, b.v)}; }
+  friend V16 max(V16 a, V16 b) { return {_mm_max_epi16(a.v, b.v)}; }
+  /// True if any lane of a is strictly greater than the matching lane of b.
+  friend bool any_gt(V16 a, V16 b) {
+    return _mm_movemask_epi8(_mm_cmpgt_epi16(a.v, b.v)) != 0;
+  }
+  /// Shift lanes towards higher indices by one; lane 0 becomes `fill`.
+  V16 shift_lanes_up(std::int16_t fill) const {
+    V16 out{_mm_slli_si128(v, 2)};
+    out.v = _mm_insert_epi16(out.v, fill, 0);
+    return out;
+  }
+  std::int16_t lane(std::size_t i) const {
+    alignas(16) std::int16_t tmp[8];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v);
+    return tmp[i];
+  }
+  /// Maximum across all 8 lanes.
+  std::int16_t hmax() const {
+    alignas(16) std::int16_t tmp[8];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v);
+    std::int16_t best = tmp[0];
+    for (int i = 1; i < 8; ++i) best = std::max(best, tmp[i]);
+    return best;
+  }
+#else
+  std::array<std::int16_t, 8> v;
+
+  static std::int16_t sat(int x) {
+    return static_cast<std::int16_t>(std::clamp(x, -32768, 32767));
+  }
+  static V16 zero() { return splat(0); }
+  static V16 splat(std::int16_t x) {
+    V16 out;
+    out.v.fill(x);
+    return out;
+  }
+  static V16 load(const std::int16_t* p) {
+    V16 out;
+    std::copy(p, p + 8, out.v.begin());
+    return out;
+  }
+  void store(std::int16_t* p) const { std::copy(v.begin(), v.end(), p); }
+  friend V16 adds(V16 a, V16 b) {
+    V16 out;
+    for (int i = 0; i < 8; ++i) out.v[i] = sat(int(a.v[i]) + b.v[i]);
+    return out;
+  }
+  friend V16 subs(V16 a, V16 b) {
+    V16 out;
+    for (int i = 0; i < 8; ++i) out.v[i] = sat(int(a.v[i]) - b.v[i]);
+    return out;
+  }
+  friend V16 max(V16 a, V16 b) {
+    V16 out;
+    for (int i = 0; i < 8; ++i) out.v[i] = std::max(a.v[i], b.v[i]);
+    return out;
+  }
+  friend bool any_gt(V16 a, V16 b) {
+    for (int i = 0; i < 8; ++i) {
+      if (a.v[i] > b.v[i]) return true;
+    }
+    return false;
+  }
+  V16 shift_lanes_up(std::int16_t fill) const {
+    V16 out;
+    out.v[0] = fill;
+    for (int i = 1; i < 8; ++i) out.v[i] = v[i - 1];
+    return out;
+  }
+  std::int16_t lane(std::size_t i) const { return v[i]; }
+  std::int16_t hmax() const {
+    std::int16_t best = v[0];
+    for (int i = 1; i < 8; ++i) best = std::max(best, v[i]);
+    return best;
+  }
+#endif
+
+  /// Insert a value into one lane (slow path; used for gathers).
+  void set_lane(std::size_t i, std::int16_t x) {
+#if defined(SWDUAL_SIMD_SSE2)
+    alignas(16) std::int16_t tmp[8];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v);
+    tmp[i] = x;
+    v = _mm_load_si128(reinterpret_cast<const __m128i*>(tmp));
+#else
+    v[i] = x;
+#endif
+  }
+};
+
+}  // namespace swdual::align

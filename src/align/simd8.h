@@ -1,0 +1,114 @@
+// Portable 16-lane 8-bit unsigned SIMD vector (the byte-precision tier).
+//
+// Farrar's implementation (and SWIPE, and CUDASW++) runs most alignments in
+// 8-bit *unsigned* arithmetic with a bias: substitution scores are stored as
+// score+bias >= 0, and saturating-at-zero subtraction provides the local
+// alignment's max(…, 0) for free. Pairs whose score approaches the 8-bit
+// ceiling are redone at 16 bits. SSE2 on x86, plain loops elsewhere.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define SWDUAL_SIMD8_SSE2 1
+#endif
+
+namespace swdual::align {
+
+inline constexpr std::size_t kLanes8 = 16;
+
+struct V8 {
+#if defined(SWDUAL_SIMD8_SSE2)
+  __m128i v;
+
+  static V8 zero() { return {_mm_setzero_si128()}; }
+  static V8 splat(std::uint8_t x) {
+    return {_mm_set1_epi8(static_cast<char>(x))};
+  }
+  static V8 load(const std::uint8_t* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  void store(std::uint8_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  /// Saturating unsigned addition (clamps at 255).
+  friend V8 adds(V8 a, V8 b) { return {_mm_adds_epu8(a.v, b.v)}; }
+  /// Saturating unsigned subtraction (clamps at 0 — the free max(…,0)).
+  friend V8 subs(V8 a, V8 b) { return {_mm_subs_epu8(a.v, b.v)}; }
+  friend V8 max(V8 a, V8 b) { return {_mm_max_epu8(a.v, b.v)}; }
+  /// Any lane of a strictly greater than the matching lane of b.
+  friend bool any_gt(V8 a, V8 b) {
+    // a > b  <=>  subs(a, b) != 0 in that lane.
+    const __m128i diff = _mm_subs_epu8(a.v, b.v);
+    return _mm_movemask_epi8(_mm_cmpeq_epi8(diff, _mm_setzero_si128())) !=
+           0xFFFF;
+  }
+  /// Shift lanes towards higher indices by one byte; lane 0 becomes 0.
+  V8 shift_lanes_up() const { return {_mm_slli_si128(v, 1)}; }
+  std::uint8_t lane(std::size_t i) const {
+    alignas(16) std::uint8_t tmp[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v);
+    return tmp[i];
+  }
+  std::uint8_t hmax() const {
+    alignas(16) std::uint8_t tmp[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v);
+    return *std::max_element(tmp, tmp + 16);
+  }
+#else
+  std::array<std::uint8_t, 16> v;
+
+  static std::uint8_t sat_add(int a, int b) {
+    return static_cast<std::uint8_t>(std::min(255, a + b));
+  }
+  static std::uint8_t sat_sub(int a, int b) {
+    return static_cast<std::uint8_t>(std::max(0, a - b));
+  }
+  static V8 zero() { return splat(0); }
+  static V8 splat(std::uint8_t x) {
+    V8 out;
+    out.v.fill(x);
+    return out;
+  }
+  static V8 load(const std::uint8_t* p) {
+    V8 out;
+    std::copy(p, p + 16, out.v.begin());
+    return out;
+  }
+  void store(std::uint8_t* p) const { std::copy(v.begin(), v.end(), p); }
+  friend V8 adds(V8 a, V8 b) {
+    V8 out;
+    for (int i = 0; i < 16; ++i) out.v[i] = sat_add(a.v[i], b.v[i]);
+    return out;
+  }
+  friend V8 subs(V8 a, V8 b) {
+    V8 out;
+    for (int i = 0; i < 16; ++i) out.v[i] = sat_sub(a.v[i], b.v[i]);
+    return out;
+  }
+  friend V8 max(V8 a, V8 b) {
+    V8 out;
+    for (int i = 0; i < 16; ++i) out.v[i] = std::max(a.v[i], b.v[i]);
+    return out;
+  }
+  friend bool any_gt(V8 a, V8 b) {
+    for (int i = 0; i < 16; ++i) {
+      if (a.v[i] > b.v[i]) return true;
+    }
+    return false;
+  }
+  V8 shift_lanes_up() const {
+    V8 out;
+    out.v[0] = 0;
+    for (int i = 1; i < 16; ++i) out.v[i] = v[i - 1];
+    return out;
+  }
+  std::uint8_t lane(std::size_t i) const { return v[i]; }
+  std::uint8_t hmax() const { return *std::max_element(v.begin(), v.end()); }
+#endif
+};
+
+}  // namespace swdual::align

@@ -1,0 +1,248 @@
+#include "align/traceback.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.h"
+
+namespace swdual::align {
+
+namespace {
+/// Dense (rows+1) x (cols+1) int matrix with flat storage.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, int fill)
+      : cols_(cols + 1), data_((rows + 1) * (cols + 1), fill) {}
+  int& at(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  int at(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+ private:
+  std::size_t cols_;
+  std::vector<int> data_;
+};
+
+constexpr int kNegInf = -(1 << 28);
+}  // namespace
+
+Alignment nw_align_linear(std::span<const std::uint8_t> query,
+                          std::span<const std::uint8_t> db,
+                          const ScoreMatrix& matrix, int gap_penalty) {
+  const std::size_t m = query.size();
+  const std::size_t n = db.size();
+  const seq::Alphabet& alphabet = seq::Alphabet::get(matrix.alphabet());
+
+  Matrix h(m, n, 0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    h.at(i, 0) = static_cast<int>(i) * gap_penalty;
+  }
+  for (std::size_t j = 1; j <= n; ++j) {
+    h.at(0, j) = static_cast<int>(j) * gap_penalty;
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::int8_t* scores = matrix.row(query[i - 1]);
+    for (std::size_t j = 1; j <= n; ++j) {
+      const int diag = h.at(i - 1, j - 1) + scores[db[j - 1]];
+      const int up = h.at(i - 1, j) + gap_penalty;
+      const int left = h.at(i, j - 1) + gap_penalty;
+      h.at(i, j) = std::max({diag, up, left});
+    }
+  }
+
+  Alignment alignment;
+  alignment.score = h.at(m, n);
+  alignment.query_begin = m > 0 ? 1 : 0;
+  alignment.query_end = m;
+  alignment.db_begin = n > 0 ? 1 : 0;
+  alignment.db_end = n;
+
+  std::string aq, ad;
+  std::size_t i = m, j = n;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 &&
+        h.at(i, j) ==
+            h.at(i - 1, j - 1) + matrix.score(query[i - 1], db[j - 1])) {
+      aq.push_back(alphabet.decode(query[i - 1]));
+      ad.push_back(alphabet.decode(db[j - 1]));
+      --i;
+      --j;
+    } else if (i > 0 && h.at(i, j) == h.at(i - 1, j) + gap_penalty) {
+      aq.push_back(alphabet.decode(query[i - 1]));
+      ad.push_back('-');
+      --i;
+    } else {
+      SWDUAL_CHECK(j > 0 && h.at(i, j) == h.at(i, j - 1) + gap_penalty,
+                   "NW traceback lost the optimal path");
+      aq.push_back('-');
+      ad.push_back(alphabet.decode(db[j - 1]));
+      --j;
+    }
+  }
+  std::reverse(aq.begin(), aq.end());
+  std::reverse(ad.begin(), ad.end());
+  alignment.aligned_query = std::move(aq);
+  alignment.aligned_db = std::move(ad);
+  return alignment;
+}
+
+Alignment nw_align_affine(std::span<const std::uint8_t> query,
+                          std::span<const std::uint8_t> db,
+                          const ScoringScheme& scheme) {
+  const ScoreMatrix& matrix = *scheme.matrix;
+  const int gs = scheme.gap.open;
+  const int ge = scheme.gap.extend;
+  SWDUAL_REQUIRE(gs >= 0 && ge >= 0, "gap penalties are positive magnitudes");
+  const std::size_t m = query.size();
+  const std::size_t n = db.size();
+  const seq::Alphabet& alphabet = seq::Alphabet::get(matrix.alphabet());
+
+  Matrix h(m, n, kNegInf), e(m, n, kNegInf), f(m, n, kNegInf);
+  h.at(0, 0) = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    e.at(0, j) = -(gs + static_cast<int>(j) * ge);
+    h.at(0, j) = e.at(0, j);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    f.at(i, 0) = -(gs + static_cast<int>(i) * ge);
+    h.at(i, 0) = f.at(i, 0);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::int8_t* scores = matrix.row(query[i - 1]);
+    for (std::size_t j = 1; j <= n; ++j) {
+      e.at(i, j) = std::max(e.at(i, j - 1) - ge, h.at(i, j - 1) - gs - ge);
+      f.at(i, j) = std::max(f.at(i - 1, j) - ge, h.at(i - 1, j) - gs - ge);
+      const int diag = h.at(i - 1, j - 1) == kNegInf
+                           ? kNegInf
+                           : h.at(i - 1, j - 1) + scores[db[j - 1]];
+      h.at(i, j) = std::max({diag, e.at(i, j), f.at(i, j)});
+    }
+  }
+
+  Alignment alignment;
+  alignment.score = h.at(m, n);
+  alignment.query_begin = m > 0 ? 1 : 0;
+  alignment.query_end = m;
+  alignment.db_begin = n > 0 ? 1 : 0;
+  alignment.db_end = n;
+
+  std::string aq, ad;
+  std::size_t i = m, j = n;
+  enum class State { kH, kE, kF } state = State::kH;
+  while (i > 0 || j > 0) {
+    if (state == State::kH) {
+      const int value = h.at(i, j);
+      if (j > 0 && value == e.at(i, j)) {
+        state = State::kE;
+      } else if (i > 0 && value == f.at(i, j)) {
+        state = State::kF;
+      } else {
+        SWDUAL_CHECK(i > 0 && j > 0 &&
+                         value == h.at(i - 1, j - 1) +
+                                      matrix.score(query[i - 1], db[j - 1]),
+                     "NW affine traceback lost the optimal path");
+        aq.push_back(alphabet.decode(query[i - 1]));
+        ad.push_back(alphabet.decode(db[j - 1]));
+        --i;
+        --j;
+      }
+    } else if (state == State::kE) {
+      aq.push_back('-');
+      ad.push_back(alphabet.decode(db[j - 1]));
+      const bool opened = e.at(i, j) == h.at(i, j - 1) - gs - ge;
+      --j;
+      if (opened) state = State::kH;
+    } else {
+      aq.push_back(alphabet.decode(query[i - 1]));
+      ad.push_back('-');
+      const bool opened = f.at(i, j) == h.at(i - 1, j) - gs - ge;
+      --i;
+      if (opened) state = State::kH;
+    }
+  }
+  std::reverse(aq.begin(), aq.end());
+  std::reverse(ad.begin(), ad.end());
+  alignment.aligned_query = std::move(aq);
+  alignment.aligned_db = std::move(ad);
+  return alignment;
+}
+
+Alignment sw_align_affine(std::span<const std::uint8_t> query,
+                          std::span<const std::uint8_t> db,
+                          const ScoringScheme& scheme) {
+  const ScoreMatrix& matrix = *scheme.matrix;
+  const int gs = scheme.gap.open;
+  const int ge = scheme.gap.extend;
+  SWDUAL_REQUIRE(gs >= 0 && ge >= 0, "gap penalties are positive magnitudes");
+  const std::size_t m = query.size();
+  const std::size_t n = db.size();
+  const seq::Alphabet& alphabet = seq::Alphabet::get(matrix.alphabet());
+
+  Matrix h(m, n, 0), e(m, n, kNegInf), f(m, n, kNegInf);
+  int best = 0;
+  std::size_t best_i = 0, best_j = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::int8_t* scores = matrix.row(query[i - 1]);
+    for (std::size_t j = 1; j <= n; ++j) {
+      e.at(i, j) = std::max(e.at(i, j - 1) - ge, h.at(i, j - 1) - gs - ge);
+      f.at(i, j) = std::max(f.at(i - 1, j) - ge, h.at(i - 1, j) - gs - ge);
+      const int diag = h.at(i - 1, j - 1) + scores[db[j - 1]];
+      const int value = std::max({diag, e.at(i, j), f.at(i, j), 0});
+      h.at(i, j) = value;
+      if (value > best) {
+        best = value;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+
+  Alignment alignment;
+  alignment.score = best;
+  if (best == 0) return alignment;  // empty local alignment
+
+  std::string aq, ad;
+  std::size_t i = best_i, j = best_j;
+  enum class State { kH, kE, kF } state = State::kH;
+  while (true) {
+    if (state == State::kH) {
+      const int value = h.at(i, j);
+      if (value == 0) break;
+      if (value == e.at(i, j)) {
+        state = State::kE;
+      } else if (value == f.at(i, j)) {
+        state = State::kF;
+      } else {
+        SWDUAL_CHECK(
+            value ==
+                h.at(i - 1, j - 1) + matrix.score(query[i - 1], db[j - 1]),
+            "SW traceback lost the optimal path");
+        aq.push_back(alphabet.decode(query[i - 1]));
+        ad.push_back(alphabet.decode(db[j - 1]));
+        --i;
+        --j;
+      }
+    } else if (state == State::kE) {
+      aq.push_back('-');
+      ad.push_back(alphabet.decode(db[j - 1]));
+      const bool opened = e.at(i, j) == h.at(i, j - 1) - gs - ge;
+      --j;
+      if (opened) state = State::kH;
+    } else {
+      aq.push_back(alphabet.decode(query[i - 1]));
+      ad.push_back('-');
+      const bool opened = f.at(i, j) == h.at(i - 1, j) - gs - ge;
+      --i;
+      if (opened) state = State::kH;
+    }
+  }
+  std::reverse(aq.begin(), aq.end());
+  std::reverse(ad.begin(), ad.end());
+  alignment.aligned_query = std::move(aq);
+  alignment.aligned_db = std::move(ad);
+  alignment.query_begin = i + 1;
+  alignment.query_end = best_i;
+  alignment.db_begin = j + 1;
+  alignment.db_end = best_j;
+  return alignment;
+}
+
+}  // namespace swdual::align

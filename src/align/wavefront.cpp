@@ -1,0 +1,168 @@
+#include "align/wavefront.h"
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "util/error.h"
+
+namespace swdual::align {
+
+namespace {
+
+constexpr int kNegInf = -(1 << 28);
+
+/// Mutable shared state of one wavefront execution.
+struct WavefrontState {
+  // Bottom boundaries, indexed by global column (1-based like the DP):
+  // values of H and F on the last computed row, per column.
+  std::vector<int> h_bottom;
+  std::vector<int> f_bottom;
+  // Right boundaries per row-chunk: H and E at the last computed column for
+  // each row inside the chunk. Only tile (r, c) and (r, c+1) touch row r's
+  // buffers, and they are wave-ordered, so no locking is needed.
+  std::vector<std::vector<int>> h_right;
+  std::vector<std::vector<int>> e_right;
+  // corner(r, c): H at (top-left-1, top-left-1) of tile (r, c).
+  std::vector<int> corners;  // (chunks+1) x (blocks+1), row-major
+  std::size_t corner_stride = 0;
+
+  int& corner(std::size_t r, std::size_t c) {
+    return corners[r * corner_stride + c];
+  }
+};
+
+struct TileResult {
+  int best = 0;
+  std::size_t end_query = 0;
+  std::size_t end_db = 0;
+};
+
+}  // namespace
+
+ScoreResult wavefront_gotoh_score(std::span<const std::uint8_t> query,
+                                  std::span<const std::uint8_t> db,
+                                  const ScoringScheme& scheme,
+                                  ThreadPool& pool,
+                                  const WavefrontConfig& config) {
+  SWDUAL_REQUIRE(config.row_chunk >= 1, "row chunk must be >= 1");
+  SWDUAL_REQUIRE(config.col_blocks >= 1, "need at least one column block");
+  const ScoreMatrix& matrix = *scheme.matrix;
+  const int gs = scheme.gap.open;
+  const int ge = scheme.gap.extend;
+  SWDUAL_REQUIRE(gs >= 0 && ge >= 0, "gap penalties are positive magnitudes");
+
+  ScoreResult result;
+  result.cells = static_cast<std::uint64_t>(query.size()) * db.size();
+  if (query.empty() || db.empty()) return result;
+
+  const std::size_t m = query.size();
+  const std::size_t n = db.size();
+  const std::size_t chunks = (m + config.row_chunk - 1) / config.row_chunk;
+  const std::size_t requested_blocks = std::min(config.col_blocks, n);
+  const std::size_t block_width = (n + requested_blocks - 1) / requested_blocks;
+  // Rounding block_width up can cover n with fewer blocks than requested;
+  // use the effective count so no tile starts beyond the last column.
+  const std::size_t blocks = (n + block_width - 1) / block_width;
+
+  WavefrontState state;
+  state.h_bottom.assign(n + 1, 0);
+  state.f_bottom.assign(n + 1, kNegInf);
+  state.h_right.assign(chunks, {});
+  state.e_right.assign(chunks, {});
+  state.corner_stride = blocks + 1;
+  state.corners.assign((chunks + 1) * (blocks + 1), 0);
+  for (std::size_t r = 0; r < chunks; ++r) {
+    const std::size_t row_begin = r * config.row_chunk;
+    const std::size_t rows = std::min(config.row_chunk, m - row_begin);
+    state.h_right[r].assign(rows, 0);        // H boundary column is 0
+    state.e_right[r].assign(rows, kNegInf);  // E undefined at column 0
+  }
+
+  // One tile: rows [row_begin, row_begin+rows), cols [col_begin, +cols).
+  const auto run_tile = [&](std::size_t r, std::size_t c) -> TileResult {
+    const std::size_t row_begin = r * config.row_chunk;
+    const std::size_t rows = std::min(config.row_chunk, m - row_begin);
+    const std::size_t col_begin = c * block_width;
+    const std::size_t cols = std::min(block_width, n - col_begin);
+
+    const int incoming_corner = state.corner(r, c);
+
+    // Local copies of the top boundary for this tile's columns.
+    // h_top[j] = H(row_begin-1, col_begin+j), f_top likewise.
+    std::vector<int> h_row(cols + 1);
+    std::vector<int> f_row(cols + 1);
+    h_row[0] = 0;  // unused slot; diag handled explicitly
+    f_row[0] = kNegInf;
+    for (std::size_t j = 0; j < cols; ++j) {
+      h_row[j + 1] = state.h_bottom[col_begin + j + 1];
+      f_row[j + 1] = state.f_bottom[col_begin + j + 1];
+    }
+
+    TileResult tile;
+    std::vector<int>& h_right = state.h_right[r];
+    std::vector<int>& e_right = state.e_right[r];
+    int corner = incoming_corner;  // H(top-1, left-1) for the current row
+
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::uint8_t q_code = query[row_begin + i];
+      const std::int8_t* scores = matrix.row(q_code);
+      // Left boundary for this row: H and E at col_begin-1.
+      int diag = corner;             // H(global i-1, col_begin-1)
+      corner = h_right[i];           // becomes the next row's corner
+      int h_left = h_right[i];
+      int e = e_right[i];
+      for (std::size_t j = 0; j < cols; ++j) {
+        const int f =
+            std::max(f_row[j + 1] - ge, h_row[j + 1] - gs - ge);
+        e = std::max(e - ge, h_left - gs - ge);
+        int h = diag + scores[db[col_begin + j]];
+        h = std::max({h, e, f, 0});
+        diag = h_row[j + 1];
+        h_row[j + 1] = h;
+        f_row[j + 1] = f;
+        h_left = h;
+        if (h > tile.best) {
+          tile.best = h;
+          tile.end_query = row_begin + i + 1;
+          tile.end_db = col_begin + j + 1;
+        }
+      }
+      h_right[i] = h_left;  // H at this tile's last column, row i
+      e_right[i] = e;
+    }
+
+    // Publish the new bottom boundary for (r+1, c) and the bottom-right
+    // corner for (r+1, c+1). Only this tile writes that corner slot, and
+    // its reader runs two waves later, so no synchronization is needed.
+    for (std::size_t j = 0; j < cols; ++j) {
+      state.h_bottom[col_begin + j + 1] = h_row[j + 1];
+      state.f_bottom[col_begin + j + 1] = f_row[j + 1];
+    }
+    state.corner(r + 1, c + 1) = h_row[cols];
+    return tile;
+  };
+
+  // Wavefront sweep: tiles with r + c == wave are independent.
+  TileResult best;
+  for (std::size_t wave = 0; wave < chunks + blocks - 1; ++wave) {
+    std::vector<std::future<TileResult>> futures;
+    for (std::size_t c = 0; c < blocks; ++c) {
+      if (wave < c) continue;
+      const std::size_t r = wave - c;
+      if (r >= chunks) continue;
+      futures.push_back(pool.submit(run_tile, r, c));
+    }
+    for (auto& future : futures) {
+      const TileResult tile = future.get();
+      if (tile.best > best.best) best = tile;
+    }
+  }
+
+  result.score = best.best;
+  result.end_query = best.end_query;
+  result.end_db = best.end_db;
+  return result;
+}
+
+}  // namespace swdual::align

@@ -1,0 +1,39 @@
+// Fine-grained wavefront-parallel Smith–Waterman (paper Fig. 2).
+//
+// One DP matrix is partitioned into a grid of (row-chunk × column-block)
+// tiles. Tile (r,c) depends on (r-1,c) (bottom boundary: H and F), (r,c-1)
+// (right boundary: H and E) and (r-1,c-1) (corner H) — exactly the
+// column-based block partition of §II-C, where PE p starts once its left
+// neighbour has produced a border column. Tiles on the same anti-diagonal
+// are independent and execute concurrently on a thread pool; the pipeline
+// fills over the first (P-1) waves and drains over the last ones, which is
+// the load imbalance the paper points out ("very close to the end of the
+// matrix computation, only p3 is calculating").
+//
+// Exact: produces the same score as gotoh_score for every tiling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/scalar.h"
+#include "align/scoring.h"
+#include "util/thread_pool.h"
+
+namespace swdual::align {
+
+/// Tiling parameters for the wavefront execution.
+struct WavefrontConfig {
+  std::size_t row_chunk = 64;    ///< rows per tile (query dimension)
+  std::size_t col_blocks = 4;    ///< column blocks (one per PE in Fig. 2)
+};
+
+/// Affine-gap local alignment score computed tile-wavefront-parallel on
+/// `pool`. Exact for any configuration.
+ScoreResult wavefront_gotoh_score(std::span<const std::uint8_t> query,
+                                  std::span<const std::uint8_t> db,
+                                  const ScoringScheme& scheme,
+                                  ThreadPool& pool,
+                                  const WavefrontConfig& config = {});
+
+}  // namespace swdual::align

@@ -1,0 +1,71 @@
+#include "core/workload.h"
+
+#include <numeric>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::core {
+
+std::uint64_t Workload::total_cells() const {
+  std::uint64_t total = 0;
+  for (std::size_t q = 0; q < query_lengths.size(); ++q) total += cells(q);
+  return total;
+}
+
+Workload make_workload(const std::string& database_name,
+                       seq::QuerySetKind query_set,
+                       std::size_t scale_denominator, std::uint64_t seed) {
+  const seq::DatabaseProfile profile =
+      seq::table3_profile(database_name, scale_denominator);
+  const std::vector<std::size_t> db_lengths = seq::generate_lengths(profile);
+
+  Workload workload;
+  workload.name = database_name;
+  workload.db_sequences = db_lengths.size();
+  workload.db_residues =
+      std::accumulate(db_lengths.begin(), db_lengths.end(), std::uint64_t{0});
+
+  // Query lengths: anchored extremes plus uniform draws over the set's
+  // range. Uniform (not database-biased) sampling matches the paper's
+  // workload: its UniProt experiment implies ≈1.96e13 DP cells, i.e. a mean
+  // query length of ≈2550 aa — the mean of uniform(100, 5000) — whereas
+  // drawing from the database's log-normal lengths (median ≈300 aa) would
+  // shrink the workload ≈6×.
+  std::size_t min_len = 0, max_len = 0;
+  switch (query_set) {
+    case seq::QuerySetKind::kPaper: min_len = 100; max_len = 5000; break;
+    case seq::QuerySetKind::kHomogeneous: min_len = 4500; max_len = 5000; break;
+    case seq::QuerySetKind::kHeterogeneous: min_len = 4; max_len = 35213; break;
+  }
+  Rng rng(seed);
+  workload.query_lengths.push_back(min_len);
+  workload.query_lengths.push_back(max_len);
+  while (workload.query_lengths.size() < seq::kPaperQueryCount) {
+    workload.query_lengths.push_back(static_cast<std::size_t>(
+        rng.between(static_cast<std::int64_t>(min_len),
+                    static_cast<std::int64_t>(max_len))));
+  }
+  return workload;
+}
+
+std::vector<sched::Task> make_tasks(const Workload& workload,
+                                    const platform::WorkerClass& cpu,
+                                    const platform::WorkerClass& gpu) {
+  std::vector<sched::Task> tasks;
+  tasks.reserve(workload.query_lengths.size());
+  for (std::size_t q = 0; q < workload.query_lengths.size(); ++q) {
+    const std::uint64_t cells = workload.cells(q);
+    tasks.push_back({q, cpu.seconds_for(cells), gpu.seconds_for(cells)});
+  }
+  return tasks;
+}
+
+sched::HybridPlatform split_workers(std::size_t total_workers) {
+  SWDUAL_REQUIRE(total_workers >= 2,
+                 "SWDUAL needs at least one CPU and one GPU worker");
+  const std::size_t gpus = std::min<std::size_t>(4, total_workers - 1);
+  return {total_workers - gpus, gpus};
+}
+
+}  // namespace swdual::core

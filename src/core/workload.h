@@ -1,0 +1,52 @@
+// Paper-scale workload descriptions.
+//
+// A workload is the cost structure of one experiment: query lengths plus the
+// database residue total. That is all Smith–Waterman cost depends on, so the
+// scheduling experiments (Tables II, IV, V; Figs. 7–9) can run at the
+// paper's full database sizes without materializing half a million residue
+// strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/perf_model.h"
+#include "sched/task.h"
+#include "seq/dbgen.h"
+#include "seq/queryset.h"
+
+namespace swdual::core {
+
+struct Workload {
+  std::string name;
+  std::vector<std::size_t> query_lengths;  ///< one task per query
+  std::uint64_t db_residues = 0;
+  std::size_t db_sequences = 0;
+
+  /// DP cells of task q: |query_q| · db_residues.
+  std::uint64_t cells(std::size_t q) const {
+    return static_cast<std::uint64_t>(query_lengths[q]) * db_residues;
+  }
+  std::uint64_t total_cells() const;
+};
+
+/// Build a full-scale workload for one Table III database and one of the
+/// paper's query sets. `scale_denominator` shrinks the database (1 = paper
+/// scale); query lengths always follow the set's definition.
+Workload make_workload(const std::string& database_name,
+                       seq::QuerySetKind query_set,
+                       std::size_t scale_denominator = 1,
+                       std::uint64_t seed = 42);
+
+/// Scheduler tasks for a workload under a worker-class pair.
+std::vector<sched::Task> make_tasks(const Workload& workload,
+                                    const platform::WorkerClass& cpu,
+                                    const platform::WorkerClass& gpu);
+
+/// The paper's worker-count split (§V-A): "the first four workers used on
+/// the SWDUAL execution were GPUs and the last four workers were CPUs" —
+/// 2 workers = 1 GPU + 1 CPU, 3 = 2+1, 4 = 3+1, 5..8 = 4 GPUs + rest CPUs.
+sched::HybridPlatform split_workers(std::size_t total_workers);
+
+}  // namespace swdual::core

@@ -1,0 +1,85 @@
+// Virtual GPU device (the CUDA hardware substitution).
+//
+// No CUDA device is available in this environment, so SWDUAL's GPU workers
+// run on a software device that mirrors the externally visible behaviour of
+// a Tesla C2050 running a CUDASW++-2.0-class kernel:
+//
+//   * results  — batch Smith–Waterman scores, computed exactly, via the
+//     inter-sequence kernel (CUDASW++'s inter-task SIMT parallelization maps
+//     one alignment per CUDA thread; the 8-lane SIMD batch kernel is the
+//     same computation at narrower width);
+//   * timing   — a virtual clock charged from an SM/occupancy model: batches
+//     of alignments are waved across `sm_count × threads_per_sm` contexts at
+//     `gcups` sustained throughput, plus PCIe transfer time for query and
+//     database residues at `pcie_gbps`;
+//   * capacity — device-memory tracking; batches that exceed `memory_bytes`
+//     are split into sub-batches exactly as CUDASW++ partitions large
+//     databases.
+//
+// The scheduler and master–slave runtime treat this object exactly as they
+// would a physical accelerator: correct scores now, timing from the model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/search.h"
+#include "seq/sequence.h"
+
+namespace swdual::gpusim {
+
+/// Static description of the simulated device (defaults: Tesla C2050).
+struct DeviceSpec {
+  std::string name = "Virtual Tesla C2050";
+  std::size_t sm_count = 14;             ///< streaming multiprocessors
+  std::size_t threads_per_sm = 1024;     ///< resident threads per SM
+  double gcups = 24.9;                   ///< sustained kernel throughput
+  double pcie_gbps = 4.0;                ///< effective host↔device bandwidth
+  double kernel_launch_seconds = 20e-6;  ///< per kernel launch
+  std::uint64_t memory_bytes = 3ULL << 30;  ///< 3 GB device memory
+};
+
+/// Result of one batch submission.
+struct BatchResult {
+  std::vector<int> scores;        ///< exact SW scores, database order
+  double virtual_seconds = 0.0;   ///< modeled device time for this batch
+  std::uint64_t cells = 0;        ///< DP cells in the batch
+  std::size_t sub_batches = 1;    ///< memory-partitioning splits
+  std::uint64_t bytes_transferred = 0;
+
+  double modeled_gcups() const {
+    return virtual_seconds > 0
+               ? static_cast<double>(cells) / virtual_seconds / 1e9
+               : 0.0;
+  }
+};
+
+/// One virtual accelerator. Thread-compatible (one master thread per device,
+/// like a CUDA context).
+class VirtualGpu {
+ public:
+  explicit VirtualGpu(DeviceSpec spec = {});
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Execute one query against a database batch: exact scores plus modeled
+  /// time. The scoring scheme must use 16-bit-safe penalties (see
+  /// align::striped_score); overflowing pairs are rescanned exactly.
+  BatchResult run_batch(std::span<const std::uint8_t> query,
+                        const align::DbView& db,
+                        const align::ScoringScheme& scheme);
+
+  /// Total virtual busy time accumulated by this device.
+  double total_virtual_seconds() const { return total_virtual_seconds_; }
+
+  /// Number of batches executed.
+  std::size_t batches_run() const { return batches_run_; }
+
+ private:
+  DeviceSpec spec_;
+  double total_virtual_seconds_ = 0.0;
+  std::size_t batches_run_ = 0;
+};
+
+}  // namespace swdual::gpusim

@@ -1,0 +1,214 @@
+#include "master/master.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+
+#include "master/worker.h"
+#include "sched/baselines.h"
+#include "sched/dual_approx.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace swdual::master {
+
+const char* policy_name(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kSwdual: return "swdual";
+    case AllocationPolicy::kSwdualRefined: return "swdual-refined";
+    case AllocationPolicy::kSelfScheduling: return "self-scheduling";
+    case AllocationPolicy::kEqualPower: return "equal-power";
+    case AllocationPolicy::kProportional: return "proportional";
+    case AllocationPolicy::kLpt: return "lpt";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Map a schedule PE to the worker id convention: GPUs register first
+/// (ids 0..k-1), CPUs after (ids k..k+m-1), as in the paper's experiments.
+std::size_t worker_for(const sched::PeId& pe, std::size_t gpu_workers) {
+  return pe.type == sched::PeType::kGpu ? pe.index : gpu_workers + pe.index;
+}
+
+}  // namespace
+
+SearchReport run_search(const std::vector<seq::Sequence>& queries,
+                        const std::vector<seq::Sequence>& db,
+                        const MasterConfig& config) {
+  SWDUAL_REQUIRE(config.cpu_workers + config.gpu_workers > 0,
+                 "need at least one worker");
+  SearchReport report;
+  if (queries.empty()) return report;
+
+  WallTimer wall;
+
+  // --- Acquire sequences (Fig. 6): build views and task list. ---
+  const align::DbView db_view = align::make_db_view(db);
+  std::uint64_t db_residues = 0;
+  for (const auto& view : db_view) db_residues += view.size();
+
+  std::vector<sched::Task> tasks;
+  tasks.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::uint64_t cells =
+        static_cast<std::uint64_t>(queries[q].length()) * db_residues;
+    tasks.push_back(config.model.make_task(q, cells));
+  }
+
+  const sched::HybridPlatform platform{config.cpu_workers,
+                                       config.gpu_workers};
+
+  // --- Allocate tasks (Fig. 6, "Allocation policies"). ---
+  const bool dynamic = config.policy == AllocationPolicy::kSelfScheduling;
+  const auto plan_batch =
+      [&config, &platform](const std::vector<sched::Task>& batch) {
+        switch (config.policy) {
+          case AllocationPolicy::kSwdual:
+            return sched::swdual_schedule(batch, platform);
+          case AllocationPolicy::kSwdualRefined:
+            return sched::swdual_schedule_refined(batch, platform);
+          case AllocationPolicy::kEqualPower:
+            return sched::equal_power(batch, platform);
+          case AllocationPolicy::kProportional:
+            return sched::proportional_static(batch, platform);
+          case AllocationPolicy::kLpt:
+            return sched::lpt_hybrid(batch, platform);
+          case AllocationPolicy::kSelfScheduling:
+            break;  // decided at run time, one task per pull
+        }
+        return sched::Schedule{};
+      };
+
+  // --- Register slaves, dispatch, execute. ---
+  WorkerContext context;
+  context.queries = &queries;
+  context.db = &db_view;
+  context.scheme = config.scheme;
+  context.model = config.model;
+  context.cpu_kernel = config.cpu_kernel;
+  context.fault_injector = config.fault_injector;
+
+  ConcurrentQueue<TaskReport> results;
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (std::size_t g = 0; g < config.gpu_workers; ++g) {
+    workers.push_back(std::make_unique<Worker>(
+        workers.size(), sched::PeId{sched::PeType::kGpu, g}, context,
+        results));
+  }
+  for (std::size_t c = 0; c < config.cpu_workers; ++c) {
+    workers.push_back(std::make_unique<Worker>(
+        workers.size(), sched::PeId{sched::PeType::kCpu, c}, context,
+        results));
+  }
+
+  sched::Schedule plan;  // union of all rounds' plans, for the report
+  std::vector<TaskReport> collected;
+  collected.reserve(tasks.size());
+
+  // Failure handling: a failed report is reassigned to the next worker in
+  // registration order (a different one than the failing worker whenever the
+  // platform has more than one), bounded by max_task_retries per task.
+  std::map<std::size_t, std::size_t> retries;
+  const auto handle_failure = [&](const TaskReport& r) {
+    const std::size_t attempt = ++retries[r.task_id];
+    SWDUAL_CHECK(attempt <= config.max_task_retries,
+                 "task " + std::to_string(r.task_id) + " failed " +
+                     std::to_string(attempt) + " times — giving up");
+    const std::size_t target = (r.worker_id + 1) % workers.size();
+    SWDUAL_CHECK(workers[target]->assign({r.task_id, r.query_index}),
+                 "no worker available for failed-task reassignment");
+  };
+
+  if (dynamic) {
+    // Fully iterative: prime every worker with one task; refill on
+    // completion. Worker shutdown is handled by the destructors once every
+    // result has arrived.
+    std::size_t next_task = 0;
+    for (auto& worker : workers) {
+      if (next_task >= tasks.size()) break;
+      worker->assign({next_task, next_task});
+      ++next_task;
+    }
+    while (collected.size() < tasks.size()) {
+      auto r = results.pop();
+      SWDUAL_CHECK(r.has_value(), "result stream ended early");
+      if (next_task < tasks.size()) {
+        workers[r->worker_id]->assign({next_task, next_task});
+        ++next_task;
+      }
+      if (r->failed) {
+        handle_failure(*r);
+      } else {
+        collected.push_back(std::move(*r));
+      }
+    }
+  } else {
+    // Static dispatch in one or more rounds: schedule a batch, send each
+    // worker its list in planned start order, collect, repeat.
+    const std::size_t rounds =
+        std::clamp<std::size_t>(config.rounds, 1, tasks.size());
+    const std::size_t batch_size = (tasks.size() + rounds - 1) / rounds;
+    for (std::size_t begin = 0; begin < tasks.size(); begin += batch_size) {
+      const std::size_t end = std::min(begin + batch_size, tasks.size());
+      const std::vector<sched::Task> batch(
+          tasks.begin() + static_cast<std::ptrdiff_t>(begin),
+          tasks.begin() + static_cast<std::ptrdiff_t>(end));
+      sched::Schedule round_plan = plan_batch(batch);
+      std::vector<sched::Assignment> ordered(round_plan.assignments());
+      std::sort(ordered.begin(), ordered.end(),
+                [](const sched::Assignment& a, const sched::Assignment& b) {
+                  return a.start < b.start;
+                });
+      for (const sched::Assignment& a : ordered) {
+        workers[worker_for(a.pe, config.gpu_workers)]->assign(
+            {a.task_id, a.task_id});
+        plan.add(a);
+      }
+      const std::size_t target = collected.size() + batch.size();
+      while (collected.size() < target) {
+        auto r = results.pop();
+        SWDUAL_CHECK(r.has_value(), "result stream ended early");
+        if (r->failed) {
+          handle_failure(*r);
+        } else {
+          collected.push_back(std::move(*r));
+        }
+      }
+    }
+    for (auto& worker : workers) worker->shutdown();
+  }
+  workers.clear();  // joins all threads
+
+  report.results.resize(queries.size());
+  for (const TaskReport& r : collected) {
+    report.total_cells += r.cells;
+    report.worker_virtual_busy[r.worker_id] += r.virtual_seconds;
+    align::SearchResult scores;
+    scores.scores = r.scores;
+    QueryResult& query_result = report.results[r.query_index];
+    query_result.query_index = r.query_index;
+    query_result.hits = scores.top(config.top_hits);
+  }
+
+  double busy_sum = 0.0;
+  for (const auto& [worker_id, busy] : report.worker_virtual_busy) {
+    report.virtual_makespan = std::max(report.virtual_makespan, busy);
+    busy_sum += busy;
+  }
+  const double capacity =
+      report.virtual_makespan * static_cast<double>(platform.total());
+  report.virtual_idle_fraction =
+      capacity > 0 ? (capacity - busy_sum) / capacity : 0.0;
+  report.virtual_gcups =
+      report.virtual_makespan > 0
+          ? static_cast<double>(report.total_cells) /
+                report.virtual_makespan / 1e9
+          : 0.0;
+  report.planned = std::move(plan);
+  report.wall_seconds = wall.seconds();
+  return report;
+}
+
+}  // namespace swdual::master

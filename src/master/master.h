@@ -1,0 +1,81 @@
+// The SWDUAL master (Fig. 6): builds tasks, allocates them to workers with a
+// pluggable policy, dispatches, collects and merges results.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "align/search.h"
+#include "master/protocol.h"
+#include "platform/perf_model.h"
+#include "sched/schedule.h"
+
+namespace swdual::master {
+
+/// Allocation policies the master can apply (paper's SWDUAL plus the
+/// related-work baselines it is compared against).
+enum class AllocationPolicy {
+  kSwdual,          ///< dual-approximation (paper §III) — the contribution
+  kSwdualRefined,   ///< + local-search refinement
+  kSelfScheduling,  ///< dynamic, one task at a time [10]
+  kEqualPower,      ///< round-robin deal [11]
+  kProportional,    ///< static proportional split [12]
+  kLpt,             ///< classical LPT/earliest-completion
+};
+
+const char* policy_name(AllocationPolicy policy);
+
+struct MasterConfig {
+  std::size_t cpu_workers = 1;   ///< m
+  std::size_t gpu_workers = 1;   ///< k
+  AllocationPolicy policy = AllocationPolicy::kSwdual;
+  align::ScoringScheme scheme;
+  platform::PerfModel model;
+  align::KernelKind cpu_kernel = align::KernelKind::kInterSeq;
+  std::size_t top_hits = 10;     ///< hits reported per query
+
+  /// Allocation rounds (Fig. 6: the master may allocate "only once at the
+  /// beginning of the execution or iteratively until all tasks are
+  /// executed"). 1 = the paper's one-round mode; r > 1 partitions the task
+  /// list into r batches, each scheduled with the policy and dispatched only
+  /// after the previous batch completed. Ignored for self-scheduling, which
+  /// is already fully iterative.
+  std::size_t rounds = 1;
+
+  /// Fault injection for robustness testing (forwarded to the workers): a
+  /// task for which this returns true is reported failed and reassigned by
+  /// the master to another worker, up to max_task_retries times.
+  std::function<bool(std::size_t task_id, std::size_t worker_id)>
+      fault_injector;
+  std::size_t max_task_retries = 3;
+};
+
+/// One query's merged result.
+struct QueryResult {
+  std::size_t query_index = 0;
+  std::vector<align::SearchHit> hits;  ///< top_hits best database records
+};
+
+/// End-to-end report of one database search run.
+struct SearchReport {
+  std::vector<QueryResult> results;      ///< one per query, query order
+  double wall_seconds = 0.0;             ///< real elapsed time on this host
+  double virtual_makespan = 0.0;         ///< modeled time on paper hardware
+  double virtual_gcups = 0.0;            ///< cells / virtual_makespan
+  std::uint64_t total_cells = 0;
+  sched::Schedule planned;               ///< static plan (empty if dynamic)
+  std::map<std::size_t, double> worker_virtual_busy;  ///< worker id → busy
+  double virtual_idle_fraction = 0.0;
+};
+
+/// Run a complete search: `queries` against `db` on cpu+gpu workers.
+/// Implements the paper's one-round flow for static policies (the master
+/// sends every worker its full task list after scheduling) and the pull
+/// loop for self-scheduling.
+SearchReport run_search(const std::vector<seq::Sequence>& queries,
+                        const std::vector<seq::Sequence>& db,
+                        const MasterConfig& config);
+
+}  // namespace swdual::master

@@ -1,0 +1,50 @@
+// Wire format for the master–slave protocol messages.
+//
+// The in-process runtime moves TaskOrder/TaskReport structs through queues;
+// a distributed deployment (the paper ran master and slaves as separate
+// processes) needs them as bytes. This module defines a framed, checksummed,
+// little-endian encoding:
+//
+//   [frame]  magic 'SWMS', type u8, payload length u32, payload, crc32 u32
+//
+// Decoding validates magic, bounds, and checksum, and never trusts lengths
+// beyond the buffer (malformed frames throw IoError rather than read out of
+// bounds). Round-trip fidelity is property-tested.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "master/protocol.h"
+
+namespace swdual::master {
+
+enum class MessageType : std::uint8_t {
+  kRegister = 1,   ///< worker announces itself: payload = worker id + PE
+  kTaskOrder = 2,  ///< master → worker
+  kTaskReport = 3, ///< worker → master
+  kShutdown = 4,   ///< master → worker, no payload
+};
+
+/// Worker registration payload (Fig. 6's "Register with master" step).
+struct RegisterMsg {
+  std::size_t worker_id = 0;
+  sched::PeId pe;
+};
+
+/// Encode one message into a framed byte buffer.
+std::vector<std::uint8_t> encode_register(const RegisterMsg& msg);
+std::vector<std::uint8_t> encode_order(const TaskOrder& order);
+std::vector<std::uint8_t> encode_report(const TaskReport& report);
+std::vector<std::uint8_t> encode_shutdown();
+
+/// Peek the type of a framed buffer (throws IoError on malformed frames).
+MessageType frame_type(const std::vector<std::uint8_t>& frame);
+
+/// Decode (throws IoError on malformed/corrupt frames or wrong type).
+RegisterMsg decode_register(const std::vector<std::uint8_t>& frame);
+TaskOrder decode_order(const std::vector<std::uint8_t>& frame);
+TaskReport decode_report(const std::vector<std::uint8_t>& frame);
+
+}  // namespace swdual::master

@@ -1,0 +1,68 @@
+#include "master/worker.h"
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace swdual::master {
+
+Worker::Worker(std::size_t id, sched::PeId pe, const WorkerContext& context,
+               ConcurrentQueue<TaskReport>& results)
+    : id_(id), pe_(pe), context_(context), results_(results) {
+  SWDUAL_REQUIRE(context.queries != nullptr && context.db != nullptr,
+                 "worker context incomplete");
+  if (pe_.type == sched::PeType::kGpu) {
+    gpusim::DeviceSpec spec;
+    spec.gcups = context_.model.gpu_worker().gcups;
+    gpu_ = std::make_unique<gpusim::VirtualGpu>(spec);
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+Worker::~Worker() {
+  commands_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::run() {
+  while (auto order = commands_.pop()) {
+    results_.push(execute(*order));
+  }
+}
+
+TaskReport Worker::execute(const TaskOrder& order) {
+  const seq::Sequence& query = (*context_.queries)[order.query_index];
+  const align::DbView& db = *context_.db;
+  const std::span<const std::uint8_t> query_view(query.residues.data(),
+                                                 query.residues.size());
+  TaskReport report;
+  report.task_id = order.task_id;
+  report.query_index = order.query_index;
+  report.worker_id = id_;
+  report.pe = pe_;
+
+  if (context_.fault_injector &&
+      context_.fault_injector(order.task_id, id_)) {
+    report.failed = true;
+    return report;
+  }
+
+  WallTimer timer;
+  if (pe_.type == sched::PeType::kGpu) {
+    const gpusim::BatchResult batch =
+        gpu_->run_batch(query_view, db, context_.scheme);
+    report.scores = batch.scores;
+    report.cells = batch.cells;
+    report.virtual_seconds = batch.virtual_seconds;
+  } else {
+    const align::SearchResult result = align::search_database(
+        query_view, db, context_.scheme, context_.cpu_kernel);
+    report.scores = result.scores;
+    report.cells = result.cells;
+    report.virtual_seconds =
+        context_.model.cpu_worker().seconds_for(result.cells);
+  }
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace swdual::master

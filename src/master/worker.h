@@ -1,0 +1,72 @@
+// Worker threads (the "slaves" of the paper's master–slave model).
+//
+// Every worker owns a command queue of TaskOrders and pushes TaskReports to
+// the master's shared result queue. A CPU worker runs the SWIPE-class
+// inter-sequence kernel directly; a GPU worker drives a gpusim::VirtualGpu.
+// Both compute exact scores on this host and additionally report modeled
+// ("virtual") execution times for the paper's hardware classes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "align/search.h"
+#include "gpusim/virtual_gpu.h"
+#include "master/protocol.h"
+#include "platform/perf_model.h"
+#include "util/concurrent_queue.h"
+
+namespace swdual::master {
+
+/// Shared read-only context for all workers.
+struct WorkerContext {
+  const std::vector<seq::Sequence>* queries = nullptr;
+  const align::DbView* db = nullptr;
+  align::ScoringScheme scheme;
+  platform::PerfModel model;
+  align::KernelKind cpu_kernel = align::KernelKind::kInterSeq;
+
+  /// Fault injection hook for robustness testing: called before a task
+  /// executes; returning true makes the worker report failure instead of
+  /// results (simulating a crashed kernel / lost slave). Must be
+  /// thread-safe. nullptr = no faults.
+  std::function<bool(std::size_t task_id, std::size_t worker_id)>
+      fault_injector;
+};
+
+class Worker {
+ public:
+  /// Starts the worker thread immediately (registration step).
+  Worker(std::size_t id, sched::PeId pe, const WorkerContext& context,
+         ConcurrentQueue<TaskReport>& results);
+
+  /// Joins the thread; assign() must not be called afterwards.
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Enqueue one task order. Returns false after shutdown() was called.
+  bool assign(const TaskOrder& order) { return commands_.push(order); }
+
+  /// Close the command queue; the thread drains outstanding orders and exits.
+  void shutdown() { commands_.close(); }
+
+  std::size_t id() const { return id_; }
+  sched::PeId pe() const { return pe_; }
+
+ private:
+  void run();
+  TaskReport execute(const TaskOrder& order);
+
+  std::size_t id_;
+  sched::PeId pe_;
+  const WorkerContext& context_;
+  ConcurrentQueue<TaskReport>& results_;
+  ConcurrentQueue<TaskOrder> commands_;
+  std::unique_ptr<gpusim::VirtualGpu> gpu_;  ///< only for GPU workers
+  std::thread thread_;
+};
+
+}  // namespace swdual::master

@@ -1,0 +1,57 @@
+// Discrete-event simulator for hybrid-platform execution in virtual time.
+//
+// This is the multi-worker substitution for the paper's 8-CPU/8-GPU testbed:
+// the same schedules and dynamic policies run against modeled per-task times
+// (platform/perf_model.h) on a virtual clock, so "execution time with N
+// workers" is measurable on a single host core. Scores are not computed here
+// — correctness is the master–slave runtime's job; the DES reproduces
+// *timing* behaviour (makespan, per-PE idle, dynamic dispatch order).
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/task.h"
+
+namespace swdual::platform {
+
+/// Realized execution of one task in virtual time.
+struct TraceEntry {
+  std::size_t task_id = 0;
+  sched::PeId pe;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Result of a virtual execution.
+struct ExecutionTrace {
+  std::vector<TraceEntry> entries;
+  double makespan = 0.0;
+  double cpu_busy = 0.0;   ///< Σ busy time on CPUs
+  double gpu_busy = 0.0;   ///< Σ busy time on GPUs
+  double total_idle = 0.0; ///< Σ over PEs of (makespan − busy)
+
+  double idle_fraction(const sched::HybridPlatform& platform) const {
+    const double capacity =
+        makespan * static_cast<double>(platform.total());
+    return capacity > 0 ? total_idle / capacity : 0.0;
+  }
+};
+
+/// Replay a static schedule: each PE runs its assigned tasks in start-time
+/// order, back to back (work-conserving compaction). The resulting makespan
+/// is never larger than the schedule's. This models the paper's one-round
+/// master–slave dispatch: the master sends each worker its task list up
+/// front and workers execute without further coordination.
+ExecutionTrace simulate_static(const sched::Schedule& schedule,
+                               const std::vector<sched::Task>& tasks,
+                               const sched::HybridPlatform& platform);
+
+/// Simulate dynamic self-scheduling: workers pull the next undispatched task
+/// the moment they become free (the one-unit-at-a-time strategy of [10]).
+/// `dispatch_latency` models the master round-trip per pull.
+ExecutionTrace simulate_self_scheduling(const std::vector<sched::Task>& tasks,
+                                        const sched::HybridPlatform& platform,
+                                        double dispatch_latency = 0.0);
+
+}  // namespace swdual::platform

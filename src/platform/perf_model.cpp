@@ -1,0 +1,27 @@
+#include "platform/perf_model.h"
+
+#include "align/search.h"
+#include "seq/dbgen.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace swdual::platform {
+
+double calibrate_cpu_gcups(std::size_t query_len, std::size_t db_sequences,
+                           std::size_t db_len) {
+  Rng rng(20140501);
+  const seq::Sequence query = seq::random_protein(rng, "cal_q", query_len);
+  std::vector<seq::Sequence> db;
+  db.reserve(db_sequences);
+  for (std::size_t i = 0; i < db_sequences; ++i) {
+    db.push_back(seq::random_protein(rng, "cal_d", db_len));
+  }
+  const align::ScoringScheme scheme;
+  // One warm-up pass (page in profiles and code), then a timed pass.
+  align::search_database(query, db, scheme, align::KernelKind::kInterSeq);
+  const align::SearchResult result = align::search_database(
+      query, db, scheme, align::KernelKind::kInterSeq);
+  return result.gcups();
+}
+
+}  // namespace swdual::platform

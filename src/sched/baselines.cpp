@@ -1,0 +1,113 @@
+#include "sched/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sched/list_scheduling.h"
+#include "util/error.h"
+
+namespace swdual::sched {
+
+Schedule self_scheduling(const std::vector<Task>& tasks,
+                         const HybridPlatform& platform) {
+  Schedule schedule;
+  list_schedule_onto(tasks, all_pes(platform), schedule);
+  return schedule;
+}
+
+namespace {
+/// Place each task (in the given order) on the PE minimizing its finish time.
+Schedule greedy_ect(const std::vector<Task>& tasks,
+                    const HybridPlatform& platform) {
+  const std::vector<PeId> pes = all_pes(platform);
+  SWDUAL_REQUIRE(!pes.empty(), "platform has no PEs");
+  std::vector<double> available(pes.size(), 0.0);
+  Schedule schedule;
+  for (const Task& task : tasks) {
+    std::size_t best = 0;
+    double best_finish = 0.0;
+    for (std::size_t i = 0; i < pes.size(); ++i) {
+      const double finish = available[i] + task.time_on(pes[i].type);
+      if (i == 0 || finish < best_finish) {
+        best = i;
+        best_finish = finish;
+      }
+    }
+    Assignment a;
+    a.task_id = task.id;
+    a.pe = pes[best];
+    a.start = available[best];
+    a.end = best_finish;
+    schedule.add(a);
+    available[best] = best_finish;
+  }
+  return schedule;
+}
+}  // namespace
+
+Schedule earliest_completion(const std::vector<Task>& tasks,
+                             const HybridPlatform& platform) {
+  return greedy_ect(tasks, platform);
+}
+
+Schedule equal_power(const std::vector<Task>& tasks,
+                     const HybridPlatform& platform) {
+  const std::vector<PeId> pes = all_pes(platform);
+  SWDUAL_REQUIRE(!pes.empty(), "platform has no PEs");
+  // Round-robin deal, then compact each PE's queue front to back.
+  std::vector<double> available(pes.size(), 0.0);
+  Schedule schedule;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const std::size_t i = t % pes.size();
+    Assignment a;
+    a.task_id = tasks[t].id;
+    a.pe = pes[i];
+    a.start = available[i];
+    a.end = a.start + tasks[t].time_on(pes[i].type);
+    schedule.add(a);
+    available[i] = a.end;
+  }
+  return schedule;
+}
+
+Schedule proportional_static(const std::vector<Task>& tasks,
+                             const HybridPlatform& platform) {
+  if (tasks.empty()) return {};
+  SWDUAL_REQUIRE(platform.num_cpus > 0 && platform.num_gpus > 0,
+                 "proportional split needs both PE types");
+
+  // Theoretical power: one CPU = 1; one GPU = mean acceleration factor.
+  double accel_sum = 0.0;
+  for (const Task& task : tasks) accel_sum += task.accel();
+  const double gpu_power = accel_sum / static_cast<double>(tasks.size());
+  const double total_power = static_cast<double>(platform.num_cpus) +
+                             gpu_power * static_cast<double>(platform.num_gpus);
+  const double gpu_share =
+      gpu_power * static_cast<double>(platform.num_gpus) / total_power;
+
+  const double total_work = std::accumulate(
+      tasks.begin(), tasks.end(), 0.0,
+      [](double acc, const Task& t) { return acc + t.cpu_time; });
+  const double gpu_target = gpu_share * total_work;
+
+  // Deal the largest tasks to the GPU pool until its share is reached.
+  const std::vector<Task> by_size = sorted_lpt(tasks, PeType::kCpu);
+  std::vector<Task> gpu_tasks, cpu_tasks;
+  double gpu_work = 0.0;
+  for (const Task& task : by_size) {
+    if (gpu_work < gpu_target) {
+      gpu_tasks.push_back(task);
+      gpu_work += task.cpu_time;
+    } else {
+      cpu_tasks.push_back(task);
+    }
+  }
+  return schedule_split(cpu_tasks, gpu_tasks, platform);
+}
+
+Schedule lpt_hybrid(const std::vector<Task>& tasks,
+                    const HybridPlatform& platform) {
+  return greedy_ect(sorted_lpt(tasks, PeType::kCpu), platform);
+}
+
+}  // namespace swdual::sched

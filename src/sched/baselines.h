@@ -1,0 +1,44 @@
+// Baseline allocation policies from the related work the paper compares
+// against (§I): self-scheduling [10], equal-power distribution [11], and
+// static proportional distribution by theoretical computing power [12],
+// plus plain LPT as a classical reference point.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/task.h"
+
+namespace swdual::sched {
+
+/// Self-scheduling (Singh et al. [10]): one work unit at a time — each task,
+/// in input order, goes to the PE that becomes available first, regardless
+/// of how well-suited the PE is. This is simply list scheduling over the
+/// mixed pool with heterogeneous durations.
+Schedule self_scheduling(const std::vector<Task>& tasks,
+                         const HybridPlatform& platform);
+
+/// Earliest-completion-time variant of self-scheduling: each task goes to
+/// the PE where it would *finish* first (a slightly smarter dynamic policy;
+/// included as an ablation point between self-scheduling and SWDUAL).
+Schedule earliest_completion(const std::vector<Task>& tasks,
+                             const HybridPlatform& platform);
+
+/// Equal-power distribution (Singh & Aruni [11]): assumes CPUs and GPUs have
+/// the same processing power and deals tasks round-robin across all PEs.
+Schedule equal_power(const std::vector<Task>& tasks,
+                     const HybridPlatform& platform);
+
+/// Proportional static distribution (Meng & Chaudhary [12]): the CPU-work of
+/// the task set is split between the GPU pool and the CPU pool proportionally
+/// to their aggregate theoretical computing power (GPU power estimated from
+/// the mean acceleration factor); each pool is then LPT-scheduled.
+Schedule proportional_static(const std::vector<Task>& tasks,
+                             const HybridPlatform& platform);
+
+/// Classical LPT over the mixed pool, placing each task (longest CPU time
+/// first) on the PE where it finishes earliest.
+Schedule lpt_hybrid(const std::vector<Task>& tasks,
+                    const HybridPlatform& platform);
+
+}  // namespace swdual::sched

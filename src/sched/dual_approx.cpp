@@ -1,0 +1,273 @@
+#include "sched/dual_approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sched/baselines.h"
+#include "sched/list_scheduling.h"
+#include "util/error.h"
+
+namespace swdual::sched {
+
+namespace {
+
+constexpr double kRelTol = 1e-12;
+
+bool leq(double a, double b) { return a <= b * (1.0 + kRelTol) + kRelTol; }
+
+/// Tasks sorted by decreasing acceleration ratio (the knapsack priority of
+/// Fig. 4), stable for determinism.
+std::vector<Task> sorted_by_ratio(std::vector<Task> tasks) {
+  std::stable_sort(tasks.begin(), tasks.end(), [](const Task& a, const Task& b) {
+    return a.accel() > b.accel();
+  });
+  return tasks;
+}
+
+}  // namespace
+
+DualStepResult dual_approx_step(const std::vector<Task>& tasks,
+                                const HybridPlatform& platform,
+                                double lambda) {
+  SWDUAL_REQUIRE(lambda >= 0, "guess must be non-negative");
+  SWDUAL_REQUIRE(platform.total() > 0, "platform has no PEs");
+  const double m = static_cast<double>(platform.num_cpus);
+  const double k = static_cast<double>(platform.num_gpus);
+
+  DualStepResult result;
+
+  std::vector<Task> gpu_tasks;   // mandatory + knapsack picks (j_last kept last)
+  std::vector<Task> cpu_tasks;
+  std::vector<Task> free_tasks;  // eligible for either side
+  double gpu_area = 0.0;
+  double cpu_area = 0.0;
+
+  for (const Task& task : tasks) {
+    const bool fits_cpu = platform.num_cpus > 0 && leq(task.cpu_time, lambda);
+    const bool fits_gpu = platform.num_gpus > 0 && leq(task.gpu_time, lambda);
+    if (!fits_cpu && !fits_gpu) return result;  // NO: task too long everywhere
+    if (!fits_cpu) {
+      gpu_tasks.push_back(task);  // forced onto a GPU
+      gpu_area += task.gpu_time;
+    } else if (!fits_gpu) {
+      cpu_tasks.push_back(task);  // forced onto a CPU
+      cpu_area += task.cpu_time;
+    } else {
+      free_tasks.push_back(task);
+    }
+  }
+
+  // (C2): mandatory GPU work alone must respect the GPU area bound.
+  if (!leq(gpu_area, k * lambda)) return result;  // NO
+
+  // Greedy minimization knapsack (Fig. 4): best-accelerated tasks first,
+  // fill the GPUs until the area reaches kλ; the crossing task j_last stays.
+  std::ptrdiff_t j_last = -1;  // position in gpu_tasks of the overflow task
+  for (const Task& task : sorted_by_ratio(std::move(free_tasks))) {
+    if (gpu_area < k * lambda) {
+      gpu_area += task.gpu_time;
+      gpu_tasks.push_back(task);
+      if (gpu_area >= k * lambda) {
+        j_last = static_cast<std::ptrdiff_t>(gpu_tasks.size()) - 1;
+      }
+    } else {
+      cpu_tasks.push_back(task);
+      cpu_area += task.cpu_time;
+    }
+  }
+
+  // (C1): the leftover CPU workload must fit in area mλ. The greedy leaves
+  // the minimum possible CPU workload (continuous-knapsack optimal), so
+  // exceeding mλ certifies that no λ-schedule exists.
+  if (!leq(cpu_area, m * lambda)) return result;  // NO
+  if (platform.num_cpus == 0 && !cpu_tasks.empty()) return result;  // NO
+
+  // Build the 2λ schedule: LPT within each side; j_last scheduled last on
+  // the GPUs so Prop. 1's analysis applies (all other GPU tasks have area
+  // ≤ kλ, and the least-loaded GPU is below λ when j_last is placed).
+  std::vector<Task> gpu_order;
+  std::optional<Task> overflow_task;
+  if (j_last >= 0) {
+    overflow_task = gpu_tasks[static_cast<std::size_t>(j_last)];
+    gpu_tasks.erase(gpu_tasks.begin() + j_last);
+  }
+  gpu_order = sorted_lpt(std::move(gpu_tasks), PeType::kGpu);
+  if (overflow_task) gpu_order.push_back(*overflow_task);
+
+  result.schedule = schedule_split(sorted_lpt(std::move(cpu_tasks), PeType::kCpu),
+                                   gpu_order, platform);
+  result.feasible = true;
+  result.cpu_area = cpu_area;
+  result.gpu_area = gpu_area;
+  return result;
+}
+
+double makespan_lower_bound(const std::vector<Task>& tasks,
+                            const HybridPlatform& platform) {
+  SWDUAL_REQUIRE(platform.total() > 0, "platform has no PEs");
+  if (tasks.empty()) return 0.0;
+
+  // Every task runs somewhere, taking at least its faster processing time.
+  double longest = 0.0;
+  for (const Task& task : tasks) {
+    double fastest = std::numeric_limits<double>::infinity();
+    if (platform.num_cpus > 0) fastest = std::min(fastest, task.cpu_time);
+    if (platform.num_gpus > 0) fastest = std::min(fastest, task.gpu_time);
+    longest = std::max(longest, fastest);
+  }
+
+  // Fractional area bound: smallest λ whose continuous-knapsack split fits
+  // both area budgets. Tasks are divisible in this relaxation, so any real
+  // schedule of makespan λ passes the test — hence a valid lower bound.
+  const std::vector<Task> by_ratio = sorted_by_ratio(tasks);
+  const double m = static_cast<double>(platform.num_cpus);
+  const double k = static_cast<double>(platform.num_gpus);
+  const auto fractional_feasible = [&](double lambda) {
+    double gpu_budget = k * lambda;
+    double cpu_area = 0.0;
+    for (const Task& task : by_ratio) {
+      if (gpu_budget >= task.gpu_time) {
+        gpu_budget -= task.gpu_time;
+      } else if (task.gpu_time > 0) {
+        const double fraction_on_gpu = gpu_budget / task.gpu_time;
+        gpu_budget = 0;
+        cpu_area += task.cpu_time * (1.0 - fraction_on_gpu);
+      } else {
+        gpu_budget = 0;
+      }
+    }
+    return leq(cpu_area, m * lambda);
+  };
+
+  double lo = 0.0;
+  double hi = longest;
+  // Grow hi until feasible (it must become feasible once λ covers all work).
+  while (!fractional_feasible(hi)) hi *= 2.0;
+  for (int iter = 0; iter < 100 && (hi - lo) > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (fractional_feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return std::max(longest, hi);
+}
+
+Schedule swdual_schedule(const std::vector<Task>& tasks,
+                         const HybridPlatform& platform, double epsilon,
+                         DualSearchStats* stats) {
+  SWDUAL_REQUIRE(epsilon > 0, "epsilon must be positive");
+  if (tasks.empty()) {
+    if (stats) *stats = {};
+    return {};
+  }
+
+  // Initial bounds: B_min from the certified lower bound; B_max from any
+  // feasible schedule's makespan (earliest-completion greedy).
+  double b_min = makespan_lower_bound(tasks, platform);
+  double b_max = lpt_hybrid(tasks, platform).makespan();
+  b_max = std::max(b_max, b_min);
+
+  Schedule best;
+  double best_makespan = std::numeric_limits<double>::infinity();
+  std::size_t iterations = 0;
+  double final_lambda = b_max;
+
+  const auto consider = [&](double lambda) -> bool {
+    DualStepResult step = dual_approx_step(tasks, platform, lambda);
+    if (!step.feasible) return false;
+    const double makespan = step.schedule.makespan();
+    SWDUAL_CHECK(leq(makespan, 2.0 * lambda),
+                 "dual-approx step violated its 2λ guarantee");
+    if (makespan < best_makespan) {
+      best_makespan = makespan;
+      best = std::move(step.schedule);
+    }
+    return true;
+  };
+
+  // The upper bound is an achievable makespan, so the step at B_max is YES.
+  consider(b_max);
+  while ((b_max - b_min) > epsilon * std::max(b_max, 1e-300) &&
+         iterations < 200) {
+    ++iterations;
+    const double lambda = 0.5 * (b_min + b_max);
+    if (consider(lambda)) {
+      b_max = lambda;
+      final_lambda = lambda;
+    } else {
+      b_min = lambda;
+    }
+  }
+  SWDUAL_CHECK(std::isfinite(best_makespan),
+               "binary search ended with no feasible schedule");
+
+  if (stats) {
+    stats->iterations = iterations;
+    stats->final_lambda = final_lambda;
+    stats->lower_bound = b_min;
+    stats->makespan = best_makespan;
+  }
+  return best;
+}
+
+namespace {
+
+/// Evaluate an allocation (PE type per task) by LPT list scheduling each side.
+Schedule realize_allocation(const std::vector<Task>& tasks,
+                            const std::vector<PeType>& where,
+                            const HybridPlatform& platform) {
+  std::vector<Task> cpu_tasks, gpu_tasks;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    (where[i] == PeType::kCpu ? cpu_tasks : gpu_tasks).push_back(tasks[i]);
+  }
+  return schedule_split(sorted_lpt(std::move(cpu_tasks), PeType::kCpu),
+                        sorted_lpt(std::move(gpu_tasks), PeType::kGpu),
+                        platform);
+}
+
+}  // namespace
+
+Schedule swdual_schedule_refined(const std::vector<Task>& tasks,
+                                 const HybridPlatform& platform,
+                                 double epsilon, DualSearchStats* stats) {
+  Schedule base = swdual_schedule(tasks, platform, epsilon, stats);
+  if (tasks.empty() || platform.num_cpus == 0 || platform.num_gpus == 0) {
+    return base;
+  }
+
+  // Recover the base allocation.
+  std::vector<PeType> where(tasks.size(), PeType::kCpu);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto placed = base.find_task(tasks[i].id);
+    SWDUAL_CHECK(placed.has_value(), "base schedule lost a task");
+    where[i] = placed->pe.type;
+  }
+
+  double best_makespan = base.makespan();
+  Schedule best = std::move(base);
+
+  // Hill-climb on single-task side moves (first-improvement, multi-pass).
+  bool improved = true;
+  for (int pass = 0; pass < 64 && improved; ++pass) {
+    improved = false;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      where[i] = where[i] == PeType::kCpu ? PeType::kGpu : PeType::kCpu;
+      Schedule candidate = realize_allocation(tasks, where, platform);
+      const double makespan = candidate.makespan();
+      if (makespan + 1e-12 < best_makespan) {
+        best_makespan = makespan;
+        best = std::move(candidate);
+        improved = true;
+      } else {
+        where[i] = where[i] == PeType::kCpu ? PeType::kGpu : PeType::kCpu;
+      }
+    }
+  }
+  if (stats) stats->makespan = best_makespan;
+  return best;
+}
+
+}  // namespace swdual::sched

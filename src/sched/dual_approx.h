@@ -1,0 +1,78 @@
+// The SWDUAL dual-approximation scheduling algorithm (paper §III).
+//
+// One step of the scheme takes a guess λ and either returns a schedule of
+// makespan at most 2λ or correctly answers that no schedule of makespan at
+// most λ exists:
+//
+//   1. Any task with p_cpu > λ and p_gpu > λ certifies NO (a λ-schedule runs
+//      every task somewhere in at most λ).
+//   2. Tasks with p_cpu > λ are forced onto GPUs. If their area alone
+//      exceeds kλ, answer NO.
+//   3. Remaining tasks, sorted by decreasing acceleration ratio p/p̄, greedily
+//      fill the GPUs until the GPU computational area reaches kλ (Fig. 4);
+//      the first task crossing the boundary — j_last — stays on the GPUs.
+//      Greedy-by-ratio with the overflow item solves the continuous
+//      minimization knapsack (5)–(7), so the CPU workload it leaves is a
+//      lower bound on any feasible assignment's CPU workload.
+//   4. If the CPU area W_C now exceeds mλ, answer NO (by step 3's bound this
+//      is a valid certificate). Otherwise list-schedule: GPU tasks on the k
+//      GPUs with j_last placed last (Prop. 1's analysis), CPU tasks on the m
+//      CPUs (Fig. 5). The result has makespan ≤ 2λ.
+//
+// A binary search over λ then closes in on the optimum; keeping the best YES
+// schedule yields a 2-approximation of the optimal makespan.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/task.h"
+
+namespace swdual::sched {
+
+/// Outcome of one dual-approximation step.
+struct DualStepResult {
+  bool feasible = false;              ///< false == certified "NO" for this λ
+  Schedule schedule;                  ///< valid iff feasible
+  double cpu_area = 0.0;              ///< W_C after the knapsack
+  double gpu_area = 0.0;              ///< GPU area after the knapsack
+};
+
+/// One step of the 2-dual-approximation with guess λ.
+DualStepResult dual_approx_step(const std::vector<Task>& tasks,
+                                const HybridPlatform& platform, double lambda);
+
+/// Statistics of a completed binary search.
+struct DualSearchStats {
+  std::size_t iterations = 0;
+  double final_lambda = 0.0;
+  double lower_bound = 0.0;   ///< greatest certified-NO λ (≤ optimum)
+  double makespan = 0.0;      ///< makespan of the returned schedule
+};
+
+/// Full SWDUAL scheduler: binary search on λ between provable bounds,
+/// returning the best schedule found. `epsilon` is the relative width at
+/// which the search stops. Guaranteed makespan ≤ 2·OPT.
+Schedule swdual_schedule(const std::vector<Task>& tasks,
+                         const HybridPlatform& platform,
+                         double epsilon = 1e-3,
+                         DualSearchStats* stats = nullptr);
+
+/// Refined variant: SWDUAL followed by local improvement (single-task moves
+/// and cross-type swaps accepted while the makespan strictly decreases).
+/// This stands in for the 3/2-approximation of Kedad-Sidhoum et al.
+/// (HeteroPar'13), whose big-task dynamic program we approximate by local
+/// search; see DESIGN.md. Never worse than swdual_schedule's result.
+Schedule swdual_schedule_refined(const std::vector<Task>& tasks,
+                                 const HybridPlatform& platform,
+                                 double epsilon = 1e-3,
+                                 DualSearchStats* stats = nullptr);
+
+/// Certified lower bound on the optimal makespan: the larger of the longest
+/// min-processing-time task and the smallest λ for which the fractional
+/// (continuous-knapsack) area test is feasible.
+double makespan_lower_bound(const std::vector<Task>& tasks,
+                            const HybridPlatform& platform);
+
+}  // namespace swdual::sched

@@ -1,0 +1,134 @@
+#include "sched/exact.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sched/baselines.h"
+#include "sched/list_scheduling.h"
+#include "util/error.h"
+
+namespace swdual::sched {
+
+namespace {
+
+struct SearchState {
+  const std::vector<Task>* tasks = nullptr;  // sorted, longest first
+  std::vector<double> cpu_load;
+  std::vector<double> gpu_load;
+  std::vector<int> assignment;  // PE slot per task (best found)
+  std::vector<int> current;
+  double best = 0.0;
+  std::uint64_t nodes = 0;
+  std::uint64_t node_limit = 0;
+  bool exhausted = true;
+
+  double max_load() const {
+    double m = 0.0;
+    for (double l : cpu_load) m = std::max(m, l);
+    for (double l : gpu_load) m = std::max(m, l);
+    return m;
+  }
+};
+
+void dfs(SearchState& state, std::size_t index) {
+  if (++state.nodes > state.node_limit) {
+    state.exhausted = false;
+    return;
+  }
+  const std::vector<Task>& tasks = *state.tasks;
+  if (index == tasks.size()) {
+    const double makespan = state.max_load();
+    if (makespan < state.best) {
+      state.best = makespan;
+      state.assignment = state.current;
+    }
+    return;
+  }
+  // The makespan only grows as tasks are added; prune at the incumbent.
+  if (state.max_load() >= state.best) return;
+
+  const Task& task = tasks[index];
+  const auto try_pool = [&](std::vector<double>& loads, double time,
+                            int slot_base) {
+    // Symmetry breaking: among equally-loaded machines, try only the first.
+    double last_load = -1.0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      if (loads[i] == last_load) continue;
+      last_load = loads[i];
+      if (loads[i] + time >= state.best) continue;  // dominated
+      loads[i] += time;
+      state.current[index] = slot_base + static_cast<int>(i);
+      dfs(state, index + 1);
+      loads[i] -= time;
+      if (!state.exhausted) return;
+    }
+  };
+  try_pool(state.cpu_load, task.cpu_time, 0);
+  if (!state.exhausted) return;
+  try_pool(state.gpu_load, task.gpu_time,
+           static_cast<int>(state.cpu_load.size()));
+}
+
+}  // namespace
+
+std::optional<ExactResult> exact_schedule(const std::vector<Task>& tasks,
+                                          const HybridPlatform& platform,
+                                          std::uint64_t node_limit) {
+  SWDUAL_REQUIRE(platform.total() > 0, "platform has no PEs");
+  ExactResult result;
+  if (tasks.empty()) return result;
+
+  // Longest-first ordering tightens pruning dramatically.
+  std::vector<Task> sorted = tasks;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Task& a, const Task& b) {
+                     return std::min(a.cpu_time, a.gpu_time) >
+                            std::min(b.cpu_time, b.gpu_time);
+                   });
+
+  SearchState state;
+  state.tasks = &sorted;
+  state.cpu_load.assign(platform.num_cpus, 0.0);
+  state.gpu_load.assign(platform.num_gpus, 0.0);
+  state.current.assign(sorted.size(), -1);
+  state.node_limit = node_limit;
+
+  // Incumbent: a good heuristic start (LPT over both pools).
+  state.best = lpt_hybrid(tasks, platform).makespan() + 1e-12;
+
+  dfs(state, 0);
+  if (!state.exhausted) return std::nullopt;
+
+  // If DFS never improved on the incumbent, rebuild it from LPT directly.
+  if (state.assignment.empty()) {
+    result.makespan = state.best - 1e-12;
+    result.schedule = lpt_hybrid(tasks, platform);
+    result.nodes_explored = state.nodes;
+    return result;
+  }
+
+  // Materialize the optimal assignment as a schedule.
+  std::vector<std::vector<Task>> per_slot(platform.total());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    per_slot[static_cast<std::size_t>(state.assignment[i])].push_back(
+        sorted[i]);
+  }
+  Schedule schedule;
+  for (std::size_t slot = 0; slot < per_slot.size(); ++slot) {
+    const bool is_cpu = slot < platform.num_cpus;
+    const PeId pe{is_cpu ? PeType::kCpu : PeType::kGpu,
+                  is_cpu ? slot : slot - platform.num_cpus};
+    double clock = 0.0;
+    for (const Task& task : per_slot[slot]) {
+      const double duration = task.time_on(pe.type);
+      schedule.add({task.id, pe, clock, clock + duration});
+      clock += duration;
+    }
+  }
+  result.schedule = std::move(schedule);
+  result.makespan = result.schedule.makespan();
+  result.nodes_explored = state.nodes;
+  return result;
+}
+
+}  // namespace swdual::sched

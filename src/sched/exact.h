@@ -1,0 +1,33 @@
+// Exact optimal makespan for small instances (branch and bound).
+//
+// R|p_j,p̄_j|Cmax on (m CPUs, k GPUs) is NP-hard, but small instances are
+// solvable exactly: tasks are assigned longest-first by depth-first search
+// over per-PE loads, pruning with the incumbent and an area lower bound,
+// and breaking the symmetry of identical machines. This is the ground-truth
+// oracle used by property tests and by the ablation benches to report true
+// approximation ratios (not just ratios to a lower bound).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/task.h"
+
+namespace swdual::sched {
+
+/// Result of the exact solver.
+struct ExactResult {
+  double makespan = 0.0;
+  Schedule schedule;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Solve to optimality. `node_limit` bounds the search; returns nullopt if
+/// the limit is hit before the search space is exhausted (the incumbent is
+/// then not certified). Intended for n ≲ 25.
+std::optional<ExactResult> exact_schedule(const std::vector<Task>& tasks,
+                                          const HybridPlatform& platform,
+                                          std::uint64_t node_limit = 50'000'000);
+
+}  // namespace swdual::sched

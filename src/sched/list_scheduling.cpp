@@ -1,0 +1,85 @@
+#include "sched/list_scheduling.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace swdual::sched {
+
+void list_schedule_onto(const std::vector<Task>& tasks,
+                        const std::vector<PeId>& pes, Schedule& schedule) {
+  if (tasks.empty()) return;
+  SWDUAL_REQUIRE(!pes.empty(), "list scheduling needs at least one PE");
+
+  // Min-heap of (available time, pool position) — pool position breaks ties
+  // deterministically.
+  using Slot = std::pair<double, std::size_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    heap.emplace(schedule.pe_finish(pes[i]), i);
+  }
+
+  for (const Task& task : tasks) {
+    const auto [available, position] = heap.top();
+    heap.pop();
+    const PeId pe = pes[position];
+    Assignment a;
+    a.task_id = task.id;
+    a.pe = pe;
+    a.start = available;
+    a.end = available + task.time_on(pe.type);
+    schedule.add(a);
+    heap.emplace(a.end, position);
+  }
+}
+
+std::vector<PeId> cpu_pool(const HybridPlatform& platform) {
+  std::vector<PeId> pes;
+  for (std::size_t i = 0; i < platform.num_cpus; ++i) {
+    pes.push_back({PeType::kCpu, i});
+  }
+  return pes;
+}
+
+std::vector<PeId> gpu_pool(const HybridPlatform& platform) {
+  std::vector<PeId> pes;
+  for (std::size_t i = 0; i < platform.num_gpus; ++i) {
+    pes.push_back({PeType::kGpu, i});
+  }
+  return pes;
+}
+
+std::vector<PeId> all_pes(const HybridPlatform& platform) {
+  // GPUs first: with dynamic policies the fastest PEs should grab work first
+  // (matches the paper's worker ordering "the first four workers were GPUs").
+  std::vector<PeId> pes = gpu_pool(platform);
+  const std::vector<PeId> cpus = cpu_pool(platform);
+  pes.insert(pes.end(), cpus.begin(), cpus.end());
+  return pes;
+}
+
+std::vector<Task> sorted_lpt(std::vector<Task> tasks, PeType type) {
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [type](const Task& a, const Task& b) {
+                     return a.time_on(type) > b.time_on(type);
+                   });
+  return tasks;
+}
+
+Schedule schedule_split(const std::vector<Task>& cpu_tasks,
+                        const std::vector<Task>& gpu_tasks,
+                        const HybridPlatform& platform) {
+  Schedule schedule;
+  if (!cpu_tasks.empty()) {
+    SWDUAL_REQUIRE(platform.num_cpus > 0, "CPU tasks but no CPUs");
+    list_schedule_onto(cpu_tasks, cpu_pool(platform), schedule);
+  }
+  if (!gpu_tasks.empty()) {
+    SWDUAL_REQUIRE(platform.num_gpus > 0, "GPU tasks but no GPUs");
+    list_schedule_onto(gpu_tasks, gpu_pool(platform), schedule);
+  }
+  return schedule;
+}
+
+}  // namespace swdual::sched

@@ -1,0 +1,34 @@
+// List scheduling primitives (Graham-style), the placement layer under every
+// allocation policy in this library.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/task.h"
+
+namespace swdual::sched {
+
+/// Place `tasks`, in the given order, onto the given PEs: each task starts on
+/// the PE that becomes available first (ties broken by PE order). Durations
+/// follow each PE's type. All PEs must exist in `platform`-independent sense
+/// (the caller chooses the pool). Appends to `schedule`.
+void list_schedule_onto(const std::vector<Task>& tasks,
+                        const std::vector<PeId>& pes, Schedule& schedule);
+
+/// Convenience pool builders.
+std::vector<PeId> cpu_pool(const HybridPlatform& platform);
+std::vector<PeId> gpu_pool(const HybridPlatform& platform);
+std::vector<PeId> all_pes(const HybridPlatform& platform);
+
+/// Sort a copy of tasks by decreasing processing time on the given PE type
+/// (Longest Processing Time first).
+std::vector<Task> sorted_lpt(std::vector<Task> tasks, PeType type);
+
+/// Schedule a two-sided allocation: `cpu_tasks` list-scheduled on the CPUs,
+/// `gpu_tasks` on the GPUs, independently.
+Schedule schedule_split(const std::vector<Task>& cpu_tasks,
+                        const std::vector<Task>& gpu_tasks,
+                        const HybridPlatform& platform);
+
+}  // namespace swdual::sched

@@ -1,0 +1,143 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace swdual::sched {
+
+std::string pe_name(const PeId& pe) {
+  return (pe.type == PeType::kCpu ? "CPU" : "GPU") + std::to_string(pe.index);
+}
+
+double Schedule::makespan() const {
+  double latest = 0.0;
+  for (const Assignment& a : assignments_) latest = std::max(latest, a.end);
+  return latest;
+}
+
+double Schedule::area(PeType type) const {
+  double total = 0.0;
+  for (const Assignment& a : assignments_) {
+    if (a.pe.type == type) total += a.duration();
+  }
+  return total;
+}
+
+double Schedule::pe_finish(const PeId& pe) const {
+  double latest = 0.0;
+  for (const Assignment& a : assignments_) {
+    if (a.pe == pe) latest = std::max(latest, a.end);
+  }
+  return latest;
+}
+
+std::optional<Assignment> Schedule::find_task(std::size_t task_id) const {
+  for (const Assignment& a : assignments_) {
+    if (a.task_id == task_id) return a;
+  }
+  return std::nullopt;
+}
+
+ScheduleMetrics compute_metrics(const Schedule& schedule,
+                                const HybridPlatform& platform) {
+  ScheduleMetrics metrics;
+  metrics.makespan = schedule.makespan();
+  metrics.cpu_area = schedule.area(PeType::kCpu);
+  metrics.gpu_area = schedule.area(PeType::kGpu);
+  for (const Assignment& a : schedule.assignments()) {
+    if (a.pe.type == PeType::kCpu) {
+      ++metrics.tasks_on_cpu;
+    } else {
+      ++metrics.tasks_on_gpu;
+    }
+  }
+  const double capacity =
+      metrics.makespan * static_cast<double>(platform.total());
+  metrics.total_idle = capacity - metrics.cpu_area - metrics.gpu_area;
+  metrics.idle_fraction = capacity > 0 ? metrics.total_idle / capacity : 0.0;
+  return metrics;
+}
+
+void validate_schedule(const Schedule& schedule,
+                       const std::vector<Task>& tasks,
+                       const HybridPlatform& platform) {
+  constexpr double kTol = 1e-9;
+
+  std::map<std::size_t, const Task*> by_id;
+  for (const Task& task : tasks) by_id[task.id] = &task;
+  SWDUAL_CHECK(by_id.size() == tasks.size(), "duplicate task ids in input");
+
+  std::set<std::size_t> placed;
+  std::map<std::pair<int, std::size_t>, std::vector<const Assignment*>> per_pe;
+  for (const Assignment& a : schedule.assignments()) {
+    const auto it = by_id.find(a.task_id);
+    SWDUAL_CHECK(it != by_id.end(),
+                 "schedule places unknown task " + std::to_string(a.task_id));
+    SWDUAL_CHECK(placed.insert(a.task_id).second,
+                 "task " + std::to_string(a.task_id) + " placed twice");
+    SWDUAL_CHECK(a.pe.index < platform.count(a.pe.type),
+                 "assignment uses nonexistent PE " + pe_name(a.pe));
+    SWDUAL_CHECK(a.start >= -kTol, "negative start time");
+    const double expected = it->second->time_on(a.pe.type);
+    SWDUAL_CHECK(std::abs(a.duration() - expected) <= kTol * (1 + expected),
+                 "duration mismatch for task " + std::to_string(a.task_id) +
+                     " on " + pe_name(a.pe));
+    per_pe[{static_cast<int>(a.pe.type), a.pe.index}].push_back(&a);
+  }
+  SWDUAL_CHECK(placed.size() == tasks.size(),
+               "schedule misses " +
+                   std::to_string(tasks.size() - placed.size()) + " task(s)");
+
+  for (auto& [pe, list] : per_pe) {
+    std::sort(list.begin(), list.end(),
+              [](const Assignment* a, const Assignment* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      SWDUAL_CHECK(list[i]->start >= list[i - 1]->end - kTol,
+                   "overlap on PE between tasks " +
+                       std::to_string(list[i - 1]->task_id) + " and " +
+                       std::to_string(list[i]->task_id));
+    }
+  }
+}
+
+std::string render_gantt(const Schedule& schedule,
+                         const HybridPlatform& platform, std::size_t width) {
+  const double makespan = schedule.makespan();
+  std::ostringstream os;
+  if (makespan <= 0) {
+    os << "(empty schedule)\n";
+    return os.str();
+  }
+  const double scale = static_cast<double>(width) / makespan;
+  const auto emit_pe = [&](PeId pe) {
+    std::string line(width, '.');
+    for (const Assignment& a : schedule.assignments()) {
+      if (!(a.pe == pe)) continue;
+      auto lo = static_cast<std::size_t>(a.start * scale);
+      auto hi = static_cast<std::size_t>(a.end * scale);
+      lo = std::min(lo, width - 1);
+      hi = std::min(std::max(hi, lo + 1), width);
+      const char mark =
+          static_cast<char>('a' + static_cast<char>(a.task_id % 26));
+      for (std::size_t c = lo; c < hi; ++c) line[c] = mark;
+    }
+    os << pe_name(pe) << (pe.index < 10 ? " " : "") << " |" << line << "|\n";
+  };
+  for (std::size_t g = 0; g < platform.num_gpus; ++g) {
+    emit_pe({PeType::kGpu, g});
+  }
+  for (std::size_t c = 0; c < platform.num_cpus; ++c) {
+    emit_pe({PeType::kCpu, c});
+  }
+  os << "makespan = " << makespan << '\n';
+  return os.str();
+}
+
+}  // namespace swdual::sched

@@ -1,0 +1,53 @@
+// Task and platform models for hybrid CPU+GPU scheduling (paper §III).
+//
+// A task is one pairwise-comparison job (in SWDUAL: one query against the
+// whole database) with two known processing times: p_j on a CPU and p̄_j on
+// a GPU. The platform has m identical CPUs and k identical GPUs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace swdual::sched {
+
+/// Processing-element class.
+enum class PeType { kCpu, kGpu };
+
+/// Identity of one processing element within the platform.
+struct PeId {
+  PeType type = PeType::kCpu;
+  std::size_t index = 0;
+
+  bool operator==(const PeId&) const = default;
+};
+
+/// One schedulable task with machine-dependent processing times.
+struct Task {
+  std::size_t id = 0;
+  double cpu_time = 0.0;  ///< p_j: processing time on any CPU
+  double gpu_time = 0.0;  ///< p̄_j: processing time on any GPU
+
+  /// GPU acceleration ratio p_j / p̄_j — the greedy knapsack's sort key.
+  double accel() const { return gpu_time > 0 ? cpu_time / gpu_time : 0.0; }
+
+  double time_on(PeType type) const {
+    return type == PeType::kCpu ? cpu_time : gpu_time;
+  }
+};
+
+/// A hybrid platform: m CPUs and k GPUs.
+struct HybridPlatform {
+  std::size_t num_cpus = 1;  ///< m
+  std::size_t num_gpus = 1;  ///< k
+
+  std::size_t count(PeType type) const {
+    return type == PeType::kCpu ? num_cpus : num_gpus;
+  }
+  std::size_t total() const { return num_cpus + num_gpus; }
+};
+
+/// Printable PE name, e.g. "GPU3" / "CPU0".
+std::string pe_name(const PeId& pe);
+
+}  // namespace swdual::sched

@@ -1,0 +1,75 @@
+#include "seq/alphabet.h"
+
+#include "util/error.h"
+
+namespace swdual::seq {
+
+Alphabet::Alphabet(AlphabetKind kind, std::string letters,
+                   std::uint8_t wildcard)
+    : kind_(kind), letters_(std::move(letters)), wildcard_(wildcard) {
+  SWDUAL_CHECK(wildcard_ < letters_.size(), "wildcard code out of range");
+  encode_table_.fill(wildcard_);
+  for (std::size_t code = 0; code < letters_.size(); ++code) {
+    const char upper = letters_[code];
+    encode_table_[static_cast<unsigned char>(upper)] =
+        static_cast<std::uint8_t>(code);
+    if (upper >= 'A' && upper <= 'Z') {
+      encode_table_[static_cast<unsigned char>(upper - 'A' + 'a')] =
+          static_cast<std::uint8_t>(code);
+    }
+  }
+}
+
+const Alphabet& Alphabet::dna() {
+  static const Alphabet alphabet(AlphabetKind::kDna, "ACGTN", 4);
+  return alphabet;
+}
+
+const Alphabet& Alphabet::rna() {
+  static const Alphabet alphabet(AlphabetKind::kRna, "ACGUN", 4);
+  return alphabet;
+}
+
+const Alphabet& Alphabet::protein() {
+  // BLOSUM matrix row order; code 22 ('X') is the wildcard.
+  static const Alphabet alphabet(AlphabetKind::kProtein,
+                                 "ARNDCQEGHILKMFPSTWYVBZX*", 22);
+  return alphabet;
+}
+
+const Alphabet& Alphabet::get(AlphabetKind kind) {
+  switch (kind) {
+    case AlphabetKind::kDna: return dna();
+    case AlphabetKind::kRna: return rna();
+    case AlphabetKind::kProtein: return protein();
+  }
+  throw InvalidArgument("unknown alphabet kind");
+}
+
+std::vector<std::uint8_t> Alphabet::encode(std::string_view text) const {
+  std::vector<std::uint8_t> codes;
+  codes.reserve(text.size());
+  for (char c : text) codes.push_back(encode(c));
+  return codes;
+}
+
+std::string Alphabet::decode(const std::vector<std::uint8_t>& codes) const {
+  std::string text;
+  text.reserve(codes.size());
+  for (std::uint8_t code : codes) text.push_back(decode(code));
+  return text;
+}
+
+bool Alphabet::contains(char letter) const {
+  const std::uint8_t code = encode(letter);
+  if (code == wildcard_) {
+    // The wildcard letter itself is a member; everything else mapped to the
+    // wildcard is not.
+    return letter == letters_[wildcard_] ||
+           (letter >= 'a' && letter <= 'z' &&
+            static_cast<char>(letter - 'a' + 'A') == letters_[wildcard_]);
+  }
+  return true;
+}
+
+}  // namespace swdual::seq

@@ -1,0 +1,66 @@
+// Residue alphabets and letter <-> code translation.
+//
+// Sequences are stored encoded (one byte per residue, codes 0..N-1) so the
+// alignment kernels can index substitution matrices directly without
+// per-cell character translation — the same design used by SWIPE and
+// CUDASW++. Unknown letters map to the alphabet's wildcard code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swdual::seq {
+
+enum class AlphabetKind : std::uint8_t { kDna = 0, kRna = 1, kProtein = 2 };
+
+/// Translation table between ASCII residue letters and compact codes.
+class Alphabet {
+ public:
+  /// The 4-letter DNA alphabet ACGT (+N wildcard).
+  static const Alphabet& dna();
+  /// The 4-letter RNA alphabet ACGU (+N wildcard).
+  static const Alphabet& rna();
+  /// The 24-letter protein alphabet in BLOSUM order ARNDCQEGHILKMFPSTWYVBZX*
+  /// (X doubles as the wildcard).
+  static const Alphabet& protein();
+  /// Lookup by kind.
+  static const Alphabet& get(AlphabetKind kind);
+
+  AlphabetKind kind() const { return kind_; }
+  /// Number of distinct residue codes (including wildcard).
+  std::size_t size() const { return letters_.size(); }
+  /// The ordered residue letters, code i -> letters()[i].
+  std::string_view letters() const { return letters_; }
+  /// Code assigned to unknown input letters.
+  std::uint8_t wildcard_code() const { return wildcard_; }
+
+  /// Letter -> code; unknown letters (and lowercase) normalize via the table.
+  std::uint8_t encode(char letter) const {
+    return encode_table_[static_cast<unsigned char>(letter)];
+  }
+  /// Code -> letter. Out-of-range codes render as '?'.
+  char decode(std::uint8_t code) const {
+    return code < letters_.size() ? letters_[code] : '?';
+  }
+
+  /// Encode a whole string.
+  std::vector<std::uint8_t> encode(std::string_view text) const;
+  /// Decode a whole code vector.
+  std::string decode(const std::vector<std::uint8_t>& codes) const;
+
+  /// True if the letter is an exact member (not mapped to the wildcard).
+  bool contains(char letter) const;
+
+ private:
+  Alphabet(AlphabetKind kind, std::string letters, std::uint8_t wildcard);
+
+  AlphabetKind kind_;
+  std::string letters_;
+  std::uint8_t wildcard_;
+  std::array<std::uint8_t, 256> encode_table_{};
+};
+
+}  // namespace swdual::seq

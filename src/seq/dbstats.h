@@ -1,0 +1,28 @@
+// Descriptive statistics over a sequence database (used to print Table III
+// and to size workloads for the performance model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace swdual::seq {
+
+struct DatabaseStats {
+  std::size_t num_sequences = 0;
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  double mean_length = 0.0;
+  std::uint64_t total_residues = 0;
+};
+
+/// Compute stats from in-memory records.
+DatabaseStats compute_stats(const std::vector<Sequence>& records);
+
+/// Compute stats from length data only (e.g. from an SWDB index, without
+/// reading residues).
+DatabaseStats compute_stats_from_lengths(const std::vector<std::size_t>& lengths);
+
+}  // namespace swdual::seq

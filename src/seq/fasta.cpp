@@ -1,0 +1,90 @@
+#include "seq/fasta.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace swdual::seq {
+
+std::vector<Sequence> read_fasta(std::istream& in, AlphabetKind alphabet) {
+  const Alphabet& codes = Alphabet::get(alphabet);
+  std::vector<Sequence> records;
+  Sequence current;
+  bool in_record = false;
+
+  const auto flush = [&] {
+    if (in_record) records.push_back(std::move(current));
+    current = Sequence();
+    current.alphabet = alphabet;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text = trim(line);
+    if (text.empty()) continue;
+    if (text.front() == '>') {
+      flush();
+      in_record = true;
+      text.remove_prefix(1);
+      text = trim(text);
+      const std::size_t space = text.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        current.id = std::string(text);
+      } else {
+        current.id = std::string(text.substr(0, space));
+        current.description = std::string(trim(text.substr(space + 1)));
+      }
+      continue;
+    }
+    if (text.front() == ';') continue;  // legacy FASTA comment line
+    if (!in_record) {
+      throw IoError("FASTA: residue data before any '>' header at line " +
+                    std::to_string(line_no));
+    }
+    for (char c : text) {
+      if (c == ' ' || c == '\t') continue;
+      current.residues.push_back(codes.encode(c));
+    }
+  }
+  flush();
+  return records;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      AlphabetKind alphabet) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open FASTA file: " + path);
+  return read_fasta(in, alphabet);
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& records,
+                 std::size_t width) {
+  SWDUAL_REQUIRE(width > 0, "FASTA wrap width must be positive");
+  for (const Sequence& record : records) {
+    out << '>' << record.id;
+    if (!record.description.empty()) out << ' ' << record.description;
+    out << '\n';
+    const std::string text = record.to_text();
+    for (std::size_t pos = 0; pos < text.size(); pos += width) {
+      out << text.substr(pos, width) << '\n';
+    }
+    if (text.empty()) out << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& records,
+                      std::size_t width) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open FASTA file for writing: " + path);
+  write_fasta(out, records, width);
+  if (!out) throw IoError("FASTA write failed: " + path);
+}
+
+}  // namespace swdual::seq

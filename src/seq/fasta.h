@@ -1,0 +1,35 @@
+// FASTA format reading and writing (Pearson 1990, the paper's input format).
+//
+// FASTA is a sequential text format — you cannot seek to the i-th record,
+// which is why the paper introduces a binary random-access format (see
+// swdb.h). This module provides the text side of that conversion.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace swdual::seq {
+
+/// Parse every record from a FASTA stream. Residue lines may wrap; blank
+/// lines are skipped; the header's first token becomes the id and the rest
+/// the description. Throws IoError on structural problems (residue data
+/// before any header).
+std::vector<Sequence> read_fasta(std::istream& in, AlphabetKind alphabet);
+
+/// Parse a FASTA file from disk.
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      AlphabetKind alphabet);
+
+/// Write records in FASTA with lines wrapped at `width` residues.
+void write_fasta(std::ostream& out, const std::vector<Sequence>& records,
+                 std::size_t width = 60);
+
+/// Write records to a FASTA file on disk.
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& records,
+                      std::size_t width = 60);
+
+}  // namespace swdual::seq

@@ -1,0 +1,95 @@
+#include "seq/fasta_index.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace swdual::seq {
+
+FastaIndex::FastaIndex(std::string path, AlphabetKind alphabet)
+    : path_(std::move(path)), alphabet_(alphabet), file_(path_) {
+  if (!file_) throw IoError("cannot open FASTA file: " + path_);
+
+  std::string line;
+  std::uint64_t line_start = 0;
+  while (true) {
+    const auto position = static_cast<std::uint64_t>(file_.tellg());
+    if (!std::getline(file_, line)) break;
+    line_start = position;
+    const std::string_view text = trim(line);
+    if (text.empty()) continue;
+    if (text.front() == '>') {
+      Entry entry;
+      entry.offset = line_start;
+      std::string_view header = text.substr(1);
+      header = trim(header);
+      const std::size_t space = header.find_first_of(" \t");
+      entry.id = std::string(space == std::string_view::npos
+                                 ? header
+                                 : header.substr(0, space));
+      entries_.push_back(std::move(entry));
+    } else if (text.front() != ';') {
+      if (entries_.empty()) {
+        throw IoError("FASTA: residue data before any header in " + path_);
+      }
+      std::uint32_t residues = 0;
+      for (char c : text) {
+        if (c != ' ' && c != '\t') ++residues;
+      }
+      entries_.back().residues += residues;
+    }
+  }
+  file_.clear();
+}
+
+std::size_t FastaIndex::length(std::size_t i) const {
+  SWDUAL_REQUIRE(i < entries_.size(), "FASTA index out of range");
+  return entries_[i].residues;
+}
+
+const std::string& FastaIndex::id(std::size_t i) const {
+  SWDUAL_REQUIRE(i < entries_.size(), "FASTA index out of range");
+  return entries_[i].id;
+}
+
+Sequence FastaIndex::read(std::size_t i) const {
+  SWDUAL_REQUIRE(i < entries_.size(), "FASTA index out of range");
+  const Entry& entry = entries_[i];
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(entry.offset));
+
+  const Alphabet& codes = Alphabet::get(alphabet_);
+  Sequence record;
+  record.alphabet = alphabet_;
+  record.residues.reserve(entry.residues);
+
+  std::string line;
+  bool in_header = true;
+  while (std::getline(file_, line)) {
+    const std::string_view text = trim(line);
+    if (text.empty()) continue;
+    if (text.front() == '>') {
+      if (!in_header) break;  // next record begins
+      in_header = false;
+      std::string_view header = trim(text.substr(1));
+      const std::size_t space = header.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        record.id = std::string(header);
+      } else {
+        record.id = std::string(header.substr(0, space));
+        record.description = std::string(trim(header.substr(space + 1)));
+      }
+      continue;
+    }
+    if (text.front() == ';') continue;
+    SWDUAL_CHECK(!in_header, "index points at a non-header line");
+    for (char c : text) {
+      if (c != ' ' && c != '\t') record.residues.push_back(codes.encode(c));
+    }
+  }
+  file_.clear();
+  SWDUAL_CHECK(record.residues.size() == entry.residues,
+               "FASTA record changed since indexing: " + record.id);
+  return record;
+}
+
+}  // namespace swdual::seq

@@ -1,0 +1,51 @@
+// Random access into FASTA files via a one-pass index (samtools-faidx
+// style).
+//
+// The paper's argument for a binary format (§IV) is that FASTA cannot serve
+// "specific sequences contained in the file" directly. The strongest
+// fair baseline is an indexed FASTA: scan once, remember each record's byte
+// offset and length, then seek+parse on demand. This module provides that
+// baseline (and a useful tool in its own right); bench_binary_format
+// compares all three access paths.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace swdual::seq {
+
+/// Byte-offset index over a FASTA file.
+class FastaIndex {
+ public:
+  /// Scan the file and build the index; throws IoError on malformed input.
+  FastaIndex(std::string path, AlphabetKind alphabet);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Residue count of record i (known from the indexing pass, no re-read).
+  std::size_t length(std::size_t i) const;
+
+  /// Record id of entry i (held in memory by the index).
+  const std::string& id(std::size_t i) const;
+
+  /// Read one record by seeking to its byte offset and parsing it.
+  Sequence read(std::size_t i) const;
+
+ private:
+  struct Entry {
+    std::string id;
+    std::uint64_t offset = 0;      ///< byte offset of the '>' header line
+    std::uint32_t residues = 0;    ///< total residue count
+  };
+
+  std::string path_;
+  AlphabetKind alphabet_;
+  mutable std::ifstream file_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace swdual::seq

@@ -1,0 +1,77 @@
+#include "seq/mask.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace swdual::seq {
+
+double shannon_entropy(std::span<const std::uint8_t> window) {
+  if (window.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (std::uint8_t code : window) counts[code]++;
+  double entropy = 0.0;
+  const double n = static_cast<double>(window.size());
+  for (std::size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+std::vector<bool> low_complexity_mask(std::span<const std::uint8_t> residues,
+                                      const MaskConfig& config) {
+  SWDUAL_REQUIRE(config.window >= 2, "mask window must be at least 2");
+  std::vector<bool> flags(residues.size(), false);
+  if (residues.size() < config.window) {
+    // Short sequences: evaluate the whole sequence as one window.
+    if (!residues.empty() &&
+        shannon_entropy(residues) < config.entropy_threshold) {
+      flags.assign(residues.size(), true);
+    }
+    return flags;
+  }
+  // Sliding window with incremental counts: O(n) over the sequence.
+  std::array<std::size_t, 256> counts{};
+  const double n = static_cast<double>(config.window);
+  const auto entropy_of_counts = [&] {
+    double entropy = 0.0;
+    for (std::size_t count : counts) {
+      if (count == 0) continue;
+      const double p = static_cast<double>(count) / n;
+      entropy -= p * std::log2(p);
+    }
+    return entropy;
+  };
+  for (std::size_t i = 0; i < config.window; ++i) counts[residues[i]]++;
+  for (std::size_t start = 0;; ++start) {
+    if (entropy_of_counts() < config.entropy_threshold) {
+      for (std::size_t i = start; i < start + config.window; ++i) {
+        flags[i] = true;
+      }
+    }
+    if (start + config.window >= residues.size()) break;
+    counts[residues[start]]--;
+    counts[residues[start + config.window]]++;
+  }
+  return flags;
+}
+
+std::size_t mask_low_complexity(Sequence& sequence, const MaskConfig& config) {
+  const std::vector<bool> flags =
+      low_complexity_mask(sequence.residues, config);
+  const std::uint8_t wildcard =
+      Alphabet::get(sequence.alphabet).wildcard_code();
+  std::size_t masked = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i] && sequence.residues[i] != wildcard) {
+      sequence.residues[i] = wildcard;
+      ++masked;
+    }
+  }
+  return masked;
+}
+
+}  // namespace swdual::seq

@@ -1,0 +1,40 @@
+// Low-complexity region masking (SEG-style entropy filter).
+//
+// Real database searches mask low-complexity regions (poly-A runs, simple
+// repeats) before scoring: such regions produce inflated Smith–Waterman
+// scores that are not evidence of homology. This is a compact single-pass
+// variant of Wootton & Federhen's SEG: a sliding window's Shannon entropy is
+// compared against a threshold, and residues inside every low-entropy
+// window are replaced by the alphabet's wildcard (which BLOSUM62 scores
+// -1 against everything, neutralizing the region).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace swdual::seq {
+
+/// Masking parameters. Defaults follow SEG's classic 12/2.2 trigger for
+/// protein sequences (entropy in bits).
+struct MaskConfig {
+  std::size_t window = 12;
+  double entropy_threshold = 2.2;
+};
+
+/// Shannon entropy (bits) of a residue window.
+double shannon_entropy(std::span<const std::uint8_t> window);
+
+/// Compute the mask: flags[i] is true when residue i lies in at least one
+/// window whose entropy is below the threshold.
+std::vector<bool> low_complexity_mask(std::span<const std::uint8_t> residues,
+                                      const MaskConfig& config = {});
+
+/// Replace masked residues by the alphabet's wildcard code in place.
+/// Returns the number of residues masked.
+std::size_t mask_low_complexity(Sequence& sequence,
+                                const MaskConfig& config = {});
+
+}  // namespace swdual::seq

@@ -1,0 +1,50 @@
+// Encoded biological sequence value type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "seq/alphabet.h"
+
+namespace swdual::seq {
+
+/// One biological sequence: identifier, free-form description, and residues
+/// stored as alphabet codes (one byte each).
+struct Sequence {
+  std::string id;
+  std::string description;
+  AlphabetKind alphabet = AlphabetKind::kProtein;
+  std::vector<std::uint8_t> residues;
+
+  Sequence() = default;
+  Sequence(std::string id_, std::string desc, AlphabetKind kind,
+           std::vector<std::uint8_t> codes)
+      : id(std::move(id_)),
+        description(std::move(desc)),
+        alphabet(kind),
+        residues(std::move(codes)) {}
+
+  /// Construct by encoding a residue string.
+  static Sequence from_text(std::string id, std::string desc,
+                            AlphabetKind kind, std::string_view text) {
+    return Sequence(std::move(id), std::move(desc), kind,
+                    Alphabet::get(kind).encode(text));
+  }
+
+  std::size_t length() const { return residues.size(); }
+  bool empty() const { return residues.empty(); }
+
+  /// Decode back to a residue string.
+  std::string to_text() const {
+    return Alphabet::get(alphabet).decode(residues);
+  }
+
+  bool operator==(const Sequence& other) const {
+    return id == other.id && description == other.description &&
+           alphabet == other.alphabet && residues == other.residues;
+  }
+};
+
+}  // namespace swdual::seq

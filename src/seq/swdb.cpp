@@ -1,0 +1,193 @@
+#include "seq/swdb.h"
+
+#include <array>
+#include <cstring>
+#include <limits>
+
+#include "seq/fasta.h"
+#include "util/error.h"
+
+namespace swdual::seq {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'S', 'W', 'D', 'B'};
+constexpr std::uint64_t kHeaderBytes = 4 + 4 + 4 + 8 + 8;
+
+template <typename T>
+void write_le(std::ostream& out, T value) {
+  static_assert(std::is_unsigned_v<T>);
+  std::array<char, sizeof(T)> bytes;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out.write(bytes.data(), bytes.size());
+}
+
+template <typename T>
+T read_le(std::istream& in) {
+  static_assert(std::is_unsigned_v<T>);
+  std::array<char, sizeof(T)> bytes;
+  in.read(bytes.data(), bytes.size());
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(static_cast<unsigned char>(bytes[i])) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_swdb(const std::string& path, const std::vector<Sequence>& records,
+                AlphabetKind alphabet) {
+  for (const Sequence& record : records) {
+    SWDUAL_REQUIRE(record.alphabet == alphabet,
+                   "record '" + record.id + "' has a different alphabet");
+    SWDUAL_REQUIRE(record.id.size() <= std::numeric_limits<std::uint16_t>::max(),
+                   "record id too long: " + record.id);
+    SWDUAL_REQUIRE(
+        record.description.size() <= std::numeric_limits<std::uint16_t>::max(),
+        "record description too long: " + record.id);
+    SWDUAL_REQUIRE(
+        record.length() <= std::numeric_limits<std::uint32_t>::max(),
+        "record too long: " + record.id);
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open SWDB for writing: " + path);
+
+  // Header (index offset back-patched after the data section is written).
+  out.write(kMagic.data(), kMagic.size());
+  write_le<std::uint32_t>(out, kSwdbVersion);
+  write_le<std::uint8_t>(out, static_cast<std::uint8_t>(alphabet));
+  write_le<std::uint8_t>(out, 0);
+  write_le<std::uint8_t>(out, 0);
+  write_le<std::uint8_t>(out, 0);
+  write_le<std::uint64_t>(out, records.size());
+  const std::streampos index_offset_pos = out.tellp();
+  write_le<std::uint64_t>(out, 0);  // placeholder
+
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(records.size());
+  for (const Sequence& record : records) {
+    offsets.push_back(static_cast<std::uint64_t>(out.tellp()));
+    out.write(reinterpret_cast<const char*>(record.residues.data()),
+              static_cast<std::streamsize>(record.residues.size()));
+    out.write(record.id.data(),
+              static_cast<std::streamsize>(record.id.size()));
+    out.write(record.description.data(),
+              static_cast<std::streamsize>(record.description.size()));
+  }
+
+  const auto index_offset = static_cast<std::uint64_t>(out.tellp());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    write_le<std::uint64_t>(out, offsets[i]);
+    write_le<std::uint32_t>(out,
+                            static_cast<std::uint32_t>(records[i].length()));
+    write_le<std::uint16_t>(out,
+                            static_cast<std::uint16_t>(records[i].id.size()));
+    write_le<std::uint16_t>(
+        out, static_cast<std::uint16_t>(records[i].description.size()));
+  }
+
+  out.seekp(index_offset_pos);
+  write_le<std::uint64_t>(out, index_offset);
+  out.flush();
+  if (!out) throw IoError("SWDB write failed: " + path);
+}
+
+std::size_t convert_fasta_to_swdb(const std::string& fasta_path,
+                                  const std::string& swdb_path,
+                                  AlphabetKind alphabet) {
+  const std::vector<Sequence> records = read_fasta_file(fasta_path, alphabet);
+  write_swdb(swdb_path, records, alphabet);
+  return records.size();
+}
+
+SwdbReader::SwdbReader(const std::string& path)
+    : path_(path), file_(path, std::ios::binary) {
+  if (!file_) throw IoError("cannot open SWDB file: " + path);
+
+  std::array<char, 4> magic;
+  file_.read(magic.data(), magic.size());
+  if (!file_ || magic != kMagic) {
+    throw IoError("not an SWDB file (bad magic): " + path);
+  }
+  const auto version = read_le<std::uint32_t>(file_);
+  if (version != kSwdbVersion) {
+    throw IoError("unsupported SWDB version " + std::to_string(version) +
+                  " in " + path);
+  }
+  const auto alphabet_byte = read_le<std::uint8_t>(file_);
+  if (alphabet_byte > 2) {
+    throw IoError("corrupt SWDB alphabet field in " + path);
+  }
+  alphabet_ = static_cast<AlphabetKind>(alphabet_byte);
+  read_le<std::uint8_t>(file_);
+  read_le<std::uint8_t>(file_);
+  read_le<std::uint8_t>(file_);
+  const auto count = read_le<std::uint64_t>(file_);
+  const auto index_offset = read_le<std::uint64_t>(file_);
+  if (!file_) throw IoError("truncated SWDB header: " + path);
+
+  // Validate the header against the actual file size before allocating
+  // anything — corrupt counts/offsets must fail cleanly, not OOM.
+  file_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(file_.tellg());
+  constexpr std::uint64_t kEntrySize = 8 + 4 + 2 + 2;
+  if (index_offset > file_size ||
+      count > (file_size - index_offset) / kEntrySize) {
+    throw IoError("corrupt SWDB header (index out of bounds): " + path);
+  }
+  data_end_ = index_offset;
+
+  file_.seekg(static_cast<std::streamoff>(index_offset));
+  entries_.resize(count);
+  for (Entry& entry : entries_) {
+    entry.offset = read_le<std::uint64_t>(file_);
+    entry.seq_length = read_le<std::uint32_t>(file_);
+    entry.id_length = read_le<std::uint16_t>(file_);
+    entry.desc_length = read_le<std::uint16_t>(file_);
+    const std::uint64_t record_end =
+        entry.offset + entry.seq_length + entry.id_length + entry.desc_length;
+    if (entry.offset < kHeaderBytes || record_end > data_end_) {
+      throw IoError("corrupt SWDB index entry: " + path);
+    }
+    total_residues_ += entry.seq_length;
+  }
+  if (!file_) throw IoError("truncated SWDB index: " + path);
+}
+
+std::size_t SwdbReader::length(std::size_t i) const {
+  SWDUAL_REQUIRE(i < entries_.size(), "SWDB record index out of range");
+  return entries_[i].seq_length;
+}
+
+Sequence SwdbReader::read(std::size_t i) const {
+  SWDUAL_REQUIRE(i < entries_.size(), "SWDB record index out of range");
+  const Entry& entry = entries_[i];
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(entry.offset));
+  Sequence record;
+  record.alphabet = alphabet_;
+  record.residues.resize(entry.seq_length);
+  file_.read(reinterpret_cast<char*>(record.residues.data()),
+             entry.seq_length);
+  record.id.resize(entry.id_length);
+  file_.read(record.id.data(), entry.id_length);
+  record.description.resize(entry.desc_length);
+  file_.read(record.description.data(), entry.desc_length);
+  if (!file_) throw IoError("truncated SWDB record in " + path_);
+  return record;
+}
+
+std::vector<Sequence> SwdbReader::read_all() const {
+  std::vector<Sequence> records;
+  records.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    records.push_back(read(i));
+  }
+  return records;
+}
+
+}  // namespace swdual::seq

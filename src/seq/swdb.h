@@ -1,0 +1,80 @@
+// SWDB: the binary random-access sequence database format from §IV of the
+// paper.
+//
+// FASTA files are sequential text, so reading "the i-th sequence" requires
+// scanning from the start. The paper introduces a simple binary format with
+// a few extra fields so both the master and the workers can read sequences
+// at any position directly and pre-size memory allocations (all lengths are
+// known up front). This is our realization of that format:
+//
+//   [header]   magic "SWDB", version, alphabet, record count, index offset
+//   [records]  residue codes + id + description per record, back to back
+//   [index]    per record: data offset, residue/id/description lengths
+//
+// The reader loads the index (tens of bytes per record) and leaves the data
+// on disk, serving O(1) random reads via seek. All integers little-endian.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace swdual::seq {
+
+/// Current SWDB container version.
+inline constexpr std::uint32_t kSwdbVersion = 1;
+
+/// Write all records to an SWDB file. Throws IoError on failure and
+/// InvalidArgument if records disagree on alphabet.
+void write_swdb(const std::string& path, const std::vector<Sequence>& records,
+                AlphabetKind alphabet);
+
+/// Convert a FASTA file to SWDB (the master/worker "convert format" step in
+/// the paper's Fig. 6 workflow). Returns the number of records written.
+std::size_t convert_fasta_to_swdb(const std::string& fasta_path,
+                                  const std::string& swdb_path,
+                                  AlphabetKind alphabet);
+
+/// Random-access SWDB reader.
+class SwdbReader {
+ public:
+  /// Opens the file and loads the index; throws IoError if the file is
+  /// missing, truncated, or not an SWDB container.
+  explicit SwdbReader(const std::string& path);
+
+  std::size_t size() const { return entries_.size(); }
+  AlphabetKind alphabet() const { return alphabet_; }
+
+  /// Residue count of record i without touching the data section — the
+  /// property that makes task-cost estimation cheap for the scheduler.
+  std::size_t length(std::size_t i) const;
+
+  /// Sum of all residue counts (cell-count denominators for GCUPS).
+  std::uint64_t total_residues() const { return total_residues_; }
+
+  /// Read one record (seek + read; O(1) in the file position).
+  Sequence read(std::size_t i) const;
+
+  /// Read every record in file order.
+  std::vector<Sequence> read_all() const;
+
+ private:
+  struct Entry {
+    std::uint64_t offset = 0;
+    std::uint32_t seq_length = 0;
+    std::uint16_t id_length = 0;
+    std::uint16_t desc_length = 0;
+  };
+
+  std::string path_;
+  mutable std::ifstream file_;
+  AlphabetKind alphabet_ = AlphabetKind::kProtein;
+  std::vector<Entry> entries_;
+  std::uint64_t total_residues_ = 0;
+  std::uint64_t data_end_ = 0;  ///< first byte of the index section
+};
+
+}  // namespace swdual::seq

@@ -1,0 +1,107 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace swdual {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  Option opt;
+  opt.help = help;
+  opt.is_flag = true;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  Option opt;
+  opt.help = help;
+  opt.value = default_value;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    SWDUAL_REQUIRE(it != options_.end(), "unknown option --" + name);
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      SWDUAL_REQUIRE(!has_value, "flag --" + name + " takes no value");
+      opt.flag_set = true;
+    } else {
+      if (!has_value) {
+        SWDUAL_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+        value = argv[++i];
+      }
+      opt.value = std::move(value);
+    }
+  }
+}
+
+bool CliParser::flag(const std::string& name) const {
+  auto it = options_.find(name);
+  SWDUAL_REQUIRE(it != options_.end() && it->second.is_flag,
+                 "flag not registered: " + name);
+  return it->second.flag_set;
+}
+
+const std::string& CliParser::option(const std::string& name) const {
+  auto it = options_.find(name);
+  SWDUAL_REQUIRE(it != options_.end() && !it->second.is_flag,
+                 "option not registered: " + name);
+  return it->second.value;
+}
+
+long CliParser::option_int(const std::string& name) const {
+  const std::string& text = option(name);
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  SWDUAL_REQUIRE(end != nullptr && *end == '\0' && !text.empty(),
+                 "option --" + name + " is not an integer: " + text);
+  return value;
+}
+
+double CliParser::option_double(const std::string& name) const {
+  const std::string& text = option(name);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  SWDUAL_REQUIRE(end != nullptr && *end == '\0' && !text.empty(),
+                 "option --" + name + " is not a number: " + text);
+  return value;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (!opt.is_flag) os << " <value (default: " << opt.value << ")>";
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace swdual

@@ -1,0 +1,59 @@
+// Tiny declarative command-line parser for the example/bench binaries.
+//
+//   CliParser cli("tool", "does things");
+//   cli.add_flag("verbose", "enable debug logging");
+//   cli.add_option("db", "path to database", "uniprot.swdb");
+//   cli.parse(argc, argv);           // throws InvalidArgument on bad input
+//   if (cli.flag("verbose")) ...
+//   auto path = cli.option("db");
+//
+// Supports --name value, --name=value, and bare --flag. Unknown options are
+// an error; `--help` prints usage and sets help_requested().
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace swdual {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Register a boolean flag (default false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Register a string option with a default value.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parse argv; throws InvalidArgument for unknown/malformed arguments.
+  void parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  const std::string& option(const std::string& name) const;
+  long option_int(const std::string& name) const;
+  double option_double(const std::string& name) const;
+
+  /// Positional arguments left after option parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool help_requested() const { return help_requested_; }
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool flag_set = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace swdual

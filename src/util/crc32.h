@@ -1,0 +1,55 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) — header-only.
+//
+// Used for SWDB record integrity and wire-message framing. Table-driven,
+// one byte per step; the table is built at first use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace swdual {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// Incremental CRC-32: feed chunks, read value() at any point.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> bytes) {
+    const auto& table = detail::crc32_table();
+    for (std::uint8_t byte : bytes) {
+      state_ = table[(state_ ^ byte) & 0xffu] ^ (state_ >> 8);
+    }
+  }
+  void update(const void* data, std::size_t size) {
+    update({static_cast<const std::uint8_t*>(data), size});
+  }
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  Crc32 crc;
+  crc.update(bytes);
+  return crc.value();
+}
+
+}  // namespace swdual

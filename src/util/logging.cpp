@@ -1,0 +1,30 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace swdual {
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace swdual

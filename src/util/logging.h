@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// Thread-safe: each log statement formats into a local buffer and emits it
+// with a single locked write, so lines from worker threads never interleave.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace swdual {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log configuration. Defaults to kInfo on stderr.
+class Logger {
+ public:
+  /// Process-wide logger instance.
+  static Logger& instance();
+
+  /// Messages below `level` are discarded.
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Emit one formatted line (appends '\n'). Thread-safe.
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mutex_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace swdual
+
+#define SWDUAL_LOG(severity)                                           \
+  if (static_cast<int>(::swdual::Logger::instance().level()) <=        \
+      static_cast<int>(::swdual::LogLevel::severity))                  \
+  ::swdual::detail::LogLine(::swdual::LogLevel::severity)
+
+#define LOG_DEBUG SWDUAL_LOG(kDebug)
+#define LOG_INFO SWDUAL_LOG(kInfo)
+#define LOG_WARN SWDUAL_LOG(kWarn)
+#define LOG_ERROR SWDUAL_LOG(kError)

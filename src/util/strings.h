@@ -1,0 +1,54 @@
+// Small string utilities (header-only).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swdual {
+
+/// Split on a delimiter character; empty fields are preserved.
+inline std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+/// Strip leading/trailing ASCII whitespace.
+inline std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+           c == '\f';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+inline bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+inline bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+/// Upper-case ASCII in place (residue normalization for FASTA input).
+inline void to_upper_ascii(std::string& s) {
+  for (char& c : s) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+}
+
+}  // namespace swdual

@@ -1,0 +1,41 @@
+// Text-table and CSV rendering for benchmark harness output.
+//
+// Every bench binary prints the paper's table rows through TextTable so the
+// reproduced tables are visually comparable to the originals, and writes a
+// machine-readable CSV next to it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swdual {
+
+class TextTable {
+ public:
+  /// Set the header row (defines column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles/ints with the given precision.
+  static std::string fmt(double value, int precision = 2);
+
+  /// Render with aligned columns and a separator under the header.
+  std::string render() const;
+
+  /// Render as CSV (comma-separated, minimal quoting).
+  std::string csv() const;
+
+  /// Write csv() to a file; throws IoError on failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swdual

@@ -1,0 +1,56 @@
+// Fixed-size thread pool with a futures-based submit API.
+//
+// Used by the real (non-simulated) execution engine and by the virtual GPU
+// to run alignment batches. Shutdown is cooperative: the destructor closes
+// the queue and joins all workers (RAII, no detached threads).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/concurrent_queue.h"
+
+namespace swdual {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedule a callable; returns a future for its result.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::bind(std::forward<F>(f), std::forward<Args>(args)...));
+    std::future<R> result = task->get_future();
+    const bool accepted = queue_.push([task] { (*task)(); });
+    if (!accepted) {
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
+    return result;
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  ConcurrentQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(i) for i in [0, count) across the pool and wait for completion.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace swdual

@@ -1,0 +1,82 @@
+// Unit/property tests for the banded heuristic kernel.
+#include <gtest/gtest.h>
+
+#include "align/banded.h"
+#include "align/scalar.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::align {
+namespace {
+
+std::vector<std::uint8_t> random_codes(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> out(len);
+  for (auto& c : out) c = static_cast<std::uint8_t>(rng.below(20));
+  return out;
+}
+
+TEST(Banded, FullWidthBandMatchesOracle) {
+  ScoringScheme scheme;
+  Rng rng(31);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto q = random_codes(rng, static_cast<std::size_t>(rng.between(5, 80)));
+    const auto d = random_codes(rng, static_cast<std::size_t>(rng.between(5, 80)));
+    // Band wider than the matrix == exact.
+    const auto r = banded_gotoh_score(q, d, scheme, q.size() + d.size());
+    EXPECT_EQ(r.score, gotoh_score(q, d, scheme).score) << "rep " << rep;
+  }
+}
+
+TEST(Banded, NeverExceedsExactScore) {
+  ScoringScheme scheme;
+  Rng rng(32);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto q = random_codes(rng, 60);
+    const auto d = random_codes(rng, 90);
+    const int exact = gotoh_score(q, d, scheme).score;
+    for (std::size_t band : {2u, 5u, 10u, 25u}) {
+      EXPECT_LE(banded_gotoh_score(q, d, scheme, band).score, exact)
+          << "rep " << rep << " band " << band;
+    }
+  }
+}
+
+TEST(Banded, FindsDiagonalHomology) {
+  // Two near-identical sequences: the optimum hugs the diagonal, so even a
+  // narrow band recovers the exact score.
+  ScoringScheme scheme;
+  Rng rng(33);
+  auto q = random_codes(rng, 200);
+  auto d = q;
+  for (std::size_t i = 0; i < d.size(); i += 23) {
+    d[i] = static_cast<std::uint8_t>(rng.below(20));  // sprinkle mutations
+  }
+  const int exact = gotoh_score(q, d, scheme).score;
+  EXPECT_EQ(banded_gotoh_score(q, d, scheme, 8).score, exact);
+}
+
+TEST(Banded, CountsOnlyBandCells) {
+  ScoringScheme scheme;
+  Rng rng(34);
+  const auto q = random_codes(rng, 100);
+  const auto d = random_codes(rng, 100);
+  const auto narrow = banded_gotoh_score(q, d, scheme, 5);
+  const auto full = banded_gotoh_score(q, d, scheme, 200);
+  EXPECT_LT(narrow.cells, full.cells);
+  EXPECT_LE(narrow.cells, 100u * 11u);  // per row at most 2*band+1 cells
+}
+
+TEST(Banded, RejectsZeroBand) {
+  ScoringScheme scheme;
+  Rng rng(35);
+  const auto q = random_codes(rng, 10);
+  EXPECT_THROW(banded_gotoh_score(q, q, scheme, 0), InvalidArgument);
+}
+
+TEST(Banded, EmptyInputsScoreZero) {
+  ScoringScheme scheme;
+  EXPECT_EQ(banded_gotoh_score({}, {}, scheme, 4).score, 0);
+}
+
+}  // namespace
+}  // namespace swdual::align

@@ -1,0 +1,135 @@
+// Property tests for the byte-precision striped kernel: exact whenever it
+// does not flag overflow, and overflow flagged before any clamping can
+// corrupt a score.
+#include <gtest/gtest.h>
+
+#include "align/kernel_striped8.h"
+#include "align/scalar.h"
+#include "align/search.h"
+#include "seq/dbgen.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::align {
+namespace {
+
+std::vector<std::uint8_t> random_codes(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> out(len);
+  for (auto& c : out) c = static_cast<std::uint8_t>(rng.below(20));
+  return out;
+}
+
+TEST(Striped8, MatchesOracleWhenNoOverflow) {
+  ScoringScheme scheme;
+  Rng rng(31);
+  int verified = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    const auto q = random_codes(rng, 1 + rng.below(180));
+    const auto d = random_codes(rng, 1 + rng.below(180));
+    const StripedResult r8 = striped8_score(q, d, scheme);
+    if (r8.overflow) continue;  // separately tested below
+    ASSERT_EQ(r8.score, gotoh_score(q, d, scheme).score)
+        << "rep " << rep << " qlen=" << q.size() << " dlen=" << d.size();
+    ++verified;
+  }
+  EXPECT_GT(verified, 150);  // random protein pairs rarely overflow bytes
+}
+
+TEST(Striped8, BiasedProfilePadsWithBias) {
+  Rng rng(33);
+  const auto q = random_codes(rng, 13);  // forces padding in 16-lane layout
+  const StripedProfileU8 profile(q, ScoreMatrix::blosum62());
+  EXPECT_EQ(profile.bias(), 4);  // BLOSUM62 min is -4
+  // Padding lanes hold exactly bias (true score 0) for every residue code.
+  const std::size_t seg = profile.segment_length();
+  const std::uint8_t* row = profile.row(0);
+  for (std::size_t s = 0; s < seg; ++s) {
+    for (std::size_t lane = 0; lane < kLanes8; ++lane) {
+      if (lane * seg + s >= q.size()) {
+        EXPECT_EQ(row[s * kLanes8 + lane], profile.bias());
+      }
+    }
+  }
+}
+
+TEST(Striped8, OverflowFlaggedOnHighScores) {
+  // Poly-tryptophan self-alignment: 30 residues already score 330 > 251.
+  ScoringScheme scheme;
+  const std::vector<std::uint8_t> q(64, 17);
+  const StripedResult r = striped8_score(q, q, scheme);
+  EXPECT_TRUE(r.overflow);
+}
+
+TEST(Striped8, NeverSilentlyWrong) {
+  // Adversarial: moderately self-similar sequences near the byte ceiling.
+  // Every non-overflow result must be exact.
+  ScoringScheme scheme;
+  Rng rng(35);
+  for (int rep = 0; rep < 100; ++rep) {
+    auto q = random_codes(rng, 60);
+    auto d = q;
+    for (std::size_t i = 0; i < d.size(); i += 1 + rng.below(6)) {
+      d[i] = static_cast<std::uint8_t>(rng.below(20));
+    }
+    const StripedResult r = striped8_score(q, d, scheme);
+    const int oracle = gotoh_score(q, d, scheme).score;
+    if (!r.overflow) {
+      ASSERT_EQ(r.score, oracle) << "rep " << rep;
+    } else {
+      ASSERT_GE(oracle, 255 - 4 - 11)
+          << "overflow flagged although the oracle score is far below the "
+             "ceiling (rep "
+          << rep << ")";
+    }
+  }
+}
+
+TEST(Striped8, SearchDriverEscalatesToExactScores) {
+  Rng rng(37);
+  std::vector<seq::Sequence> db;
+  for (int i = 0; i < 20; ++i) {
+    db.push_back(seq::random_protein(rng, "d", 150));
+  }
+  // Plant a high-scoring record that overflows the byte tier.
+  seq::Sequence hot = seq::random_protein(rng, "hot", 400);
+  db.push_back(hot);
+  ScoringScheme scheme;
+  const SearchResult exact =
+      search_database(hot, db, scheme, KernelKind::kScalar);
+  const SearchResult tiered =
+      search_database(hot, db, scheme, KernelKind::kStriped8);
+  EXPECT_GE(tiered.overflow_rescans, 1u);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(tiered.scores[i], exact.scores[i]) << "record " << i;
+  }
+}
+
+TEST(Striped8, RejectsOutOfRangePenalties) {
+  const std::vector<std::uint8_t> q = {0, 1, 2};
+  ScoringScheme scheme;
+  scheme.gap.open = 300;
+  EXPECT_THROW(striped8_score(q, q, scheme), InvalidArgument);
+  scheme.gap.open = 10;
+  scheme.gap.extend = 0;
+  EXPECT_THROW(striped8_score(q, q, scheme), InvalidArgument);
+}
+
+TEST(Striped8, GapPenaltySweepAgainstOracle) {
+  Rng rng(39);
+  for (const auto [gs, ge] : {std::pair{5, 1}, {10, 2}, {14, 4}, {0, 1}}) {
+    ScoringScheme scheme;
+    scheme.gap = {gs, ge};
+    for (int rep = 0; rep < 20; ++rep) {
+      const auto q = random_codes(rng, 1 + rng.below(100));
+      const auto d = random_codes(rng, 1 + rng.below(100));
+      const StripedResult r = striped8_score(q, d, scheme);
+      if (!r.overflow) {
+        ASSERT_EQ(r.score, gotoh_score(q, d, scheme).score)
+            << "gs=" << gs << " ge=" << ge;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swdual::align

@@ -1,0 +1,140 @@
+// Property tests for Myers–Miller linear-space alignment: score-identical
+// to the quadratic-memory traceback on random inputs, valid alignments
+// (gap-stripping reproduces the inputs), and the linear-space local variant
+// matching sw_align_affine.
+#include <gtest/gtest.h>
+
+#include "align/linear_space.h"
+#include "align/scalar.h"
+#include "align/traceback.h"
+#include "util/rng.h"
+
+namespace swdual::align {
+namespace {
+
+std::vector<std::uint8_t> random_codes(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> out(len);
+  for (auto& c : out) c = static_cast<std::uint8_t>(rng.below(20));
+  return out;
+}
+
+void expect_valid_global(const Alignment& a,
+                         const std::vector<std::uint8_t>& q,
+                         const std::vector<std::uint8_t>& d) {
+  const seq::Alphabet& alpha = seq::Alphabet::protein();
+  std::string q_nogap, d_nogap;
+  for (char c : a.aligned_query) {
+    if (c != '-') q_nogap += c;
+  }
+  for (char c : a.aligned_db) {
+    if (c != '-') d_nogap += c;
+  }
+  EXPECT_EQ(q_nogap, alpha.decode(q));
+  EXPECT_EQ(d_nogap, alpha.decode(d));
+}
+
+TEST(LinearSpaceGlobal, MatchesQuadraticOracleOnRandomPairs) {
+  ScoringScheme scheme;
+  Rng rng(101);
+  for (int rep = 0; rep < 40; ++rep) {
+    const auto q = random_codes(rng, 1 + rng.below(120));
+    const auto d = random_codes(rng, 1 + rng.below(120));
+    const Alignment linear = nw_align_affine_linear(q, d, scheme);
+    const Alignment quadratic = nw_align_affine(q, d, scheme);
+    ASSERT_EQ(linear.score, quadratic.score)
+        << "rep " << rep << " qlen=" << q.size() << " dlen=" << d.size();
+    expect_valid_global(linear, q, d);
+  }
+}
+
+TEST(LinearSpaceGlobal, GapPenaltySweep) {
+  Rng rng(103);
+  for (const auto& [gs, ge] :
+       {std::pair{10, 2}, {5, 1}, {0, 1}, {14, 4}, {1, 3}}) {
+    ScoringScheme scheme;
+    scheme.gap = {gs, ge};
+    for (int rep = 0; rep < 12; ++rep) {
+      const auto q = random_codes(rng, 1 + rng.below(80));
+      const auto d = random_codes(rng, 1 + rng.below(80));
+      ASSERT_EQ(nw_align_affine_linear(q, d, scheme).score,
+                nw_align_affine(q, d, scheme).score)
+          << "gs=" << gs << " ge=" << ge << " rep=" << rep;
+    }
+  }
+}
+
+TEST(LinearSpaceGlobal, ExtremeShapes) {
+  ScoringScheme scheme;
+  Rng rng(105);
+  // Long vs short, short vs long, equal, single residues.
+  for (const auto& [m, n] : {std::pair<std::size_t, std::size_t>{1, 1},
+                             {1, 50},
+                             {50, 1},
+                             {200, 3},
+                             {3, 200},
+                             {2, 2}}) {
+    const auto q = random_codes(rng, m);
+    const auto d = random_codes(rng, n);
+    const Alignment linear = nw_align_affine_linear(q, d, scheme);
+    ASSERT_EQ(linear.score, nw_align_affine(q, d, scheme).score)
+        << m << "x" << n;
+    expect_valid_global(linear, q, d);
+  }
+}
+
+TEST(LinearSpaceGlobal, GapSpanningTheSplitRow) {
+  // Construct a case whose optimal alignment deletes a long middle block of
+  // the query — the deletion must cross the recursion's split row and pay
+  // its open penalty exactly once.
+  ScoringScheme scheme;
+  Rng rng(107);
+  const auto flank = random_codes(rng, 40);
+  std::vector<std::uint8_t> q = flank;
+  const auto middle = random_codes(rng, 30);
+  q.insert(q.end(), middle.begin(), middle.end());
+  q.insert(q.end(), flank.begin(), flank.end());
+  std::vector<std::uint8_t> d = flank;
+  d.insert(d.end(), flank.begin(), flank.end());  // db lacks the middle
+  const Alignment linear = nw_align_affine_linear(q, d, scheme);
+  ASSERT_EQ(linear.score, nw_align_affine(q, d, scheme).score);
+  expect_valid_global(linear, q, d);
+}
+
+TEST(LinearSpaceGlobal, EmptyInputs) {
+  ScoringScheme scheme;
+  const std::vector<std::uint8_t> empty;
+  const auto d = std::vector<std::uint8_t>{0, 1, 2};
+  EXPECT_EQ(nw_align_affine_linear(empty, d, scheme).aligned_query, "---");
+  EXPECT_EQ(nw_align_affine_linear(d, empty, scheme).aligned_db, "---");
+  EXPECT_EQ(nw_align_affine_linear(empty, empty, scheme).score, 0);
+}
+
+TEST(LinearSpaceLocal, MatchesSwAlignAffine) {
+  ScoringScheme scheme;
+  Rng rng(109);
+  for (int rep = 0; rep < 30; ++rep) {
+    const auto q = random_codes(rng, 1 + rng.below(100));
+    const auto d = random_codes(rng, 1 + rng.below(100));
+    const Alignment linear = sw_align_affine_linear(q, d, scheme);
+    const Alignment full = sw_align_affine(q, d, scheme);
+    ASSERT_EQ(linear.score, full.score) << "rep " << rep;
+  }
+}
+
+TEST(LinearSpaceLocal, LargePairStaysExact) {
+  // A pair large enough that the quadratic matrix would be ~100 MB of int
+  // triples; the linear-space path handles it and agrees with the
+  // score-only oracle.
+  ScoringScheme scheme;
+  Rng rng(111);
+  auto q = random_codes(rng, 2000);
+  auto d = q;
+  for (std::size_t i = 0; i < d.size(); i += 13) {
+    d[i] = static_cast<std::uint8_t>(rng.below(20));
+  }
+  const Alignment linear = sw_align_affine_linear(q, d, scheme);
+  EXPECT_EQ(linear.score, gotoh_score(q, d, scheme).score);
+}
+
+}  // namespace
+}  // namespace swdual::align

@@ -1,0 +1,64 @@
+// Unit tests for query profile construction (sequential and striped).
+#include <gtest/gtest.h>
+
+#include "align/profile.h"
+#include "seq/alphabet.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::align {
+namespace {
+
+using seq::Alphabet;
+
+TEST(QueryProfile, RowsMatchMatrixLookups) {
+  const auto q = Alphabet::protein().encode("MKVLAWYNDERT");
+  const ScoreMatrix& m = ScoreMatrix::blosum62();
+  const QueryProfile profile(q, m);
+  ASSERT_EQ(profile.query_length(), q.size());
+  for (std::uint8_t code = 0; code < m.size(); ++code) {
+    const std::int16_t* row = profile.row(code);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      EXPECT_EQ(row[i], m.score(q[i], code)) << "code " << int(code);
+    }
+  }
+}
+
+TEST(StripedProfile, LayoutMapsPositionsToLanes) {
+  Rng rng(11);
+  for (std::size_t qlen : {1u, 7u, 8u, 9u, 40u, 64u, 129u}) {
+    std::vector<std::uint8_t> q(qlen);
+    for (auto& c : q) c = static_cast<std::uint8_t>(rng.below(20));
+    const ScoreMatrix& m = ScoreMatrix::blosum62();
+    const StripedProfile profile(q, m);
+    const std::size_t seg = profile.segment_length();
+    ASSERT_GE(seg * kLanes16, qlen);
+    ASSERT_LT((seg - 1) * kLanes16, qlen + kLanes16);
+    for (std::uint8_t code = 0; code < 4; ++code) {
+      const std::int16_t* row = profile.row(code);
+      for (std::size_t s = 0; s < seg; ++s) {
+        for (std::size_t lane = 0; lane < kLanes16; ++lane) {
+          const std::size_t position = lane * seg + s;
+          const std::int16_t expected =
+              position < qlen ? m.score(q[position], code) : std::int16_t{0};
+          ASSERT_EQ(row[s * kLanes16 + lane], expected)
+              << "qlen=" << qlen << " s=" << s << " lane=" << lane;
+        }
+      }
+    }
+  }
+}
+
+TEST(StripedProfile, RejectsEmptyQuery) {
+  EXPECT_THROW(StripedProfile({}, ScoreMatrix::blosum62()),
+               InvalidArgument);
+}
+
+TEST(StripedProfile, SegmentLengthCeiling) {
+  std::vector<std::uint8_t> q(17, 0);
+  const StripedProfile profile(q, ScoreMatrix::blosum62());
+  EXPECT_EQ(profile.segment_length(), 3u);  // ceil(17/8)
+}
+
+}  // namespace
+}  // namespace swdual::align

@@ -1,0 +1,117 @@
+// Unit tests for substitution matrices and scheme parsing.
+#include <gtest/gtest.h>
+
+#include "align/scoring.h"
+#include "util/error.h"
+
+namespace swdual::align {
+namespace {
+
+using seq::Alphabet;
+using seq::AlphabetKind;
+
+TEST(Blosum62, WellKnownEntries) {
+  const ScoreMatrix& m = ScoreMatrix::blosum62();
+  const Alphabet& a = Alphabet::protein();
+  const auto s = [&](char x, char y) {
+    return m.score(a.encode(x), a.encode(y));
+  };
+  EXPECT_EQ(s('A', 'A'), 4);
+  EXPECT_EQ(s('W', 'W'), 11);
+  EXPECT_EQ(s('C', 'C'), 9);
+  EXPECT_EQ(s('A', 'R'), -1);
+  EXPECT_EQ(s('W', 'Y'), 2);
+  EXPECT_EQ(s('L', 'I'), 2);
+  EXPECT_EQ(s('E', 'Z'), 4);
+  EXPECT_EQ(s('*', '*'), 1);
+  EXPECT_EQ(s('G', '*'), -4);
+}
+
+TEST(Blosum62, IsSymmetric) { EXPECT_TRUE(ScoreMatrix::blosum62().symmetric()); }
+
+TEST(Blosum62, DiagonalIsRowMaximum) {
+  // Every standard residue scores best against itself in BLOSUM62.
+  const ScoreMatrix& m = ScoreMatrix::blosum62();
+  for (std::uint8_t a = 0; a < 20; ++a) {
+    for (std::uint8_t b = 0; b < 20; ++b) {
+      EXPECT_LE(m.score(a, b), m.score(a, a))
+          << "row " << int(a) << " col " << int(b);
+    }
+  }
+}
+
+TEST(Blosum62, MinMaxCached) {
+  const ScoreMatrix& m = ScoreMatrix::blosum62();
+  EXPECT_EQ(m.max_score(), 11);
+  EXPECT_EQ(m.min_score(), -4);
+}
+
+TEST(UniformMatrix, MatchMismatchAndWildcard) {
+  const ScoreMatrix m = ScoreMatrix::uniform(AlphabetKind::kDna, 5, -4);
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_EQ(m.score(a.encode('A'), a.encode('A')), 5);
+  EXPECT_EQ(m.score(a.encode('A'), a.encode('C')), -4);
+  EXPECT_EQ(m.score(a.encode('A'), a.encode('N')), 0);
+  EXPECT_EQ(m.score(a.encode('N'), a.encode('N')), 0);
+  EXPECT_TRUE(m.symmetric());
+}
+
+TEST(NcbiParser, RoundTripsASmallMatrix) {
+  const std::string text =
+      "# comment line\n"
+      "   A  C  G  T  N\n"
+      "A  2 -1 -1 -1  0\n"
+      "C -1  2 -1 -1  0\n"
+      "G -1 -1  2 -1  0\n"
+      "T -1 -1 -1  2  0\n"
+      "N  0  0  0  0  0\n";
+  const ScoreMatrix m =
+      ScoreMatrix::parse_ncbi(text, AlphabetKind::kDna, "toy");
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_EQ(m.score(a.encode('A'), a.encode('A')), 2);
+  EXPECT_EQ(m.score(a.encode('G'), a.encode('T')), -1);
+  EXPECT_EQ(m.score(a.encode('N'), a.encode('A')), 0);
+  EXPECT_EQ(m.name(), "toy");
+}
+
+TEST(NcbiParser, ParsesBlosum62Subset) {
+  // A fragment in NCBI layout must land in the right cells.
+  const std::string text =
+      "   A  R  N\n"
+      "A  4 -1 -2\n"
+      "R -1  5  0\n"
+      "N -2  0  6\n";
+  const ScoreMatrix m =
+      ScoreMatrix::parse_ncbi(text, AlphabetKind::kProtein, "b62frag");
+  const Alphabet& a = Alphabet::protein();
+  EXPECT_EQ(m.score(a.encode('A'), a.encode('A')), 4);
+  EXPECT_EQ(m.score(a.encode('N'), a.encode('N')), 6);
+  EXPECT_EQ(m.score(a.encode('R'), a.encode('N')), 0);
+  // Letters absent from the fragment default to 0.
+  EXPECT_EQ(m.score(a.encode('W'), a.encode('W')), 0);
+}
+
+TEST(NcbiParser, RejectsShortRow) {
+  const std::string text =
+      "   A  C\n"
+      "A  2\n";
+  EXPECT_THROW(ScoreMatrix::parse_ncbi(text, AlphabetKind::kDna, "bad"),
+               IoError);
+}
+
+TEST(NcbiParser, RejectsEmptyInput) {
+  EXPECT_THROW(ScoreMatrix::parse_ncbi("", AlphabetKind::kDna, "bad"),
+               InvalidArgument);
+}
+
+TEST(ScoreMatrixInvariants, RejectsWrongSize) {
+  EXPECT_THROW(ScoreMatrix(AlphabetKind::kDna, 5,
+                           std::vector<std::int8_t>(10, 0), "bad"),
+               InvalidArgument);
+  EXPECT_THROW(ScoreMatrix(AlphabetKind::kDna, 3,
+                           std::vector<std::int8_t>(9, 0), "bad"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swdual::align

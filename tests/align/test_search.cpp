@@ -1,0 +1,117 @@
+// Integration tests for the database-search driver across kernels.
+#include <gtest/gtest.h>
+
+#include "align/search.h"
+#include "seq/dbgen.h"
+#include "util/rng.h"
+
+namespace swdual::align {
+namespace {
+
+std::vector<seq::Sequence> tiny_database(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<seq::Sequence> db;
+  for (std::size_t i = 0; i < count; ++i) {
+    db.push_back(seq::random_protein(
+        rng, "db" + std::to_string(i),
+        static_cast<std::size_t>(rng.between(20, 200))));
+  }
+  return db;
+}
+
+class SearchKernels : public ::testing::TestWithParam<KernelKind> {};
+
+TEST_P(SearchKernels, AllKernelsAgreeWithScalar) {
+  const auto db = tiny_database(30, 7);
+  Rng rng(8);
+  const seq::Sequence query = seq::random_protein(rng, "q", 90);
+  ScoringScheme scheme;
+  const SearchResult scalar =
+      search_database(query, db, scheme, KernelKind::kScalar);
+  const SearchResult other = search_database(query, db, scheme, GetParam());
+  ASSERT_EQ(other.scores.size(), scalar.scores.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(other.scores[i], scalar.scores[i]) << "record " << i;
+  }
+  EXPECT_EQ(other.cells, scalar.cells);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, SearchKernels,
+                         ::testing::Values(KernelKind::kScalar,
+                                           KernelKind::kStriped,
+                                           KernelKind::kStriped8,
+                                           KernelKind::kInterSeq),
+                         [](const auto& info) {
+                           return kernel_name(info.param);
+                         });
+
+TEST(Search, TopHitsSortedAndTiesStable) {
+  SearchResult result;
+  result.scores = {10, 50, 50, 3, 70};
+  const auto top = result.top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].db_index, 4u);
+  EXPECT_EQ(top[1].db_index, 1u);  // tie: earlier index first
+  EXPECT_EQ(top[2].db_index, 2u);
+}
+
+TEST(Search, TopClampsToDatabaseSize) {
+  SearchResult result;
+  result.scores = {1, 2};
+  EXPECT_EQ(result.top(10).size(), 2u);
+}
+
+TEST(Search, SelfHitScoresHighest) {
+  auto db = tiny_database(20, 21);
+  Rng rng(22);
+  db.push_back(seq::random_protein(rng, "planted", 120));
+  const seq::Sequence query = db.back();
+  ScoringScheme scheme;
+  for (KernelKind kernel :
+       {KernelKind::kScalar, KernelKind::kStriped, KernelKind::kStriped8,
+        KernelKind::kInterSeq}) {
+    const SearchResult r = search_database(query, db, scheme, kernel);
+    const auto top = r.top(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].db_index, db.size() - 1) << kernel_name(kernel);
+  }
+}
+
+TEST(Search, OverflowRescanProducesExactScores) {
+  // One enormous self-similar record saturates 16-bit kernels; the driver
+  // must fall back to the 32-bit oracle for that pair.
+  Rng rng(9);
+  std::vector<seq::Sequence> db = tiny_database(5, 10);
+  seq::Sequence big;
+  big.id = "big";
+  big.alphabet = seq::AlphabetKind::kProtein;
+  big.residues.assign(3500, 17);  // poly-W
+  db.push_back(big);
+  seq::Sequence query = big;
+  ScoringScheme scheme;
+  const SearchResult scalar =
+      search_database(query, db, scheme, KernelKind::kScalar);
+  for (KernelKind kernel : {KernelKind::kStriped, KernelKind::kStriped8,
+                            KernelKind::kInterSeq}) {
+    const SearchResult r = search_database(query, db, scheme, kernel);
+    EXPECT_GE(r.overflow_rescans, 1u) << kernel_name(kernel);
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      EXPECT_EQ(r.scores[i], scalar.scores[i])
+          << kernel_name(kernel) << " record " << i;
+    }
+  }
+}
+
+TEST(Search, GcupsAccountingPositive) {
+  const auto db = tiny_database(10, 30);
+  Rng rng(31);
+  const seq::Sequence query = seq::random_protein(rng, "q", 60);
+  ScoringScheme scheme;
+  const SearchResult r =
+      search_database(query, db, scheme, KernelKind::kInterSeq);
+  EXPECT_GT(r.cells, 0u);
+  EXPECT_GE(r.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace swdual::align

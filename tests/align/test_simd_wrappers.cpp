@@ -1,0 +1,99 @@
+// Direct tests of the portable SIMD vector wrappers — the SSE2 and scalar
+// paths must behave identically, and the kernels' assumptions (saturation,
+// shift fill, comparison semantics) are pinned down here.
+#include <gtest/gtest.h>
+
+#include "align/simd16.h"
+#include "align/simd8.h"
+
+namespace swdual::align {
+namespace {
+
+TEST(V16, LoadStoreRoundTrip) {
+  const std::int16_t data[8] = {-3, 0, 7, 32767, -32768, 100, -100, 1};
+  const V16 v = V16::load(data);
+  std::int16_t out[8];
+  v.store(out);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], data[i]);
+}
+
+TEST(V16, SaturatingAddClampsAtMax) {
+  const V16 a = V16::splat(32000);
+  const V16 b = V16::splat(1000);
+  EXPECT_EQ(adds(a, b).lane(0), 32767);
+  EXPECT_EQ(adds(a, b).lane(7), 32767);
+}
+
+TEST(V16, SaturatingSubClampsAtMin) {
+  const V16 a = V16::splat(-32000);
+  const V16 b = V16::splat(1000);
+  EXPECT_EQ(subs(a, b).lane(3), -32768);
+}
+
+TEST(V16, MaxIsLaneWise) {
+  const std::int16_t xs[8] = {1, -2, 3, -4, 5, -6, 7, -8};
+  const std::int16_t ys[8] = {-1, 2, -3, 4, -5, 6, -7, 8};
+  const V16 m = max(V16::load(xs), V16::load(ys));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(m.lane(static_cast<std::size_t>(i)), std::abs(xs[i]));
+}
+
+TEST(V16, AnyGtStrict) {
+  EXPECT_FALSE(any_gt(V16::splat(5), V16::splat(5)));
+  EXPECT_TRUE(any_gt(V16::splat(6), V16::splat(5)));
+  V16 mixed = V16::splat(0);
+  mixed.set_lane(4, 1);
+  EXPECT_TRUE(any_gt(mixed, V16::splat(0)));
+}
+
+TEST(V16, ShiftLanesUpInsertsFill) {
+  const std::int16_t data[8] = {10, 20, 30, 40, 50, 60, 70, 80};
+  const V16 shifted = V16::load(data).shift_lanes_up(-999);
+  EXPECT_EQ(shifted.lane(0), -999);
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_EQ(shifted.lane(static_cast<std::size_t>(i)), data[i - 1]);
+  }
+}
+
+TEST(V16, HmaxOverMixedSigns) {
+  const std::int16_t data[8] = {-5, -3, -10, -1, -7, -2, -8, -4};
+  EXPECT_EQ(V16::load(data).hmax(), -1);
+  V16 v = V16::load(data);
+  v.set_lane(2, 12);
+  EXPECT_EQ(v.hmax(), 12);
+}
+
+TEST(V8, SaturatingAddClampsAt255) {
+  EXPECT_EQ(adds(V8::splat(250), V8::splat(10)).lane(0), 255);
+  EXPECT_EQ(adds(V8::splat(100), V8::splat(10)).lane(15), 110);
+}
+
+TEST(V8, SaturatingSubClampsAtZero) {
+  EXPECT_EQ(subs(V8::splat(3), V8::splat(10)).lane(5), 0);
+  EXPECT_EQ(subs(V8::splat(10), V8::splat(3)).lane(5), 7);
+}
+
+TEST(V8, AnyGtUnsignedSemantics) {
+  EXPECT_FALSE(any_gt(V8::splat(0), V8::splat(0)));
+  EXPECT_TRUE(any_gt(V8::splat(1), V8::splat(0)));
+  EXPECT_FALSE(any_gt(V8::splat(5), V8::splat(200)));  // unsigned compare
+}
+
+TEST(V8, ShiftLanesUpInsertsZero) {
+  std::uint8_t data[16];
+  for (int i = 0; i < 16; ++i) data[i] = static_cast<std::uint8_t>(i + 1);
+  const V8 shifted = V8::load(data).shift_lanes_up();
+  EXPECT_EQ(shifted.lane(0), 0);
+  for (int i = 1; i < 16; ++i) {
+    EXPECT_EQ(shifted.lane(static_cast<std::size_t>(i)), data[i - 1]);
+  }
+}
+
+TEST(V8, HmaxFindsMaximum) {
+  std::uint8_t data[16] = {};
+  data[11] = 200;
+  data[3] = 199;
+  EXPECT_EQ(V8::load(data).hmax(), 200);
+}
+
+}  // namespace
+}  // namespace swdual::align

@@ -1,0 +1,98 @@
+// Tests for Karlin–Altschul statistics.
+#include <gtest/gtest.h>
+
+#include "align/statistics.h"
+#include "seq/dbgen.h"
+#include "util/error.h"
+
+namespace swdual::align {
+namespace {
+
+TEST(UngappedLambda, Blosum62MatchesPublishedValue) {
+  // BLAST reports λ ≈ 0.3176 for ungapped BLOSUM62 with Robinson background
+  // frequencies.
+  const double lambda = solve_ungapped_lambda(
+      ScoreMatrix::blosum62(), seq::amino_acid_frequencies());
+  EXPECT_NEAR(lambda, 0.3176, 0.02);
+}
+
+TEST(UngappedLambda, RootSatisfiesTheEquation) {
+  const auto& freqs = seq::amino_acid_frequencies();
+  const ScoreMatrix& matrix = ScoreMatrix::blosum62();
+  const double lambda = solve_ungapped_lambda(matrix, freqs);
+  double total = 0.0;
+  for (std::size_t a = 0; a < freqs.size(); ++a) {
+    for (std::size_t b = 0; b < freqs.size(); ++b) {
+      total += freqs[a] * freqs[b] *
+               std::exp(lambda * matrix.score(static_cast<std::uint8_t>(a),
+                                              static_cast<std::uint8_t>(b)));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(UngappedLambda, RejectsPositiveExpectedScore) {
+  // uniform(+1, +1): everything matches, E[s] > 0 — no Gumbel regime.
+  const ScoreMatrix bad = ScoreMatrix::uniform(seq::AlphabetKind::kDna, 1, 1);
+  const std::vector<double> freqs(4, 0.25);
+  EXPECT_THROW(solve_ungapped_lambda(bad, freqs), InvalidArgument);
+}
+
+TEST(GappedCalibration, DeterministicAndPlausible) {
+  ScoringScheme scheme;
+  const auto& freqs = seq::amino_acid_frequencies();
+  const KarlinAltschulParams a =
+      calibrate_gapped_params(scheme, freqs, 100, 100, 60, 7);
+  const KarlinAltschulParams b =
+      calibrate_gapped_params(scheme, freqs, 100, 100, 60, 7);
+  EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+  EXPECT_DOUBLE_EQ(a.k, b.k);
+  EXPECT_GT(a.lambda, 0.0);
+  EXPECT_GT(a.k, 0.0);
+  // Gapped λ is below the ungapped λ (gaps make high scores likelier).
+  const double ungapped = solve_ungapped_lambda(
+      ScoreMatrix::blosum62(), freqs);
+  EXPECT_LT(a.lambda, ungapped * 1.3);
+}
+
+TEST(Evalue, DecreasesExponentiallyInScore) {
+  KarlinAltschulParams params{0.3, 0.1};
+  const double e50 = evalue(params, 50, 1000, 1000000);
+  const double e60 = evalue(params, 60, 1000, 1000000);
+  EXPECT_GT(e50, e60);
+  EXPECT_NEAR(e50 / e60, std::exp(0.3 * 10), 1e-6);
+}
+
+TEST(Evalue, ScalesLinearlyWithSearchSpace) {
+  KarlinAltschulParams params{0.3, 0.1};
+  EXPECT_NEAR(evalue(params, 40, 2000, 500) / evalue(params, 40, 1000, 500),
+              2.0, 1e-9);
+}
+
+TEST(Pvalue, BoundedAndMonotone) {
+  KarlinAltschulParams params{0.3, 0.1};
+  double previous = 1.0;
+  for (int score = 20; score <= 120; score += 20) {
+    const double p = pvalue(params, score, 300, 1000000);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_LE(p, previous);
+    previous = p;
+  }
+}
+
+TEST(BitScore, LinearInRawScore) {
+  KarlinAltschulParams params{0.3, 0.1};
+  const double b1 = bit_score(params, 100);
+  const double b2 = bit_score(params, 200);
+  EXPECT_NEAR(b2 - b1, 0.3 * 100 / std::log(2.0), 1e-9);
+}
+
+TEST(Statistics, UncalibratedParamsRejected) {
+  KarlinAltschulParams params;  // zeros
+  EXPECT_THROW(evalue(params, 50, 100, 100), InvalidArgument);
+  EXPECT_THROW(bit_score(params, 50), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swdual::align

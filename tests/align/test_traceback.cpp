@@ -1,0 +1,252 @@
+// Unit tests for full-traceback alignments, including the paper's Fig. 1
+// worked example.
+#include <gtest/gtest.h>
+
+#include "align/scalar.h"
+#include "align/traceback.h"
+#include "seq/sequence.h"
+#include "util/rng.h"
+
+namespace swdual::align {
+namespace {
+
+using seq::Alphabet;
+using seq::AlphabetKind;
+
+std::vector<std::uint8_t> dna(const std::string& text) {
+  return Alphabet::dna().encode(text);
+}
+std::vector<std::uint8_t> protein(const std::string& text) {
+  return Alphabet::protein().encode(text);
+}
+
+TEST(NwLinear, ReproducesFigure1) {
+  // Fig. 1: ACTTGTCCG vs ATTGTCAG with ma=+1, mi=-1, g=-2 scores 4, with
+  // alignment  A C T T G T C C G
+  //            A - T T G T C A G
+  const ScoreMatrix m = ScoreMatrix::uniform(AlphabetKind::kDna, 1, -1);
+  const Alignment a = nw_align_linear(dna("ACTTGTCCG"), dna("ATTGTCAG"), m, -2);
+  EXPECT_EQ(a.score, 4);
+  // Co-optimal alignments exist; whatever the traceback picks, removing the
+  // gaps must reproduce the inputs and the columns must re-score to 4.
+  std::string q_nogap, d_nogap;
+  int recomputed = 0;
+  for (std::size_t c = 0; c < a.length(); ++c) {
+    const char qc = a.aligned_query[c], dc = a.aligned_db[c];
+    if (qc != '-') q_nogap += qc;
+    if (dc != '-') d_nogap += dc;
+    recomputed += (qc == '-' || dc == '-') ? -2 : (qc == dc ? 1 : -1);
+  }
+  EXPECT_EQ(q_nogap, "ACTTGTCCG");
+  EXPECT_EQ(d_nogap, "ATTGTCAG");
+  EXPECT_EQ(recomputed, 4);
+}
+
+TEST(NwLinear, ScoreConsistentWithColumns) {
+  // Recomputing the score from the alignment columns must reproduce it.
+  const ScoreMatrix m = ScoreMatrix::uniform(AlphabetKind::kDna, 1, -1);
+  const int g = -2;
+  const Alignment a = nw_align_linear(dna("GATTACA"), dna("GCATGCA"), m, g);
+  int recomputed = 0;
+  for (std::size_t c = 0; c < a.length(); ++c) {
+    const char q = a.aligned_query[c];
+    const char d = a.aligned_db[c];
+    if (q == '-' || d == '-') {
+      recomputed += g;
+    } else {
+      recomputed += (q == d) ? 1 : -1;
+    }
+  }
+  EXPECT_EQ(recomputed, a.score);
+}
+
+TEST(NwLinear, EmptyVsNonEmptyIsAllGaps) {
+  const ScoreMatrix m = ScoreMatrix::uniform(AlphabetKind::kDna, 1, -1);
+  const Alignment a = nw_align_linear({}, dna("ACGT"), m, -2);
+  EXPECT_EQ(a.aligned_query, "----");
+  EXPECT_EQ(a.aligned_db, "ACGT");
+  EXPECT_EQ(a.score, -8);
+}
+
+TEST(NwAffine, PerfectMatchSumsDiagonal) {
+  ScoringScheme scheme;
+  const auto q = protein("MKVLAWERT");
+  const Alignment a = nw_align_affine(q, q, scheme);
+  int expected = 0;
+  for (std::uint8_t code : q) expected += scheme.matrix->score(code, code);
+  EXPECT_EQ(a.score, expected);
+  EXPECT_EQ(a.aligned_query, a.aligned_db);
+  EXPECT_EQ(a.gaps(), 0u);
+}
+
+TEST(NwAffine, LeadingAndTrailingGapsCharged) {
+  // Empty query vs db of length 4: one gap run of 4 → -(Gs + 4·Ge).
+  ScoringScheme scheme;  // Gs=10, Ge=2
+  const Alignment a = nw_align_affine({}, protein("ARND"), scheme);
+  EXPECT_EQ(a.score, -(10 + 4 * 2));
+  EXPECT_EQ(a.aligned_query, "----");
+}
+
+TEST(NwAffine, ColumnsReproduceScoreOnRandomPairs) {
+  ScoringScheme scheme;
+  const Alphabet& alpha = Alphabet::protein();
+  Rng rng(991);
+  for (int rep = 0; rep < 25; ++rep) {
+    std::vector<std::uint8_t> q(static_cast<std::size_t>(rng.between(1, 60)));
+    std::vector<std::uint8_t> d(static_cast<std::size_t>(rng.between(1, 60)));
+    for (auto& c : q) c = static_cast<std::uint8_t>(rng.below(20));
+    for (auto& c : d) c = static_cast<std::uint8_t>(rng.below(20));
+    const Alignment a = nw_align_affine(q, d, scheme);
+    int recomputed = 0;
+    bool in_gap_q = false, in_gap_d = false;
+    for (std::size_t c = 0; c < a.length(); ++c) {
+      const char qc = a.aligned_query[c];
+      const char dc = a.aligned_db[c];
+      if (qc == '-') {
+        recomputed -= scheme.gap.extend + (in_gap_q ? 0 : scheme.gap.open);
+        in_gap_q = true;
+        in_gap_d = false;
+      } else if (dc == '-') {
+        recomputed -= scheme.gap.extend + (in_gap_d ? 0 : scheme.gap.open);
+        in_gap_d = true;
+        in_gap_q = false;
+      } else {
+        recomputed += scheme.matrix->score(alpha.encode(qc), alpha.encode(dc));
+        in_gap_q = in_gap_d = false;
+      }
+    }
+    ASSERT_EQ(recomputed, a.score) << "rep " << rep;
+    // Gap-stripped strings reproduce the inputs (global alignment).
+    std::string q_nogap, d_nogap;
+    for (char ch : a.aligned_query) {
+      if (ch != '-') q_nogap += ch;
+    }
+    for (char ch : a.aligned_db) {
+      if (ch != '-') d_nogap += ch;
+    }
+    EXPECT_EQ(q_nogap, alpha.decode(q));
+    EXPECT_EQ(d_nogap, alpha.decode(d));
+  }
+}
+
+TEST(NwAffine, GlobalScoreNeverAboveLocal) {
+  // A local alignment may skip bad flanks; global must pay for them.
+  ScoringScheme scheme;
+  Rng rng(997);
+  for (int rep = 0; rep < 15; ++rep) {
+    std::vector<std::uint8_t> q(30), d(50);
+    for (auto& c : q) c = static_cast<std::uint8_t>(rng.below(20));
+    for (auto& c : d) c = static_cast<std::uint8_t>(rng.below(20));
+    EXPECT_LE(nw_align_affine(q, d, scheme).score,
+              gotoh_score(q, d, scheme).score);
+  }
+}
+
+TEST(SwAffine, ScoreAgreesWithScoreOnlyOracle) {
+  ScoringScheme scheme;
+  Rng rng(1234);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<std::uint8_t> q(static_cast<std::size_t>(rng.between(1, 80)));
+    std::vector<std::uint8_t> d(static_cast<std::size_t>(rng.between(1, 80)));
+    for (auto& c : q) c = static_cast<std::uint8_t>(rng.below(20));
+    for (auto& c : d) c = static_cast<std::uint8_t>(rng.below(20));
+    const Alignment a = sw_align_affine(q, d, scheme);
+    EXPECT_EQ(a.score, gotoh_score(q, d, scheme).score) << "rep " << rep;
+  }
+}
+
+TEST(SwAffine, AlignmentColumnsReproduceScore) {
+  ScoringScheme scheme;
+  const Alphabet& alpha = Alphabet::protein();
+  Rng rng(77);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<std::uint8_t> q(static_cast<std::size_t>(rng.between(5, 60)));
+    std::vector<std::uint8_t> d(static_cast<std::size_t>(rng.between(5, 60)));
+    for (auto& c : q) c = static_cast<std::uint8_t>(rng.below(20));
+    for (auto& c : d) c = static_cast<std::uint8_t>(rng.below(20));
+    const Alignment a = sw_align_affine(q, d, scheme);
+    // Recompute: substitution scores for residue columns; affine charges for
+    // each maximal gap run.
+    int recomputed = 0;
+    bool in_gap_q = false, in_gap_d = false;
+    for (std::size_t c = 0; c < a.length(); ++c) {
+      const char qc = a.aligned_query[c];
+      const char dc = a.aligned_db[c];
+      if (qc == '-') {
+        recomputed -= scheme.gap.extend + (in_gap_q ? 0 : scheme.gap.open);
+        in_gap_q = true;
+        in_gap_d = false;
+      } else if (dc == '-') {
+        recomputed -= scheme.gap.extend + (in_gap_d ? 0 : scheme.gap.open);
+        in_gap_d = true;
+        in_gap_q = false;
+      } else {
+        recomputed +=
+            scheme.matrix->score(alpha.encode(qc), alpha.encode(dc));
+        in_gap_q = in_gap_d = false;
+      }
+    }
+    EXPECT_EQ(recomputed, a.score) << "rep " << rep;
+  }
+}
+
+TEST(SwAffine, LocalCoordinatesDelimitTheRegion) {
+  ScoringScheme scheme;
+  const auto q = protein("WWWWW");
+  const auto d = protein("AAAWWWWWAAA");
+  const Alignment a = sw_align_affine(q, d, scheme);
+  EXPECT_EQ(a.query_begin, 1u);
+  EXPECT_EQ(a.query_end, 5u);
+  EXPECT_EQ(a.db_begin, 4u);
+  EXPECT_EQ(a.db_end, 8u);
+  EXPECT_EQ(a.aligned_query, "WWWWW");
+  EXPECT_EQ(a.aligned_db, "WWWWW");
+}
+
+TEST(SwAffine, AllMismatchGivesEmptyAlignment) {
+  const ScoreMatrix m = ScoreMatrix::uniform(AlphabetKind::kDna, 1, -2);
+  ScoringScheme scheme{&m, {5, 2}};
+  const Alignment a = sw_align_affine(dna("AAAA"), dna("TTTT"), scheme);
+  EXPECT_EQ(a.score, 0);
+  EXPECT_TRUE(a.aligned_query.empty());
+}
+
+TEST(AlignmentStats, CountsMatchesMismatchesGaps) {
+  Alignment a;
+  a.aligned_query = "AC-TG";
+  a.aligned_db = "ACCTA";
+  EXPECT_EQ(a.matches(), 3u);    // A, C, T
+  EXPECT_EQ(a.mismatches(), 1u); // G vs A
+  EXPECT_EQ(a.gaps(), 1u);
+  EXPECT_DOUBLE_EQ(a.identity(), 60.0);
+}
+
+TEST(RenderAlignment, ShowsMidlineAndScore) {
+  Alignment a;
+  a.aligned_query = "ACTTGTCCG";
+  a.aligned_db = "A-TTGTCAG";
+  a.score = 4;
+  const std::string text = render_alignment(a);
+  EXPECT_NE(text.find("ACTTGTCCG"), std::string::npos);
+  EXPECT_NE(text.find("A-TTGTCAG"), std::string::npos);
+  EXPECT_NE(text.find("score = 4"), std::string::npos);
+  EXPECT_NE(text.find("| |||||.|"), std::string::npos);
+}
+
+TEST(RenderAlignment, WrapsLongAlignments) {
+  Alignment a;
+  a.aligned_query = std::string(150, 'A');
+  a.aligned_db = std::string(150, 'A');
+  a.score = 600;
+  const std::string text = render_alignment(a, 60);
+  // 3 blocks of query/midline/db.
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find("query: ", pos)) != std::string::npos) {
+    ++count;
+    pos += 7;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace swdual::align

@@ -1,0 +1,97 @@
+// Property tests for the fine-grained wavefront kernel (Fig. 2): exactness
+// against the scalar oracle for every tiling and pool size.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/scalar.h"
+#include "align/wavefront.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::align {
+namespace {
+
+std::vector<std::uint8_t> random_codes(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> out(len);
+  for (auto& c : out) c = static_cast<std::uint8_t>(rng.below(20));
+  return out;
+}
+
+class WavefrontTilings
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(WavefrontTilings, MatchesOracleOnRandomPairs) {
+  const auto [row_chunk, col_blocks] = GetParam();
+  ThreadPool pool(3);
+  ScoringScheme scheme;
+  Rng rng(row_chunk * 131 + col_blocks);
+  for (int rep = 0; rep < 8; ++rep) {
+    const auto q = random_codes(rng, 1 + rng.below(300));
+    const auto d = random_codes(rng, 1 + rng.below(300));
+    const ScoreResult oracle = gotoh_score(q, d, scheme);
+    const ScoreResult wave = wavefront_gotoh_score(
+        q, d, scheme, pool, {row_chunk, col_blocks});
+    ASSERT_EQ(wave.score, oracle.score)
+        << "chunk=" << row_chunk << " blocks=" << col_blocks
+        << " rep=" << rep << " qlen=" << q.size() << " dlen=" << d.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tilings, WavefrontTilings,
+    ::testing::Combine(::testing::Values(1u, 7u, 64u, 500u),
+                       ::testing::Values(1u, 2u, 4u, 13u)));
+
+TEST(Wavefront, BestCellCoordinatesMatchOracle) {
+  ThreadPool pool(2);
+  ScoringScheme scheme;
+  Rng rng(5);
+  const auto q = random_codes(rng, 120);
+  auto d = q;  // self-alignment: unique maximum at the bottom-right
+  const ScoreResult oracle = gotoh_score(q, d, scheme);
+  const ScoreResult wave =
+      wavefront_gotoh_score(q, d, scheme, pool, {16, 4});
+  EXPECT_EQ(wave.score, oracle.score);
+  EXPECT_EQ(wave.end_query, oracle.end_query);
+  EXPECT_EQ(wave.end_db, oracle.end_db);
+}
+
+TEST(Wavefront, EmptyInputs) {
+  ThreadPool pool(1);
+  ScoringScheme scheme;
+  EXPECT_EQ(wavefront_gotoh_score({}, {}, scheme, pool).score, 0);
+}
+
+TEST(Wavefront, MoreBlocksThanColumns) {
+  ThreadPool pool(2);
+  ScoringScheme scheme;
+  Rng rng(6);
+  const auto q = random_codes(rng, 40);
+  const auto d = random_codes(rng, 3);  // 3 columns, 8 requested blocks
+  EXPECT_EQ(wavefront_gotoh_score(q, d, scheme, pool, {8, 8}).score,
+            gotoh_score(q, d, scheme).score);
+}
+
+TEST(Wavefront, InvalidConfigRejected) {
+  ThreadPool pool(1);
+  ScoringScheme scheme;
+  const std::vector<std::uint8_t> q = {0};
+  EXPECT_THROW(wavefront_gotoh_score(q, q, scheme, pool, {0, 1}),
+               InvalidArgument);
+  EXPECT_THROW(wavefront_gotoh_score(q, q, scheme, pool, {1, 0}),
+               InvalidArgument);
+}
+
+TEST(Wavefront, CellsCounted) {
+  ThreadPool pool(1);
+  ScoringScheme scheme;
+  Rng rng(7);
+  const auto q = random_codes(rng, 50);
+  const auto d = random_codes(rng, 70);
+  EXPECT_EQ(wavefront_gotoh_score(q, d, scheme, pool).cells, 3500u);
+}
+
+}  // namespace
+}  // namespace swdual::align

@@ -1,0 +1,97 @@
+// Unit tests for paper-scale workload construction.
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "util/error.h"
+
+namespace swdual::core {
+namespace {
+
+TEST(Workload, CellsArePerQueryTimesDbResidues) {
+  Workload w;
+  w.query_lengths = {100, 200};
+  w.db_residues = 1000;
+  EXPECT_EQ(w.cells(0), 100'000u);
+  EXPECT_EQ(w.cells(1), 200'000u);
+  EXPECT_EQ(w.total_cells(), 300'000u);
+}
+
+TEST(MakeWorkload, PaperQuerySetBounds) {
+  const Workload w = make_workload("uniprot", seq::QuerySetKind::kPaper, 100);
+  EXPECT_EQ(w.query_lengths.size(), seq::kPaperQueryCount);
+  EXPECT_EQ(*std::min_element(w.query_lengths.begin(), w.query_lengths.end()),
+            100u);
+  EXPECT_EQ(*std::max_element(w.query_lengths.begin(), w.query_lengths.end()),
+            5000u);
+  EXPECT_GT(w.db_residues, 0u);
+  EXPECT_EQ(w.db_sequences, 5375u);
+}
+
+TEST(MakeWorkload, HeterogeneousSpansFullRange) {
+  const Workload w =
+      make_workload("uniprot", seq::QuerySetKind::kHeterogeneous, 100);
+  EXPECT_EQ(*std::min_element(w.query_lengths.begin(), w.query_lengths.end()),
+            4u);
+  EXPECT_EQ(*std::max_element(w.query_lengths.begin(), w.query_lengths.end()),
+            35213u);
+}
+
+TEST(MakeWorkload, HomogeneousIsNarrow) {
+  const Workload w =
+      make_workload("uniprot", seq::QuerySetKind::kHomogeneous, 100);
+  for (std::size_t len : w.query_lengths) {
+    EXPECT_GE(len, 4500u);
+    EXPECT_LE(len, 5000u);
+  }
+}
+
+TEST(MakeWorkload, FullScaleUniprotMatchesTable3) {
+  const Workload w = make_workload("uniprot", seq::QuerySetKind::kPaper, 1);
+  EXPECT_EQ(w.db_sequences, 537505u);
+}
+
+TEST(MakeWorkload, DeterministicInSeed) {
+  const Workload a = make_workload("ensembl_dog", seq::QuerySetKind::kPaper,
+                                   10, 7);
+  const Workload b = make_workload("ensembl_dog", seq::QuerySetKind::kPaper,
+                                   10, 7);
+  EXPECT_EQ(a.query_lengths, b.query_lengths);
+  EXPECT_EQ(a.db_residues, b.db_residues);
+}
+
+TEST(MakeTasks, UsesWorkerClasses) {
+  Workload w;
+  w.query_lengths = {100};
+  w.db_residues = 1'000'000'000ULL;  // 1e11 cells
+  const platform::WorkerClass cpu{10.0, 0.0};
+  const platform::WorkerClass gpu{100.0, 0.0};
+  const auto tasks = make_tasks(w, cpu, gpu);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_NEAR(tasks[0].cpu_time, 10.0, 1e-9);
+  EXPECT_NEAR(tasks[0].gpu_time, 1.0, 1e-9);
+}
+
+TEST(SplitWorkers, MatchesPaperRule) {
+  EXPECT_EQ(split_workers(2).num_gpus, 1u);
+  EXPECT_EQ(split_workers(2).num_cpus, 1u);
+  EXPECT_EQ(split_workers(3).num_gpus, 2u);
+  EXPECT_EQ(split_workers(3).num_cpus, 1u);
+  EXPECT_EQ(split_workers(4).num_gpus, 3u);
+  EXPECT_EQ(split_workers(4).num_cpus, 1u);
+  EXPECT_EQ(split_workers(5).num_gpus, 4u);
+  EXPECT_EQ(split_workers(5).num_cpus, 1u);
+  EXPECT_EQ(split_workers(8).num_gpus, 4u);
+  EXPECT_EQ(split_workers(8).num_cpus, 4u);
+}
+
+TEST(SplitWorkers, RejectsSingleWorker) {
+  EXPECT_THROW(split_workers(1), InvalidArgument);
+}
+
+TEST(MakeWorkload, UnknownDatabaseThrows) {
+  EXPECT_THROW(make_workload("nr", seq::QuerySetKind::kPaper, 1),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swdual::core

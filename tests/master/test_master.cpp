@@ -1,0 +1,275 @@
+// Integration tests for the master–slave runtime (paper Fig. 6).
+#include <gtest/gtest.h>
+
+#include "align/scalar.h"
+#include "master/master.h"
+#include "seq/dbgen.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::master {
+namespace {
+
+struct Fixture {
+  std::vector<seq::Sequence> queries;
+  std::vector<seq::Sequence> db;
+
+  explicit Fixture(std::size_t num_queries = 6, std::size_t db_size = 40,
+                   std::uint64_t seed = 17) {
+    Rng rng(seed);
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      queries.push_back(seq::random_protein(
+          rng, "q" + std::to_string(q),
+          static_cast<std::size_t>(rng.between(30, 120))));
+    }
+    for (std::size_t d = 0; d < db_size; ++d) {
+      db.push_back(seq::random_protein(
+          rng, "d" + std::to_string(d),
+          static_cast<std::size_t>(rng.between(20, 150))));
+    }
+  }
+
+  /// Reference: best hit per query via the scalar oracle.
+  std::vector<int> best_scores() const {
+    std::vector<int> best;
+    const align::ScoringScheme scheme;
+    for (const auto& query : queries) {
+      int top = 0;
+      for (const auto& record : db) {
+        top = std::max(
+            top, align::gotoh_score(
+                     {query.residues.data(), query.residues.size()},
+                     {record.residues.data(), record.residues.size()}, scheme)
+                     .score);
+      }
+      best.push_back(top);
+    }
+    return best;
+  }
+};
+
+class MasterPolicies : public ::testing::TestWithParam<AllocationPolicy> {};
+
+TEST_P(MasterPolicies, AllPoliciesProduceExactTopHits) {
+  const Fixture fixture;
+  MasterConfig config;
+  config.cpu_workers = 2;
+  config.gpu_workers = 2;
+  config.policy = GetParam();
+  config.top_hits = 1;
+  const SearchReport report =
+      run_search(fixture.queries, fixture.db, config);
+  ASSERT_EQ(report.results.size(), fixture.queries.size());
+  const std::vector<int> expected = fixture.best_scores();
+  for (std::size_t q = 0; q < fixture.queries.size(); ++q) {
+    ASSERT_EQ(report.results[q].hits.size(), 1u);
+    EXPECT_EQ(report.results[q].hits[0].score, expected[q])
+        << policy_name(GetParam()) << " query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, MasterPolicies,
+    ::testing::Values(AllocationPolicy::kSwdual,
+                      AllocationPolicy::kSwdualRefined,
+                      AllocationPolicy::kSelfScheduling,
+                      AllocationPolicy::kEqualPower,
+                      AllocationPolicy::kProportional, AllocationPolicy::kLpt),
+    [](const auto& info) {
+      std::string name = policy_name(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(Master, VirtualAccountingPopulated) {
+  const Fixture fixture;
+  MasterConfig config;
+  config.cpu_workers = 1;
+  config.gpu_workers = 1;
+  // Toy databases are smaller than a real dispatch batch: zero the modeled
+  // per-task overheads so the scheduler sees the raw 3x GPU speed ratio and
+  // a balanced CPU+GPU split is optimal.
+  config.model.cudasw_gpu.task_overhead = 0.0;
+  config.model.swipe_cpu.task_overhead = 0.0;
+  const SearchReport report =
+      run_search(fixture.queries, fixture.db, config);
+  EXPECT_GT(report.total_cells, 0u);
+  EXPECT_GT(report.virtual_makespan, 0.0);
+  EXPECT_GT(report.virtual_gcups, 0.0);
+  EXPECT_GE(report.wall_seconds, 0.0);
+  EXPECT_FALSE(report.planned.empty());
+  EXPECT_EQ(report.worker_virtual_busy.size(), 2u);
+}
+
+TEST(Master, SwdualPutsWorkOnBothPeTypes) {
+  const Fixture fixture(12, 60, 23);
+  MasterConfig config;
+  config.cpu_workers = 2;
+  config.gpu_workers = 2;
+  config.model.cudasw_gpu.task_overhead = 0.0;  // see above
+  config.model.swipe_cpu.task_overhead = 0.0;
+  const SearchReport report =
+      run_search(fixture.queries, fixture.db, config);
+  std::size_t on_cpu = 0, on_gpu = 0;
+  for (const auto& a : report.planned.assignments()) {
+    (a.pe.type == sched::PeType::kCpu ? on_cpu : on_gpu)++;
+  }
+  EXPECT_GT(on_gpu, 0u);  // GPUs are faster: they must receive work
+  EXPECT_EQ(on_cpu + on_gpu, fixture.queries.size());
+}
+
+TEST(Master, DynamicPolicyHasNoStaticPlan) {
+  const Fixture fixture;
+  MasterConfig config;
+  config.policy = AllocationPolicy::kSelfScheduling;
+  const SearchReport report =
+      run_search(fixture.queries, fixture.db, config);
+  EXPECT_TRUE(report.planned.empty());
+  ASSERT_EQ(report.results.size(), fixture.queries.size());
+}
+
+TEST(Master, MoreWorkersThanTasks) {
+  const Fixture fixture(2, 20, 31);
+  MasterConfig config;
+  config.cpu_workers = 4;
+  config.gpu_workers = 4;
+  const SearchReport report =
+      run_search(fixture.queries, fixture.db, config);
+  ASSERT_EQ(report.results.size(), 2u);
+  for (const auto& r : report.results) EXPECT_FALSE(r.hits.empty());
+}
+
+TEST(Master, CpuOnlyAndGpuOnlyPlatforms) {
+  const Fixture fixture(3, 15, 37);
+  for (const auto [cpus, gpus] :
+       {std::pair<std::size_t, std::size_t>{2, 0}, {0, 2}}) {
+    MasterConfig config;
+    config.cpu_workers = cpus;
+    config.gpu_workers = gpus;
+    config.policy = AllocationPolicy::kSwdual;
+    const SearchReport report =
+        run_search(fixture.queries, fixture.db, config);
+    ASSERT_EQ(report.results.size(), 3u);
+  }
+}
+
+TEST(Master, EmptyQueriesEmptyReport) {
+  const Fixture fixture(1, 5, 41);
+  MasterConfig config;
+  const SearchReport report = run_search({}, fixture.db, config);
+  EXPECT_TRUE(report.results.empty());
+  EXPECT_EQ(report.total_cells, 0u);
+}
+
+TEST(Master, ZeroWorkersRejected) {
+  const Fixture fixture(1, 5, 43);
+  MasterConfig config;
+  config.cpu_workers = 0;
+  config.gpu_workers = 0;
+  EXPECT_THROW(run_search(fixture.queries, fixture.db, config),
+               InvalidArgument);
+}
+
+TEST(Master, MultiRoundMatchesOneRoundResults) {
+  const Fixture fixture(9, 40, 51);
+  MasterConfig one_round;
+  one_round.cpu_workers = 1;
+  one_round.gpu_workers = 1;
+  one_round.top_hits = 2;
+  MasterConfig three_rounds = one_round;
+  three_rounds.rounds = 3;
+  const SearchReport a = run_search(fixture.queries, fixture.db, one_round);
+  const SearchReport b =
+      run_search(fixture.queries, fixture.db, three_rounds);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t q = 0; q < a.results.size(); ++q) {
+    ASSERT_EQ(a.results[q].hits.size(), b.results[q].hits.size());
+    for (std::size_t h = 0; h < a.results[q].hits.size(); ++h) {
+      EXPECT_EQ(a.results[q].hits[h].score, b.results[q].hits[h].score);
+      EXPECT_EQ(a.results[q].hits[h].db_index, b.results[q].hits[h].db_index);
+    }
+  }
+  // Every task still planned exactly once across rounds.
+  EXPECT_EQ(b.planned.size(), fixture.queries.size());
+}
+
+TEST(Master, MoreRoundsThanTasksClamped) {
+  const Fixture fixture(3, 10, 53);
+  MasterConfig config;
+  config.rounds = 100;
+  const SearchReport report =
+      run_search(fixture.queries, fixture.db, config);
+  ASSERT_EQ(report.results.size(), 3u);
+  for (const auto& r : report.results) EXPECT_FALSE(r.hits.empty());
+}
+
+TEST(Master, FaultyWorkerTasksReassignedExactResults) {
+  // Worker 0 (a GPU) fails every task; the master must reroute everything
+  // and still produce exact results.
+  const Fixture fixture(6, 30, 61);
+  MasterConfig config;
+  config.cpu_workers = 2;
+  config.gpu_workers = 2;
+  config.top_hits = 1;
+  config.fault_injector = [](std::size_t, std::size_t worker_id) {
+    return worker_id == 0;
+  };
+  const SearchReport report =
+      run_search(fixture.queries, fixture.db, config);
+  const auto expected = fixture.best_scores();
+  ASSERT_EQ(report.results.size(), fixture.queries.size());
+  for (std::size_t q = 0; q < fixture.queries.size(); ++q) {
+    EXPECT_EQ(report.results[q].hits[0].score, expected[q]) << "query " << q;
+  }
+}
+
+TEST(Master, TransientFaultsRetriedInDynamicMode) {
+  const Fixture fixture(8, 25, 63);
+  MasterConfig config;
+  config.cpu_workers = 1;
+  config.gpu_workers = 1;
+  config.policy = AllocationPolicy::kSelfScheduling;
+  // Every task fails exactly once (on its first attempt).
+  auto attempts = std::make_shared<std::map<std::size_t, int>>();
+  auto mutex = std::make_shared<std::mutex>();
+  config.fault_injector = [attempts, mutex](std::size_t task_id,
+                                            std::size_t) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    return (*attempts)[task_id]++ == 0;
+  };
+  const SearchReport report =
+      run_search(fixture.queries, fixture.db, config);
+  const auto expected = fixture.best_scores();
+  for (std::size_t q = 0; q < fixture.queries.size(); ++q) {
+    EXPECT_EQ(report.results[q].hits[0].score, expected[q]);
+  }
+}
+
+TEST(Master, PermanentFailureEventuallyGivesUp) {
+  const Fixture fixture(2, 10, 67);
+  MasterConfig config;
+  config.cpu_workers = 1;
+  config.gpu_workers = 1;
+  config.max_task_retries = 2;
+  config.fault_injector = [](std::size_t task_id, std::size_t) {
+    return task_id == 0;  // task 0 fails everywhere, forever
+  };
+  EXPECT_THROW(run_search(fixture.queries, fixture.db, config), Error);
+}
+
+TEST(Master, TopHitsHonored) {
+  const Fixture fixture(1, 30, 47);
+  MasterConfig config;
+  config.top_hits = 7;
+  const SearchReport report =
+      run_search(fixture.queries, fixture.db, config);
+  EXPECT_EQ(report.results[0].hits.size(), 7u);
+  // Hits sorted by score.
+  for (std::size_t i = 1; i < report.results[0].hits.size(); ++i) {
+    EXPECT_GE(report.results[0].hits[i - 1].score,
+              report.results[0].hits[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace swdual::master

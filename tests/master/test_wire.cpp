@@ -1,0 +1,125 @@
+// Property tests for the wire protocol: round-trip fidelity and rejection
+// of every malformed-frame class (truncation, corruption, wrong type).
+#include <gtest/gtest.h>
+
+#include "master/wire.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::master {
+namespace {
+
+TEST(Wire, RegisterRoundTrip) {
+  RegisterMsg msg{7, {sched::PeType::kGpu, 3}};
+  const auto frame = encode_register(msg);
+  EXPECT_EQ(frame_type(frame), MessageType::kRegister);
+  const RegisterMsg decoded = decode_register(frame);
+  EXPECT_EQ(decoded.worker_id, 7u);
+  EXPECT_EQ(decoded.pe.type, sched::PeType::kGpu);
+  EXPECT_EQ(decoded.pe.index, 3u);
+}
+
+TEST(Wire, OrderRoundTrip) {
+  const TaskOrder order{123456789012345ULL, 42};
+  const TaskOrder decoded = decode_order(encode_order(order));
+  EXPECT_EQ(decoded.task_id, order.task_id);
+  EXPECT_EQ(decoded.query_index, order.query_index);
+}
+
+TEST(Wire, ReportRoundTripWithScores) {
+  Rng rng(1);
+  for (int rep = 0; rep < 20; ++rep) {
+    TaskReport report;
+    report.task_id = rng.below(1'000'000);
+    report.query_index = rng.below(1000);
+    report.worker_id = rng.below(16);
+    report.pe = {rep % 2 == 0 ? sched::PeType::kCpu : sched::PeType::kGpu,
+                 rng.below(8)};
+    report.failed = rep % 3 == 0;
+    report.cells = rng.next();
+    report.wall_seconds = rng.uniform() * 100;
+    report.virtual_seconds = rng.uniform() * 1000;
+    const auto n = rng.below(200);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      report.scores.push_back(static_cast<int>(rng.between(-5, 30000)));
+    }
+    const TaskReport decoded = decode_report(encode_report(report));
+    EXPECT_EQ(decoded.task_id, report.task_id);
+    EXPECT_EQ(decoded.query_index, report.query_index);
+    EXPECT_EQ(decoded.worker_id, report.worker_id);
+    EXPECT_EQ(decoded.pe.type, report.pe.type);
+    EXPECT_EQ(decoded.pe.index, report.pe.index);
+    EXPECT_EQ(decoded.failed, report.failed);
+    EXPECT_EQ(decoded.cells, report.cells);
+    EXPECT_DOUBLE_EQ(decoded.wall_seconds, report.wall_seconds);
+    EXPECT_DOUBLE_EQ(decoded.virtual_seconds, report.virtual_seconds);
+    EXPECT_EQ(decoded.scores, report.scores);
+  }
+}
+
+TEST(Wire, ShutdownFrame) {
+  const auto frame = encode_shutdown();
+  EXPECT_EQ(frame_type(frame), MessageType::kShutdown);
+}
+
+TEST(Wire, TruncatedFrameRejected) {
+  auto frame = encode_order({1, 2});
+  frame.resize(frame.size() - 3);
+  EXPECT_THROW(decode_order(frame), IoError);
+  frame.resize(4);
+  EXPECT_THROW(frame_type(frame), IoError);
+}
+
+TEST(Wire, CorruptPayloadRejectedByChecksum) {
+  auto frame = encode_order({1, 2});
+  frame[10] ^= 0x55;  // flip bits inside the payload
+  EXPECT_THROW(decode_order(frame), IoError);
+}
+
+TEST(Wire, CorruptChecksumRejected) {
+  auto frame = encode_order({1, 2});
+  frame.back() ^= 0xff;
+  EXPECT_THROW(decode_order(frame), IoError);
+}
+
+TEST(Wire, BadMagicRejected) {
+  auto frame = encode_order({1, 2});
+  frame[0] = 'X';
+  EXPECT_THROW(frame_type(frame), IoError);
+  EXPECT_THROW(decode_order(frame), IoError);
+}
+
+TEST(Wire, WrongTypeRejected) {
+  const auto frame = encode_order({1, 2});
+  EXPECT_THROW(decode_report(frame), IoError);
+  EXPECT_THROW(decode_register(frame), IoError);
+}
+
+TEST(Wire, FuzzedFramesNeverCrash) {
+  // Random byte soup must always throw IoError, never read out of bounds.
+  Rng rng(99);
+  for (int rep = 0; rep < 500; ++rep) {
+    std::vector<std::uint8_t> junk(rng.below(64));
+    for (auto& byte : junk) byte = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_THROW(
+        {
+          try {
+            decode_report(junk);
+          } catch (const IoError&) {
+            throw;
+          } catch (...) {
+            FAIL() << "wrong exception type for fuzz input";
+          }
+        },
+        IoError);
+  }
+}
+
+TEST(Wire, LengthFieldLyingAboutSizeRejected) {
+  auto frame = encode_order({1, 2});
+  frame[5] = 0xff;  // claim a much longer payload than present
+  EXPECT_THROW(decode_order(frame), IoError);
+}
+
+}  // namespace
+}  // namespace swdual::master

@@ -1,0 +1,114 @@
+// Unit/property tests for the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include "platform/des.h"
+#include "sched/baselines.h"
+#include "sched/dual_approx.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::platform {
+namespace {
+
+using sched::HybridPlatform;
+using sched::PeType;
+using sched::Task;
+
+std::vector<Task> random_tasks(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cpu = 1.0 + rng.uniform() * 50.0;
+    tasks.push_back({i, cpu, cpu / (2.0 + rng.uniform() * 10.0)});
+  }
+  return tasks;
+}
+
+TEST(SimulateStatic, ReplaysScheduleCompactly) {
+  const std::vector<Task> tasks = {{0, 4, 1}, {1, 4, 1}, {2, 4, 1}};
+  const HybridPlatform platform{1, 1};
+  sched::Schedule plan;
+  plan.add({0, {PeType::kCpu, 0}, 0, 4});
+  plan.add({1, {PeType::kCpu, 0}, 6, 10});  // gap 4..6 must compact away
+  plan.add({2, {PeType::kGpu, 0}, 0, 1});
+  const ExecutionTrace trace = simulate_static(plan, tasks, platform);
+  EXPECT_DOUBLE_EQ(trace.makespan, 8.0);  // two CPU tasks back to back
+  EXPECT_DOUBLE_EQ(trace.cpu_busy, 8.0);
+  EXPECT_DOUBLE_EQ(trace.gpu_busy, 1.0);
+}
+
+TEST(SimulateStatic, MakespanNeverExceedsPlan) {
+  Rng rng(9);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto tasks = random_tasks(30, rep + 100);
+    const HybridPlatform platform{3, 2};
+    const sched::Schedule plan = sched::swdual_schedule(tasks, platform);
+    const ExecutionTrace trace = simulate_static(plan, tasks, platform);
+    EXPECT_LE(trace.makespan, plan.makespan() + 1e-9);
+    EXPECT_EQ(trace.entries.size(), tasks.size());
+  }
+}
+
+TEST(SimulateStatic, IdleAccountingConsistent) {
+  const auto tasks = random_tasks(20, 5);
+  const HybridPlatform platform{2, 2};
+  const sched::Schedule plan = sched::lpt_hybrid(tasks, platform);
+  const ExecutionTrace trace = simulate_static(plan, tasks, platform);
+  const double capacity = trace.makespan * 4;
+  EXPECT_NEAR(trace.total_idle, capacity - trace.cpu_busy - trace.gpu_busy,
+              1e-9);
+  EXPECT_GE(trace.idle_fraction(platform), 0.0);
+  EXPECT_LT(trace.idle_fraction(platform), 1.0);
+}
+
+TEST(SimulateStatic, UnknownTaskRejected) {
+  sched::Schedule plan;
+  plan.add({42, {PeType::kCpu, 0}, 0, 1});
+  EXPECT_THROW((simulate_static(plan, {{0, 1, 1}}, {1, 1})),
+               InvalidArgument);
+}
+
+TEST(SimulateSelfScheduling, SingleWorkerSerializes) {
+  const auto tasks = random_tasks(10, 6);
+  const ExecutionTrace trace = simulate_self_scheduling(tasks, {1, 0});
+  double total = 0;
+  for (const auto& t : tasks) total += t.cpu_time;
+  EXPECT_NEAR(trace.makespan, total, 1e-9);
+}
+
+TEST(SimulateSelfScheduling, GpusGrabWorkFirst) {
+  // Two tasks, one GPU + one CPU: the first task must land on the GPU.
+  const std::vector<Task> tasks = {{0, 10, 1}, {1, 10, 1}};
+  const ExecutionTrace trace = simulate_self_scheduling(tasks, {1, 1});
+  ASSERT_EQ(trace.entries.size(), 2u);
+  EXPECT_EQ(trace.entries[0].pe.type, PeType::kGpu);
+}
+
+TEST(SimulateSelfScheduling, MatchesListSchedulingSemantics) {
+  // DES self-scheduling must equal the static self_scheduling baseline's
+  // makespan (same greedy, different implementation).
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto tasks = random_tasks(40, seed);
+    const HybridPlatform platform{3, 2};
+    const double des = simulate_self_scheduling(tasks, platform).makespan;
+    const double reference =
+        sched::self_scheduling(tasks, platform).makespan();
+    EXPECT_NEAR(des, reference, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(SimulateSelfScheduling, DispatchLatencySlowsRun) {
+  const auto tasks = random_tasks(20, 7);
+  const HybridPlatform platform{2, 2};
+  const double fast = simulate_self_scheduling(tasks, platform, 0.0).makespan;
+  const double slow = simulate_self_scheduling(tasks, platform, 0.5).makespan;
+  EXPECT_GT(slow, fast);
+}
+
+TEST(SimulateSelfScheduling, NegativeLatencyRejected) {
+  EXPECT_THROW((simulate_self_scheduling({{0, 1, 1}}, {1, 1}, -1.0)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swdual::platform

@@ -1,0 +1,115 @@
+// Unit tests for baseline allocation policies.
+#include <gtest/gtest.h>
+
+#include "sched/baselines.h"
+#include "sched/schedule.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::sched {
+namespace {
+
+std::vector<Task> random_tasks(std::size_t n, std::uint64_t seed,
+                               double accel_lo = 2.0, double accel_hi = 10.0) {
+  Rng rng(seed);
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cpu = 1.0 + rng.uniform() * 99.0;
+    const double accel = accel_lo + rng.uniform() * (accel_hi - accel_lo);
+    tasks.push_back({i, cpu, cpu / accel});
+  }
+  return tasks;
+}
+
+TEST(SelfScheduling, ValidAndComplete) {
+  const auto tasks = random_tasks(40, 1);
+  const HybridPlatform platform{4, 4};
+  const Schedule s = self_scheduling(tasks, platform);
+  validate_schedule(s, tasks, platform);
+}
+
+TEST(SelfScheduling, SinglePePlatformSerializes) {
+  const auto tasks = random_tasks(10, 2);
+  const Schedule s = self_scheduling(tasks, {1, 0});
+  double total = 0;
+  for (const auto& t : tasks) total += t.cpu_time;
+  EXPECT_DOUBLE_EQ(s.makespan(), total);
+}
+
+TEST(EarliestCompletion, NeverWorseThanSelfSchedulingHere) {
+  // ECT considers the task's duration on each PE; with strongly accelerated
+  // tasks it should beat plain availability-based self-scheduling on average.
+  double ect_wins = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto tasks = random_tasks(60, seed);
+    const HybridPlatform platform{4, 2};
+    const double ss = self_scheduling(tasks, platform).makespan();
+    const double ect = earliest_completion(tasks, platform).makespan();
+    if (ect <= ss + 1e-9) ect_wins += 1;
+  }
+  EXPECT_GE(ect_wins, 8);
+}
+
+TEST(EqualPower, DealsRoundRobin) {
+  const auto tasks = random_tasks(12, 3);
+  const HybridPlatform platform{2, 2};
+  const Schedule s = equal_power(tasks, platform);
+  validate_schedule(s, tasks, platform);
+  // 12 tasks over 4 PEs -> 3 each.
+  std::size_t on_gpu0 = 0;
+  for (const auto& a : s.assignments()) {
+    if (a.pe == PeId{PeType::kGpu, 0}) ++on_gpu0;
+  }
+  EXPECT_EQ(on_gpu0, 3u);
+}
+
+TEST(ProportionalStatic, ValidAndGpuGetsMostWork) {
+  const auto tasks = random_tasks(80, 4, 8.0, 12.0);  // ~10x acceleration
+  const HybridPlatform platform{4, 4};
+  const Schedule s = proportional_static(tasks, platform);
+  validate_schedule(s, tasks, platform);
+  // With ~10x faster GPUs, the GPU pool should receive most of the
+  // CPU-equivalent work: GPU-area * accel ≈ moved work.
+  const ScheduleMetrics metrics = compute_metrics(s, platform);
+  EXPECT_GT(metrics.tasks_on_gpu, metrics.tasks_on_cpu);
+}
+
+TEST(ProportionalStatic, RequiresBothPeTypes) {
+  const auto tasks = random_tasks(5, 5);
+  EXPECT_THROW(proportional_static(tasks, {4, 0}), InvalidArgument);
+}
+
+TEST(ProportionalStatic, EmptyTasksYieldEmptySchedule) {
+  EXPECT_TRUE(proportional_static({}, {2, 2}).empty());
+}
+
+TEST(LptHybrid, ValidAndBeatsUnorderedEct) {
+  double wins = 0;
+  for (std::uint64_t seed = 10; seed < 20; ++seed) {
+    const auto tasks = random_tasks(60, seed);
+    const HybridPlatform platform{4, 2};
+    validate_schedule(lpt_hybrid(tasks, platform), tasks, platform);
+    if (lpt_hybrid(tasks, platform).makespan() <=
+        earliest_completion(tasks, platform).makespan() + 1e-9) {
+      wins += 1;
+    }
+  }
+  EXPECT_GE(wins, 7);  // LPT ordering usually helps
+}
+
+TEST(AllBaselines, HandleSingleTask) {
+  const std::vector<Task> tasks = {{0, 10, 1}};
+  const HybridPlatform platform{2, 2};
+  using Policy = Schedule (*)(const std::vector<Task>&, const HybridPlatform&);
+  for (Policy policy :
+       {Policy{&self_scheduling}, Policy{&earliest_completion},
+        Policy{&equal_power}, Policy{&proportional_static},
+        Policy{&lpt_hybrid}}) {
+    const Schedule s = (*policy)(tasks, platform);
+    validate_schedule(s, tasks, platform);
+    EXPECT_GT(s.makespan(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace swdual::sched

@@ -1,0 +1,184 @@
+// Unit tests for the dual-approximation step and binary search (paper §III).
+#include <gtest/gtest.h>
+
+#include "sched/dual_approx.h"
+#include "sched/schedule.h"
+#include "util/error.h"
+
+namespace swdual::sched {
+namespace {
+
+TEST(DualStep, TaskTooLongEverywhereIsNo) {
+  const std::vector<Task> tasks = {{0, 10, 10}};
+  const DualStepResult r = dual_approx_step(tasks, {1, 1}, 5.0);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(DualStep, ForcedGpuTaskPlacedOnGpu) {
+  // cpu_time 100 > λ=10, gpu_time 5 <= λ: must land on a GPU.
+  const std::vector<Task> tasks = {{0, 100, 5}};
+  const DualStepResult r = dual_approx_step(tasks, {1, 1}, 10.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.find_task(0)->pe.type, PeType::kGpu);
+}
+
+TEST(DualStep, ForcedCpuTaskPlacedOnCpu) {
+  // gpu_time > λ (a decelerated task), cpu_time <= λ: must land on a CPU.
+  const std::vector<Task> tasks = {{0, 5, 100}};
+  const DualStepResult r = dual_approx_step(tasks, {1, 1}, 10.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.find_task(0)->pe.type, PeType::kCpu);
+}
+
+TEST(DualStep, MandatoryGpuAreaOverflowIsNo) {
+  // Three tasks forced to the single GPU (cpu too slow), 6 each > k*λ=10.
+  const std::vector<Task> tasks = {{0, 100, 6}, {1, 100, 6}, {2, 100, 6}};
+  EXPECT_FALSE(dual_approx_step(tasks, {1, 1}, 10.0).feasible);
+}
+
+TEST(DualStep, CpuOverloadIsNo) {
+  // GPU budget fits only ~1 task; the rest exceed m*λ on the CPU side.
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 10; ++i) tasks.push_back({i, 10, 10});
+  EXPECT_FALSE(dual_approx_step(tasks, {1, 1}, 10.0).feasible);
+}
+
+TEST(DualStep, GuaranteeMakespanAtMostTwoLambda) {
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 20; ++i) {
+    tasks.push_back({i, 8.0 + static_cast<double>(i % 5), 2.0});
+  }
+  const HybridPlatform platform{2, 2};
+  const double lambda = 30.0;
+  const DualStepResult r = dual_approx_step(tasks, platform, lambda);
+  ASSERT_TRUE(r.feasible);
+  validate_schedule(r.schedule, tasks, platform);
+  EXPECT_LE(r.schedule.makespan(), 2.0 * lambda + 1e-9);
+}
+
+TEST(DualStep, KnapsackPrefersBestAcceleratedTasks) {
+  // Two tasks fit on the GPU; the ones with the highest p/p̄ ratio must win.
+  const std::vector<Task> tasks = {
+      {0, 10, 1},   // ratio 10
+      {1, 10, 5},   // ratio 2
+      {2, 10, 1},   // ratio 10
+      {3, 10, 5},   // ratio 2
+  };
+  // λ=10: GPU budget 2 (k=1, but crossing allowed). With budget kλ=10 the
+  // ratio-10 tasks (area 2) go first, then ratio-2 tasks fill to >= 10.
+  const DualStepResult r = dual_approx_step(tasks, {2, 1}, 10.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.find_task(0)->pe.type, PeType::kGpu);
+  EXPECT_EQ(r.schedule.find_task(2)->pe.type, PeType::kGpu);
+}
+
+TEST(DualStep, EmptyTasksFeasible) {
+  const DualStepResult r = dual_approx_step({}, {1, 1}, 1.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.schedule.empty());
+}
+
+TEST(DualStep, CpuOnlyPlatform) {
+  const std::vector<Task> tasks = {{0, 4, 1}, {1, 4, 1}};
+  const DualStepResult r = dual_approx_step(tasks, {2, 0}, 4.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.find_task(0)->pe.type, PeType::kCpu);
+}
+
+TEST(DualStep, GpuOnlyPlatform) {
+  const std::vector<Task> tasks = {{0, 4, 1}, {1, 4, 1}};
+  const DualStepResult r = dual_approx_step(tasks, {0, 1}, 2.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.schedule.makespan(), 2.0);
+}
+
+TEST(LowerBound, SingleTaskUsesFasterSide) {
+  const std::vector<Task> tasks = {{0, 10, 2}};
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(tasks, {1, 1}), 2.0);
+}
+
+TEST(LowerBound, AreaBoundDominatesManySmallTasks) {
+  // 100 unit tasks, 1 CPU + 1 GPU at equal speed: area bound = 50.
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 100; ++i) tasks.push_back({i, 1, 1});
+  EXPECT_NEAR(makespan_lower_bound(tasks, {1, 1}), 50.0, 0.1);
+}
+
+TEST(LowerBound, NeverExceedsAchievedMakespan) {
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 30; ++i) {
+    tasks.push_back({i, double(1 + i % 7), double(1 + i % 3)});
+  }
+  const HybridPlatform platform{3, 2};
+  const double lb = makespan_lower_bound(tasks, platform);
+  const double achieved = swdual_schedule(tasks, platform).makespan();
+  EXPECT_LE(lb, achieved + 1e-9);
+}
+
+TEST(SwdualSchedule, EmptyInput) {
+  DualSearchStats stats;
+  const Schedule s = swdual_schedule({}, {1, 1}, 1e-3, &stats);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(SwdualSchedule, TwoApproxGuarantee) {
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 50; ++i) {
+    tasks.push_back({i, double(5 + i % 17), double(1 + i % 4)});
+  }
+  const HybridPlatform platform{4, 4};
+  DualSearchStats stats;
+  const Schedule s = swdual_schedule(tasks, platform, 1e-4, &stats);
+  validate_schedule(s, tasks, platform);
+  const double lb = makespan_lower_bound(tasks, platform);
+  EXPECT_LE(s.makespan(), 2.0 * lb * 1.01 + 1e-9)
+      << "2-approximation guarantee vs certified lower bound";
+  EXPECT_GT(stats.iterations, 0u);
+  EXPECT_GE(stats.makespan, lb);
+}
+
+TEST(SwdualSchedule, BinarySearchIterationsLogarithmic) {
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 100; ++i) {
+    tasks.push_back({i, double(1 + i % 23), double(1 + i % 5)});
+  }
+  DualSearchStats stats;
+  swdual_schedule(tasks, {4, 4}, 1e-6, &stats);
+  EXPECT_LE(stats.iterations, 64u);  // log2((Bmax-Bmin)/eps·Bmax) range
+}
+
+TEST(SwdualSchedule, StatsLowerBoundIsCertified) {
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 40; ++i) {
+    tasks.push_back({i, double(2 + i % 9), double(1 + i % 3)});
+  }
+  const HybridPlatform platform{2, 2};
+  DualSearchStats stats;
+  swdual_schedule(tasks, platform, 1e-4, &stats);
+  // A certified NO at stats.lower_bound means OPT > lower_bound; the
+  // returned makespan can thus never be below it.
+  EXPECT_GE(stats.makespan, stats.lower_bound - 1e-9);
+}
+
+TEST(SwdualRefined, NeverWorseThanBase) {
+  for (std::uint64_t variant = 0; variant < 5; ++variant) {
+    std::vector<Task> tasks;
+    for (std::size_t i = 0; i < 30; ++i) {
+      tasks.push_back({i, double(1 + (i * 7 + variant) % 19),
+                       double(1 + (i * 3 + variant) % 5)});
+    }
+    const HybridPlatform platform{3, 2};
+    const double base = swdual_schedule(tasks, platform).makespan();
+    const Schedule refined = swdual_schedule_refined(tasks, platform);
+    validate_schedule(refined, tasks, platform);
+    EXPECT_LE(refined.makespan(), base + 1e-9) << "variant " << variant;
+  }
+}
+
+TEST(SwdualSchedule, RejectsBadEpsilon) {
+  EXPECT_THROW(swdual_schedule({{0, 1, 1}}, {1, 1}, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swdual::sched

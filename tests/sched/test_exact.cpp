@@ -1,0 +1,116 @@
+// Tests for the exact branch-and-bound scheduler (the ground-truth oracle).
+#include <gtest/gtest.h>
+
+#include "sched/baselines.h"
+#include "sched/dual_approx.h"
+#include "sched/exact.h"
+#include "util/rng.h"
+
+namespace swdual::sched {
+namespace {
+
+std::vector<Task> random_tasks(Rng& rng, std::size_t n) {
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cpu = 1.0 + rng.uniform() * 49.0;
+    tasks.push_back({i, cpu, cpu / (1.0 + rng.uniform() * 9.0)});
+  }
+  return tasks;
+}
+
+TEST(Exact, EmptyAndSingleTask) {
+  const HybridPlatform platform{2, 1};
+  EXPECT_EQ(exact_schedule({}, platform)->makespan, 0.0);
+  const std::vector<Task> one = {{0, 10, 2}};
+  const auto result = exact_schedule(one, platform);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->makespan, 2.0);  // GPU is faster
+  validate_schedule(result->schedule, one, platform);
+}
+
+TEST(Exact, KnownOptimumTwoMachines) {
+  // Tasks {3,3,2,2,2} on 2 identical CPUs: optimum is 6.
+  std::vector<Task> tasks;
+  const double times[] = {3, 3, 2, 2, 2};
+  for (std::size_t i = 0; i < 5; ++i) {
+    tasks.push_back({i, times[i], times[i]});
+  }
+  const auto result = exact_schedule(tasks, {2, 0});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->makespan, 6.0);
+}
+
+TEST(Exact, HybridForcedChoice) {
+  // One task hugely accelerated, one decelerated: optimum uses each PE for
+  // what it is good at.
+  const std::vector<Task> tasks = {{0, 100, 5}, {1, 5, 100}};
+  const auto result = exact_schedule(tasks, {1, 1});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->makespan, 5.0);
+}
+
+TEST(Exact, MatchesBruteForceEnumeration) {
+  Rng rng(71);
+  for (int rep = 0; rep < 15; ++rep) {
+    const auto tasks = random_tasks(rng, 2 + rng.below(6));
+    const HybridPlatform platform{1 + rng.below(2), 1 + rng.below(2)};
+    // Brute force over all placements.
+    const std::size_t pes = platform.total();
+    std::vector<std::size_t> assign(tasks.size(), 0);
+    double best = 1e300;
+    while (true) {
+      std::vector<double> load(pes, 0.0);
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const bool is_cpu = assign[i] < platform.num_cpus;
+        load[assign[i]] += is_cpu ? tasks[i].cpu_time : tasks[i].gpu_time;
+      }
+      best = std::min(best, *std::max_element(load.begin(), load.end()));
+      std::size_t pos = 0;
+      while (pos < tasks.size() && ++assign[pos] == pes) {
+        assign[pos] = 0;
+        ++pos;
+      }
+      if (pos == tasks.size()) break;
+    }
+    const auto result = exact_schedule(tasks, platform);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_NEAR(result->makespan, best, 1e-9) << "rep " << rep;
+    validate_schedule(result->schedule, tasks, platform);
+  }
+}
+
+TEST(Exact, NeverAboveHeuristicsNeverBelowLowerBound) {
+  Rng rng(73);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto tasks = random_tasks(rng, 10 + rng.below(6));
+    const HybridPlatform platform{2, 2};
+    const auto result = exact_schedule(tasks, platform);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LE(result->makespan,
+              swdual_schedule(tasks, platform).makespan() + 1e-9);
+    EXPECT_LE(result->makespan, lpt_hybrid(tasks, platform).makespan() + 1e-9);
+    EXPECT_GE(result->makespan,
+              makespan_lower_bound(tasks, platform) - 1e-9);
+  }
+}
+
+TEST(Exact, DualApproxWithinFactorTwoOfTrueOptimum) {
+  Rng rng(75);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto tasks = random_tasks(rng, 12);
+    const HybridPlatform platform{2, 2};
+    const auto exact = exact_schedule(tasks, platform);
+    ASSERT_TRUE(exact.has_value());
+    const double approx = swdual_schedule(tasks, platform).makespan();
+    EXPECT_LE(approx, 2.0 * exact->makespan + 1e-9) << "rep " << rep;
+  }
+}
+
+TEST(Exact, NodeLimitReturnsNullopt) {
+  Rng rng(77);
+  const auto tasks = random_tasks(rng, 18);
+  EXPECT_FALSE(exact_schedule(tasks, {3, 3}, 10).has_value());
+}
+
+}  // namespace
+}  // namespace swdual::sched

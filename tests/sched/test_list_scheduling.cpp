@@ -1,0 +1,105 @@
+// Unit tests for list scheduling primitives.
+#include <gtest/gtest.h>
+
+#include "sched/list_scheduling.h"
+#include "util/error.h"
+
+namespace swdual::sched {
+namespace {
+
+TEST(ListSchedule, SinglePeRunsSequentially) {
+  Schedule s;
+  const std::vector<Task> tasks = {{0, 3, 1}, {1, 4, 1}, {2, 2, 1}};
+  list_schedule_onto(tasks, {{PeType::kCpu, 0}}, s);
+  EXPECT_DOUBLE_EQ(s.makespan(), 9.0);
+  EXPECT_DOUBLE_EQ(s.find_task(1)->start, 3.0);
+  EXPECT_DOUBLE_EQ(s.find_task(2)->start, 7.0);
+}
+
+TEST(ListSchedule, PicksEarliestAvailablePe) {
+  Schedule s;
+  const std::vector<Task> tasks = {{0, 4, 0}, {1, 1, 0}, {2, 1, 0}, {3, 1, 0}};
+  list_schedule_onto(tasks, {{PeType::kCpu, 0}, {PeType::kCpu, 1}}, s);
+  // CPU0 gets task0 (4); CPU1 gets 1,2,3 (3 total). Makespan 4.
+  EXPECT_DOUBLE_EQ(s.makespan(), 4.0);
+  EXPECT_EQ(s.find_task(3)->pe.index, 1u);
+}
+
+TEST(ListSchedule, UsesPeTypeSpecificDurations) {
+  Schedule s;
+  const std::vector<Task> tasks = {{0, 10, 2}};
+  list_schedule_onto(tasks, {{PeType::kGpu, 0}}, s);
+  EXPECT_DOUBLE_EQ(s.makespan(), 2.0);
+}
+
+TEST(ListSchedule, GrahamBoundHolds) {
+  // List scheduling never exceeds avg load + max task.
+  std::vector<Task> tasks;
+  double total = 0, longest = 0;
+  for (std::size_t i = 0; i < 57; ++i) {
+    const double t = 1.0 + static_cast<double>((i * 7) % 13);
+    tasks.push_back({i, t, t});
+    total += t;
+    longest = std::max(longest, t);
+  }
+  const HybridPlatform platform{4, 0};
+  Schedule s;
+  list_schedule_onto(tasks, cpu_pool(platform), s);
+  EXPECT_LE(s.makespan(), total / 4.0 + longest + 1e-9);
+  validate_schedule(s, tasks, platform);
+}
+
+TEST(ListSchedule, AppendsToExistingSchedule) {
+  Schedule s;
+  s.add({99, {PeType::kCpu, 0}, 0.0, 5.0});
+  const std::vector<Task> tasks = {{0, 1, 1}};
+  list_schedule_onto(tasks, {{PeType::kCpu, 0}}, s);
+  EXPECT_DOUBLE_EQ(s.find_task(0)->start, 5.0);  // resumes after busy period
+}
+
+TEST(ListSchedule, EmptyTaskListIsNoop) {
+  Schedule s;
+  list_schedule_onto({}, {{PeType::kCpu, 0}}, s);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ListSchedule, NoPesRejected) {
+  Schedule s;
+  const std::vector<Task> tasks = {{0, 1, 1}};
+  EXPECT_THROW(list_schedule_onto(tasks, {}, s), InvalidArgument);
+}
+
+TEST(Pools, SizesAndOrder) {
+  const HybridPlatform platform{3, 2};
+  EXPECT_EQ(cpu_pool(platform).size(), 3u);
+  EXPECT_EQ(gpu_pool(platform).size(), 2u);
+  const auto all = all_pes(platform);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].type, PeType::kGpu);  // GPUs lead the mixed pool
+  EXPECT_EQ(all[4].type, PeType::kCpu);
+}
+
+TEST(SortedLpt, OrdersByRequestedType) {
+  const std::vector<Task> tasks = {{0, 1, 9}, {1, 5, 2}, {2, 3, 4}};
+  const auto by_cpu = sorted_lpt(tasks, PeType::kCpu);
+  EXPECT_EQ(by_cpu[0].id, 1u);
+  const auto by_gpu = sorted_lpt(tasks, PeType::kGpu);
+  EXPECT_EQ(by_gpu[0].id, 0u);
+}
+
+TEST(ScheduleSplit, IndependentSides) {
+  const std::vector<Task> cpu_tasks = {{0, 5, 1}};
+  const std::vector<Task> gpu_tasks = {{1, 9, 2}};
+  const Schedule s = schedule_split(cpu_tasks, gpu_tasks, {1, 1});
+  EXPECT_EQ(s.find_task(0)->pe.type, PeType::kCpu);
+  EXPECT_EQ(s.find_task(1)->pe.type, PeType::kGpu);
+  EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+}
+
+TEST(ScheduleSplit, TasksWithoutMatchingPesRejected) {
+  const std::vector<Task> cpu_tasks = {{0, 5, 1}};
+  EXPECT_THROW(schedule_split(cpu_tasks, {}, {0, 1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swdual::sched

@@ -1,0 +1,79 @@
+// Unit tests for residue alphabets.
+#include <gtest/gtest.h>
+
+#include "seq/alphabet.h"
+#include "seq/sequence.h"
+
+namespace swdual::seq {
+namespace {
+
+TEST(Alphabet, DnaRoundTrip) {
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.decode(a.encode('A')), 'A');
+  EXPECT_EQ(a.decode(a.encode('T')), 'T');
+  EXPECT_EQ(a.encode('a'), a.encode('A'));  // case-insensitive
+}
+
+TEST(Alphabet, UnknownLettersMapToWildcard) {
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_EQ(a.encode('Z'), a.wildcard_code());
+  EXPECT_EQ(a.encode('U'), a.wildcard_code());  // RNA letter in DNA alphabet
+  EXPECT_EQ(a.encode('#'), a.wildcard_code());
+}
+
+TEST(Alphabet, ProteinHas24CodesInBlosumOrder) {
+  const Alphabet& a = Alphabet::protein();
+  EXPECT_EQ(a.size(), 24u);
+  EXPECT_EQ(a.letters(), "ARNDCQEGHILKMFPSTWYVBZX*");
+  EXPECT_EQ(a.encode('A'), 0);
+  EXPECT_EQ(a.encode('V'), 19);
+  EXPECT_EQ(a.encode('X'), a.wildcard_code());
+  EXPECT_EQ(a.encode('*'), 23);
+}
+
+TEST(Alphabet, ProteinWildcardIsX) {
+  const Alphabet& a = Alphabet::protein();
+  EXPECT_EQ(a.decode(a.wildcard_code()), 'X');
+  EXPECT_EQ(a.encode('J'), a.wildcard_code());  // J not in the alphabet
+}
+
+TEST(Alphabet, ContainsDistinguishesMembersFromMapped) {
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_TRUE(a.contains('A'));
+  EXPECT_TRUE(a.contains('n'));   // wildcard letter itself
+  EXPECT_FALSE(a.contains('Q'));  // mapped to wildcard but not a member
+}
+
+TEST(Alphabet, EncodeDecodeWholeString) {
+  const Alphabet& a = Alphabet::protein();
+  const std::string text = "MKVLAW";
+  EXPECT_EQ(a.decode(a.encode(text)), text);
+}
+
+TEST(Alphabet, RnaUsesU) {
+  const Alphabet& a = Alphabet::rna();
+  EXPECT_EQ(a.decode(a.encode('U')), 'U');
+  EXPECT_EQ(a.encode('T'), a.wildcard_code());
+}
+
+TEST(Sequence, FromTextRoundTrip) {
+  const Sequence s =
+      Sequence::from_text("id1", "a protein", AlphabetKind::kProtein, "MKVLAW");
+  EXPECT_EQ(s.length(), 6u);
+  EXPECT_EQ(s.to_text(), "MKVLAW");
+  EXPECT_EQ(s.id, "id1");
+  EXPECT_EQ(s.description, "a protein");
+}
+
+TEST(Sequence, EqualityComparesAllFields) {
+  const Sequence a =
+      Sequence::from_text("x", "", AlphabetKind::kDna, "ACGT");
+  Sequence b = a;
+  EXPECT_EQ(a, b);
+  b.residues.push_back(0);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace swdual::seq

@@ -1,0 +1,105 @@
+// Unit tests for synthetic database generation (Table III stand-ins).
+#include <gtest/gtest.h>
+
+#include "seq/dbgen.h"
+#include "seq/dbstats.h"
+#include "util/error.h"
+
+namespace swdual::seq {
+namespace {
+
+TEST(Table3Profiles, UnscaledCountsMatchThePaper) {
+  const auto profiles = table3_profiles(1);
+  ASSERT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(table3_profile("ensembl_dog", 1).num_sequences, 25160u);
+  EXPECT_EQ(table3_profile("ensembl_rat", 1).num_sequences, 32971u);
+  EXPECT_EQ(table3_profile("refseq_human", 1).num_sequences, 34705u);
+  EXPECT_EQ(table3_profile("refseq_mouse", 1).num_sequences, 29437u);
+  EXPECT_EQ(table3_profile("uniprot", 1).num_sequences, 537505u);
+}
+
+TEST(Table3Profiles, ScalingDividesCounts) {
+  EXPECT_EQ(table3_profile("uniprot", 20).num_sequences, 537505u / 20);
+  EXPECT_EQ(table3_profile("ensembl_dog", 20).num_sequences, 25160u / 20);
+}
+
+TEST(Table3Profiles, UnknownNameThrows) {
+  EXPECT_THROW(table3_profile("swissprot", 1), InvalidArgument);
+}
+
+TEST(Table3Profiles, ZeroScaleRejected) {
+  EXPECT_THROW(table3_profiles(0), InvalidArgument);
+}
+
+TEST(AminoAcidFrequencies, SumToRoughlyOne) {
+  double total = 0;
+  for (double f : amino_acid_frequencies()) total += f;
+  EXPECT_EQ(amino_acid_frequencies().size(), 20u);
+  EXPECT_NEAR(total, 1.0, 0.02);
+}
+
+TEST(RandomProtein, OnlyStandardResidues) {
+  Rng rng(1);
+  const Sequence s = random_protein(rng, "x", 5000);
+  EXPECT_EQ(s.length(), 5000u);
+  for (std::uint8_t code : s.residues) EXPECT_LT(code, 20);
+}
+
+TEST(RandomProtein, CompositionTracksBackground) {
+  Rng rng(2);
+  const Sequence s = random_protein(rng, "x", 200000);
+  std::vector<std::size_t> counts(20, 0);
+  for (std::uint8_t code : s.residues) counts[code]++;
+  const auto& freqs = amino_acid_frequencies();
+  for (std::size_t a = 0; a < 20; ++a) {
+    const double observed = double(counts[a]) / 200000.0;
+    EXPECT_NEAR(observed, freqs[a], 0.01) << "residue code " << a;
+  }
+}
+
+TEST(GenerateDatabase, DeterministicInSeed) {
+  DatabaseProfile p{"t", 50, 10, 500, 5.0, 0.5, 99};
+  const auto a = generate_database(p);
+  const auto b = generate_database(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(GenerateDatabase, DifferentSeedsDiffer) {
+  DatabaseProfile p{"t", 50, 10, 500, 5.0, 0.5, 99};
+  DatabaseProfile q = p;
+  q.seed = 100;
+  EXPECT_FALSE(generate_database(p)[5] == generate_database(q)[5]);
+}
+
+TEST(GenerateDatabase, RespectsLengthBoundsAndPinsExtremes) {
+  DatabaseProfile p{"t", 200, 100, 4996, 5.7, 0.65, 101};
+  const auto records = generate_database(p);
+  const DatabaseStats stats = compute_stats(records);
+  EXPECT_EQ(stats.num_sequences, 200u);
+  EXPECT_EQ(stats.min_length, 100u);   // pinned extreme
+  EXPECT_EQ(stats.max_length, 4996u);  // pinned extreme
+  for (const auto& r : records) {
+    EXPECT_GE(r.length(), 100u);
+    EXPECT_LE(r.length(), 4996u);
+  }
+}
+
+TEST(GenerateDatabase, LengthDistributionHasLognormalMedian) {
+  DatabaseProfile p{"t", 4000, 1, 100000, 5.7, 0.65, 7};
+  const auto records = generate_database(p);
+  std::vector<std::size_t> lengths;
+  for (const auto& r : records) lengths.push_back(r.length());
+  std::sort(lengths.begin(), lengths.end());
+  const double median = static_cast<double>(lengths[lengths.size() / 2]);
+  EXPECT_NEAR(median, std::exp(5.7), std::exp(5.7) * 0.1);
+}
+
+TEST(GenerateDatabase, InvalidProfilesRejected) {
+  EXPECT_THROW(generate_database({"t", 0, 1, 10, 5, 0.5, 1}), InvalidArgument);
+  EXPECT_THROW(generate_database({"t", 5, 10, 2, 5, 0.5, 1}), InvalidArgument);
+  EXPECT_THROW(generate_database({"t", 5, 0, 2, 5, 0.5, 1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swdual::seq

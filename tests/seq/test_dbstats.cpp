@@ -1,0 +1,37 @@
+// Unit tests for database statistics.
+#include <gtest/gtest.h>
+
+#include "seq/dbstats.h"
+
+namespace swdual::seq {
+namespace {
+
+TEST(DbStats, EmptyDatabase) {
+  const DatabaseStats s = compute_stats({});
+  EXPECT_EQ(s.num_sequences, 0u);
+  EXPECT_EQ(s.total_residues, 0u);
+  EXPECT_EQ(s.mean_length, 0.0);
+}
+
+TEST(DbStats, FromLengths) {
+  const DatabaseStats s = compute_stats_from_lengths({10, 20, 30});
+  EXPECT_EQ(s.num_sequences, 3u);
+  EXPECT_EQ(s.min_length, 10u);
+  EXPECT_EQ(s.max_length, 30u);
+  EXPECT_EQ(s.total_residues, 60u);
+  EXPECT_DOUBLE_EQ(s.mean_length, 20.0);
+}
+
+TEST(DbStats, FromRecords) {
+  std::vector<Sequence> records;
+  records.push_back(Sequence::from_text("a", "", AlphabetKind::kDna, "ACGT"));
+  records.push_back(Sequence::from_text("b", "", AlphabetKind::kDna, "AC"));
+  const DatabaseStats s = compute_stats(records);
+  EXPECT_EQ(s.num_sequences, 2u);
+  EXPECT_EQ(s.min_length, 2u);
+  EXPECT_EQ(s.max_length, 4u);
+  EXPECT_EQ(s.total_residues, 6u);
+}
+
+}  // namespace
+}  // namespace swdual::seq

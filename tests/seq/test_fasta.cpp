@@ -1,0 +1,110 @@
+// Unit tests for FASTA parsing and writing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/fasta.h"
+#include "util/error.h"
+
+namespace swdual::seq {
+namespace {
+
+TEST(FastaReader, ParsesMultipleRecordsWithWrappedLines) {
+  std::istringstream in(
+      ">sp|P1|FIRST first protein\n"
+      "MKVL\n"
+      "AW\n"
+      "\n"
+      ">second\n"
+      "ARNDC\n");
+  const auto records = read_fasta(in, AlphabetKind::kProtein);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "sp|P1|FIRST");
+  EXPECT_EQ(records[0].description, "first protein");
+  EXPECT_EQ(records[0].to_text(), "MKVLAW");
+  EXPECT_EQ(records[1].id, "second");
+  EXPECT_EQ(records[1].description, "");
+  EXPECT_EQ(records[1].to_text(), "ARNDC");
+}
+
+TEST(FastaReader, EmptyStreamYieldsNoRecords) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fasta(in, AlphabetKind::kProtein).empty());
+}
+
+TEST(FastaReader, ResidueBeforeHeaderThrows) {
+  std::istringstream in("MKVL\n>late\nAW\n");
+  EXPECT_THROW(read_fasta(in, AlphabetKind::kProtein), IoError);
+}
+
+TEST(FastaReader, SkipsCommentsAndInlineWhitespace) {
+  std::istringstream in(
+      ">q\n"
+      "; legacy comment\n"
+      "MK VL\tAW\n");
+  const auto records = read_fasta(in, AlphabetKind::kProtein);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].to_text(), "MKVLAW");
+}
+
+TEST(FastaReader, LowercaseResiduesNormalized) {
+  std::istringstream in(">q\nacgt\n");
+  const auto records = read_fasta(in, AlphabetKind::kDna);
+  EXPECT_EQ(records[0].to_text(), "ACGT");
+}
+
+TEST(FastaReader, UnknownResiduesBecomeWildcard) {
+  std::istringstream in(">q\nAC!T\n");
+  const auto records = read_fasta(in, AlphabetKind::kDna);
+  EXPECT_EQ(records[0].to_text(), "ACNT");
+}
+
+TEST(FastaReader, EmptyRecordAllowed) {
+  std::istringstream in(">empty\n>full\nACGT\n");
+  const auto records = read_fasta(in, AlphabetKind::kDna);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].empty());
+  EXPECT_EQ(records[1].length(), 4u);
+}
+
+TEST(FastaWriter, RoundTripsThroughReader) {
+  std::vector<Sequence> records;
+  records.push_back(
+      Sequence::from_text("a", "desc here", AlphabetKind::kProtein, "MKVLAW"));
+  records.push_back(Sequence::from_text(
+      "b", "", AlphabetKind::kProtein, std::string(150, 'A')));
+  std::ostringstream out;
+  write_fasta(out, records, 60);
+  std::istringstream in(out.str());
+  const auto parsed = read_fasta(in, AlphabetKind::kProtein);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], records[0]);
+  EXPECT_EQ(parsed[1], records[1]);
+}
+
+TEST(FastaWriter, WrapsAtRequestedWidth) {
+  std::vector<Sequence> records = {Sequence::from_text(
+      "x", "", AlphabetKind::kDna, std::string(10, 'A'))};
+  std::ostringstream out;
+  write_fasta(out, records, 4);
+  EXPECT_EQ(out.str(), ">x\nAAAA\nAAAA\nAA\n");
+}
+
+TEST(FastaFile, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/no/such/file.fa", AlphabetKind::kDna),
+               IoError);
+}
+
+TEST(FastaFile, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/swdual_fasta_test.fa";
+  std::vector<Sequence> records = {
+      Sequence::from_text("r1", "d", AlphabetKind::kDna, "ACGTACGT")};
+  write_fasta_file(path, records);
+  const auto parsed = read_fasta_file(path, AlphabetKind::kDna);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], records[0]);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swdual::seq

@@ -1,0 +1,98 @@
+// Tests for low-complexity masking.
+#include <gtest/gtest.h>
+
+#include "seq/dbgen.h"
+#include "seq/mask.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::seq {
+namespace {
+
+TEST(Entropy, UniformWindowMaximal) {
+  // 4 distinct residues equally often: entropy = 2 bits.
+  const std::vector<std::uint8_t> window = {0, 1, 2, 3, 0, 1, 2, 3};
+  EXPECT_NEAR(shannon_entropy(window), 2.0, 1e-12);
+}
+
+TEST(Entropy, HomopolymerZero) {
+  const std::vector<std::uint8_t> window(20, 5);
+  EXPECT_DOUBLE_EQ(shannon_entropy(window), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_entropy({}), 0.0);
+}
+
+TEST(Mask, PolyRunGetsMasked) {
+  Rng rng(1);
+  Sequence s = random_protein(rng, "s", 60);
+  // Insert a 20-residue poly-K run in the middle.
+  for (std::size_t i = 20; i < 40; ++i) s.residues[i] = 11;
+  const std::vector<bool> flags = low_complexity_mask(s.residues);
+  std::size_t flagged_in_run = 0;
+  for (std::size_t i = 22; i < 38; ++i) flagged_in_run += flags[i];
+  EXPECT_GE(flagged_in_run, 14u);  // run core is caught
+}
+
+TEST(Mask, RandomProteinMostlyUntouched) {
+  Rng rng(2);
+  const Sequence s = random_protein(rng, "s", 2000);
+  const std::vector<bool> flags = low_complexity_mask(s.residues);
+  std::size_t flagged = 0;
+  for (bool f : flags) flagged += f;
+  // Natural-composition random protein has high local entropy.
+  EXPECT_LT(flagged, 2000u / 10);
+}
+
+TEST(Mask, MaskReplacesWithWildcardAndCounts) {
+  Sequence s;
+  s.alphabet = AlphabetKind::kProtein;
+  s.residues.assign(30, 7);  // poly-G
+  const std::size_t masked = mask_low_complexity(s);
+  EXPECT_EQ(masked, 30u);
+  for (std::uint8_t code : s.residues) {
+    EXPECT_EQ(code, Alphabet::protein().wildcard_code());
+  }
+  // Idempotent: nothing new to mask.
+  EXPECT_EQ(mask_low_complexity(s), 0u);
+}
+
+TEST(Mask, ShortSequenceWholeWindowRule) {
+  Sequence s;
+  s.alphabet = AlphabetKind::kProtein;
+  s.residues = {3, 3, 3, 3};  // shorter than the window, zero entropy
+  EXPECT_EQ(mask_low_complexity(s), 4u);
+
+  Sequence diverse;
+  diverse.alphabet = AlphabetKind::kProtein;
+  diverse.residues = {0, 5, 9, 13, 17, 2, 7};  // high entropy, short
+  EXPECT_EQ(mask_low_complexity(diverse), 0u);
+}
+
+TEST(Mask, EmptySequence) {
+  Sequence s;
+  s.alphabet = AlphabetKind::kProtein;
+  EXPECT_EQ(mask_low_complexity(s), 0u);
+}
+
+TEST(Mask, WindowTooSmallRejected) {
+  const std::vector<std::uint8_t> residues(10, 0);
+  MaskConfig config;
+  config.window = 1;
+  EXPECT_THROW(low_complexity_mask(residues, config), InvalidArgument);
+}
+
+TEST(Mask, ThresholdControlsAggressiveness) {
+  Rng rng(3);
+  const Sequence s = random_protein(rng, "s", 500);
+  MaskConfig lax;
+  lax.entropy_threshold = 0.5;
+  MaskConfig strict;
+  strict.entropy_threshold = 4.0;  // near the 20-letter maximum
+  std::size_t lax_count = 0, strict_count = 0;
+  for (bool f : low_complexity_mask(s.residues, lax)) lax_count += f;
+  for (bool f : low_complexity_mask(s.residues, strict)) strict_count += f;
+  EXPECT_LE(lax_count, strict_count);
+  EXPECT_EQ(strict_count, 500u);  // everything is below 4.0 bits in 12-windows
+}
+
+}  // namespace
+}  // namespace swdual::seq

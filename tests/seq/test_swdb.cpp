@@ -1,0 +1,140 @@
+// Unit tests for the SWDB binary random-access format (paper §IV).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "seq/dbgen.h"
+#include "seq/fasta.h"
+#include "seq/swdb.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace swdual::seq {
+namespace {
+
+class SwdbTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/swdual_swdb_test.swdb";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::vector<Sequence> sample_records() {
+    std::vector<Sequence> records;
+    records.push_back(
+        Sequence::from_text("r0", "first", AlphabetKind::kProtein, "MKVLAW"));
+    records.push_back(
+        Sequence::from_text("r1", "", AlphabetKind::kProtein, "A"));
+    records.push_back(Sequence::from_text("r2", "long one",
+                                          AlphabetKind::kProtein,
+                                          std::string(1000, 'K')));
+    return records;
+  }
+};
+
+TEST_F(SwdbTest, RoundTripsAllRecords) {
+  const auto records = sample_records();
+  write_swdb(path_, records, AlphabetKind::kProtein);
+  const SwdbReader reader(path_);
+  ASSERT_EQ(reader.size(), records.size());
+  EXPECT_EQ(reader.alphabet(), AlphabetKind::kProtein);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(reader.read(i), records[i]) << "record " << i;
+  }
+}
+
+TEST_F(SwdbTest, RandomAccessOutOfOrder) {
+  const auto records = sample_records();
+  write_swdb(path_, records, AlphabetKind::kProtein);
+  const SwdbReader reader(path_);
+  // Read in reverse and repeatedly — any order must work.
+  EXPECT_EQ(reader.read(2), records[2]);
+  EXPECT_EQ(reader.read(0), records[0]);
+  EXPECT_EQ(reader.read(2), records[2]);
+  EXPECT_EQ(reader.read(1), records[1]);
+}
+
+TEST_F(SwdbTest, LengthsAvailableWithoutReadingData) {
+  const auto records = sample_records();
+  write_swdb(path_, records, AlphabetKind::kProtein);
+  const SwdbReader reader(path_);
+  EXPECT_EQ(reader.length(0), 6u);
+  EXPECT_EQ(reader.length(1), 1u);
+  EXPECT_EQ(reader.length(2), 1000u);
+  EXPECT_EQ(reader.total_residues(), 1007u);
+}
+
+TEST_F(SwdbTest, EmptyDatabaseRoundTrips) {
+  write_swdb(path_, {}, AlphabetKind::kDna);
+  const SwdbReader reader(path_);
+  EXPECT_EQ(reader.size(), 0u);
+  EXPECT_EQ(reader.alphabet(), AlphabetKind::kDna);
+  EXPECT_TRUE(reader.read_all().empty());
+}
+
+TEST_F(SwdbTest, IndexOutOfRangeThrows) {
+  write_swdb(path_, sample_records(), AlphabetKind::kProtein);
+  const SwdbReader reader(path_);
+  EXPECT_THROW(reader.length(3), InvalidArgument);
+  EXPECT_THROW(reader.read(3), InvalidArgument);
+}
+
+TEST_F(SwdbTest, MixedAlphabetRejected) {
+  auto records = sample_records();
+  records.push_back(Sequence::from_text("dna", "", AlphabetKind::kDna, "ACGT"));
+  EXPECT_THROW(write_swdb(path_, records, AlphabetKind::kProtein),
+               InvalidArgument);
+}
+
+TEST_F(SwdbTest, BadMagicRejected) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTSWDBDATA-----------------------------";
+  out.close();
+  EXPECT_THROW(SwdbReader reader(path_), IoError);
+}
+
+TEST_F(SwdbTest, MissingFileThrows) {
+  EXPECT_THROW(SwdbReader reader("/no/such/db.swdb"), IoError);
+}
+
+TEST_F(SwdbTest, TruncatedFileRejected) {
+  write_swdb(path_, sample_records(), AlphabetKind::kProtein);
+  // Chop off the tail (index) and expect a structured failure.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_THROW(SwdbReader reader(path_), IoError);
+}
+
+TEST_F(SwdbTest, FastaConversionPreservesContent) {
+  const std::string fasta_path = ::testing::TempDir() + "/swdual_conv.fa";
+  const auto records = sample_records();
+  write_fasta_file(fasta_path, records);
+  const std::size_t n =
+      convert_fasta_to_swdb(fasta_path, path_, AlphabetKind::kProtein);
+  EXPECT_EQ(n, records.size());
+  const SwdbReader reader(path_);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(reader.read(i), records[i]);
+  }
+  std::remove(fasta_path.c_str());
+}
+
+TEST_F(SwdbTest, LargeGeneratedDatabaseRoundTrips) {
+  DatabaseProfile profile{"t", 500, 10, 400, 5.0, 0.5, 77};
+  const auto records = generate_database(profile);
+  write_swdb(path_, records, AlphabetKind::kProtein);
+  const SwdbReader reader(path_);
+  ASSERT_EQ(reader.size(), 500u);
+  Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.below(500));
+    EXPECT_EQ(reader.read(idx), records[idx]);
+  }
+}
+
+}  // namespace
+}  // namespace swdual::seq

@@ -1,0 +1,87 @@
+// Unit tests for the CLI parser.
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace swdual {
+namespace {
+
+CliParser make() {
+  CliParser cli("tool", "test tool");
+  cli.add_flag("verbose", "debug logging");
+  cli.add_option("db", "database path", "default.swdb");
+  cli.add_option("workers", "worker count", "4");
+  cli.add_option("scale", "scale factor", "1.5");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  auto cli = make();
+  const char* argv[] = {"tool"};
+  cli.parse(1, argv);
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_EQ(cli.option("db"), "default.swdb");
+  EXPECT_EQ(cli.option_int("workers"), 4);
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--db", "x.swdb", "--workers", "8"};
+  cli.parse(5, argv);
+  EXPECT_EQ(cli.option("db"), "x.swdb");
+  EXPECT_EQ(cli.option_int("workers"), 8);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--db=y.swdb", "--scale=2.25"};
+  cli.parse(3, argv);
+  EXPECT_EQ(cli.option("db"), "y.swdb");
+  EXPECT_DOUBLE_EQ(cli.option_double("scale"), 2.25);
+}
+
+TEST(Cli, FlagsAndPositionals) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--verbose", "input.fa", "out.fa"};
+  cli.parse(4, argv);
+  EXPECT_TRUE(cli.flag("verbose"));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.fa");
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, argv), InvalidArgument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--db"};
+  EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--verbose=yes"};
+  EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, NonNumericIntThrows) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--workers", "many"};
+  cli.parse(3, argv);
+  EXPECT_THROW(cli.option_int("workers"), InvalidArgument);
+}
+
+TEST(Cli, HelpRequested) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--help"};
+  cli.parse(2, argv);
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.usage().find("--db"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swdual

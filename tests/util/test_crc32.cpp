@@ -1,0 +1,45 @@
+// Tests for CRC-32 (IEEE): known vectors and incremental equivalence.
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "util/crc32.h"
+
+namespace swdual {
+namespace {
+
+std::uint32_t crc_of(std::string_view text) {
+  return crc32({reinterpret_cast<const std::uint8_t*>(text.data()),
+                text.size()});
+}
+
+TEST(Crc32, KnownVectors) {
+  // Canonical check value for "123456789" under CRC-32/IEEE.
+  EXPECT_EQ(crc_of("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc_of(""), 0x00000000u);
+  EXPECT_EQ(crc_of("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc_of("abc"), 0x352441C2u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  Crc32 incremental;
+  for (std::size_t i = 0; i < text.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, text.size() - i);
+    incremental.update(text.data() + i, n);
+  }
+  EXPECT_EQ(incremental.value(), crc_of(text));
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips) {
+  std::vector<std::uint8_t> data(64, 0xAB);
+  const std::uint32_t original = crc32(data);
+  for (std::size_t byte : {0u, 31u, 63u}) {
+    auto copy = data;
+    copy[byte] ^= 1;
+    EXPECT_NE(crc32(copy), original) << "byte " << byte;
+  }
+}
+
+}  // namespace
+}  // namespace swdual

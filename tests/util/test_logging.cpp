@@ -1,0 +1,55 @@
+// Tests for the leveled logger.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swdual {
+namespace {
+
+TEST(Logger, LevelFiltering) {
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kError);
+  EXPECT_EQ(logger.level(), LogLevel::kError);
+  // kInfo messages below the level are discarded silently (no crash, no
+  // observable output handle here — we assert the level gate logic).
+  LOG_INFO << "this is filtered";
+  LOG_ERROR << "this is emitted";
+  logger.set_level(LogLevel::kOff);
+  LOG_ERROR << "also filtered";
+  logger.set_level(original);
+}
+
+TEST(Logger, SingletonIdentity) {
+  EXPECT_EQ(&Logger::instance(), &Logger::instance());
+}
+
+TEST(Logger, ConcurrentWritesDoNotCrash) {
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kOff);  // mute output, keep the code path
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        LOG_WARN << "thread " << t << " message " << i;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  logger.set_level(original);
+}
+
+TEST(LogLine, StreamsArbitraryTypes) {
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kOff);
+  LOG_ERROR << 42 << ' ' << 3.14 << ' ' << std::string("text") << ' ' << true;
+  logger.set_level(original);
+}
+
+}  // namespace
+}  // namespace swdual

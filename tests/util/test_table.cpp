@@ -1,0 +1,66 @@
+// Unit tests for text-table and CSV rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace swdual {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "time"});
+  t.add_row({"swipe", "2367.24"});
+  t.add_row({"swdual", "543.28"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("swdual"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable t;
+  t.set_header({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(543.279, 1), "543.3");
+}
+
+TEST(TextTable, WriteCsvRoundTrip) {
+  TextTable t;
+  t.set_header({"x"});
+  t.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/swdual_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1");
+  std::remove(path.c_str());
+}
+
+TEST(TextTable, WriteCsvBadPathThrows) {
+  TextTable t;
+  t.set_header({"x"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/x.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace swdual
