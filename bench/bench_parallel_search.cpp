@@ -1,0 +1,184 @@
+// Serial vs chunked-parallel database search: measured GCUPS per kernel and
+// thread count on this host, with a scores-equality check against the serial
+// path on every configuration. Emits BENCH_parallel_search.json so later
+// changes have a recorded perf trajectory.
+//
+//   ./bench_parallel_search [--records N] [--len L] [--query-len Q]
+//                           [--threads-list 1,2,4] [--reps R]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "align/parallel_search.h"
+#include "align/search.h"
+#include "bench_common.h"
+#include "seq/dbgen.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace swdual;
+
+std::vector<std::size_t> parse_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  for (const std::string& item : split(csv, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(item.c_str(), &end, 10);
+    SWDUAL_REQUIRE(end != nullptr && *end == '\0' && value > 0,
+                   "--threads-list entry is not a positive integer: " + item);
+    out.push_back(static_cast<std::size_t>(value));
+  }
+  return out;
+}
+
+struct Measurement {
+  double gcups = 0.0;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_parallel_search",
+                "serial vs chunked-parallel search GCUPS");
+  cli.add_option("records", "database records", "1500");
+  cli.add_option("len", "residues per record", "220");
+  cli.add_option("query-len", "query length", "360");
+  cli.add_option("threads-list", "thread counts to measure", "1,2,4");
+  cli.add_option("reps", "repetitions (best kept)", "3");
+  cli.add_option("out", "JSON output path", "BENCH_parallel_search.json");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+
+  std::size_t records = 0, len = 0, query_len = 0, reps = 0;
+  std::vector<std::size_t> thread_counts;
+  try {
+    records = static_cast<std::size_t>(cli.option_int("records"));
+    len = static_cast<std::size_t>(cli.option_int("len"));
+    query_len = static_cast<std::size_t>(cli.option_int("query-len"));
+    reps = static_cast<std::size_t>(cli.option_int("reps"));
+    thread_counts = parse_list(cli.option("threads-list"));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  bench::banner("parallel search engine: serial vs chunked multithreaded scan",
+                "host threads: " +
+                    std::to_string(std::thread::hardware_concurrency()));
+
+  Rng rng(4242);
+  std::vector<seq::Sequence> db;
+  db.reserve(records);
+  for (std::size_t i = 0; i < records; ++i) {
+    // Mild length skew so chunk balancing has something to balance.
+    const std::size_t jitter = rng.below(len);
+    db.push_back(seq::random_protein(rng, "d" + std::to_string(i),
+                                     len / 2 + jitter));
+  }
+  const seq::Sequence query = seq::random_protein(rng, "q", query_len);
+  const std::span<const std::uint8_t> query_view(query.residues.data(),
+                                                 query.residues.size());
+  const align::DbView views = align::make_db_view(db);
+  const align::ScoringScheme scheme;
+
+  const auto measure = [&](const auto& search_fn) {
+    Measurement best;
+    for (std::size_t r = 0; r < reps; ++r) {
+      WallTimer timer;
+      const align::SearchResult result = search_fn();
+      const double seconds = timer.seconds();
+      const double gcups =
+          seconds > 0 ? static_cast<double>(result.cells) / seconds / 1e9
+                      : 0.0;
+      if (gcups > best.gcups) best = {gcups, seconds};
+    }
+    return best;
+  };
+
+  const std::vector<align::KernelKind> kernels = {
+      align::KernelKind::kStriped8, align::KernelKind::kStriped,
+      align::KernelKind::kInterSeq};
+
+  TextTable table;
+  table.set_header({"kernel", "threads", "chunks", "GCUPS", "speedup",
+                    "scores==serial"});
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"parallel_search\",\n";
+  json += "  \"host_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"records\": " + std::to_string(records) + ",\n";
+  json += "  \"query_len\": " + std::to_string(query_len) + ",\n";
+  json += "  \"kernels\": {\n";
+
+  for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+    const align::KernelKind kernel = kernels[ki];
+    const align::SearchResult serial =
+        align::search_database(query_view, views, scheme, kernel);
+    const Measurement serial_best = measure([&] {
+      return align::search_database(query_view, views, scheme, kernel);
+    });
+    table.add_row({align::kernel_name(kernel), "serial", "1",
+                   TextTable::fmt(serial_best.gcups, 3), "1.00", "yes"});
+    json += std::string("    \"") + align::kernel_name(kernel) + "\": {\n";
+    json += "      \"serial_gcups\": " +
+            TextTable::fmt(serial_best.gcups, 4) + ",\n";
+    json += "      \"parallel\": [\n";
+
+    for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      const std::size_t threads = thread_counts[ti];
+      align::ParallelSearchOptions options;
+      options.threads = threads;
+      const align::ParallelSearchEngine engine(views, options);
+      const bool identical =
+          engine.search(query_view, scheme, kernel).scores == serial.scores;
+      const Measurement parallel_best =
+          measure([&] { return engine.search(query_view, scheme, kernel); });
+      const double speedup = serial_best.gcups > 0
+                                 ? parallel_best.gcups / serial_best.gcups
+                                 : 0.0;
+      table.add_row({align::kernel_name(kernel), std::to_string(threads),
+                     std::to_string(engine.num_chunks()),
+                     TextTable::fmt(parallel_best.gcups, 3),
+                     TextTable::fmt(speedup, 2), identical ? "yes" : "NO"});
+      json += "        {\"threads\": " + std::to_string(threads) +
+              ", \"chunks\": " + std::to_string(engine.num_chunks()) +
+              ", \"gcups\": " + TextTable::fmt(parallel_best.gcups, 4) +
+              ", \"speedup\": " + TextTable::fmt(speedup, 3) +
+              ", \"scores_identical\": " + (identical ? "true" : "false") +
+              "}";
+      json += ti + 1 < thread_counts.size() ? ",\n" : "\n";
+    }
+    json += "      ]\n";
+    json += ki + 1 < kernels.size() ? "    },\n" : "    }\n";
+  }
+  json += "  }\n}\n";
+
+  std::printf("%s", table.render().c_str());
+
+  std::FILE* out = std::fopen(cli.option("out").c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", cli.option("out").c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("\n[json written to %s]\n", cli.option("out").c_str());
+  return 0;
+}

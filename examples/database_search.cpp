@@ -60,6 +60,9 @@ int main(int argc, char** argv) {
   cli.add_option("queries", "number of sampled queries", "5");
   cli.add_option("cpus", "CPU workers (m)", "1");
   cli.add_option("gpus", "virtual GPU workers (k)", "1");
+  cli.add_option("threads",
+                 "intra-task threads per CPU worker (chunked parallel scan)",
+                 "1");
   cli.add_option("policy",
                  "swdual | swdual-refined | self-scheduling | equal-power | "
                  "proportional | lpt",
@@ -104,12 +107,15 @@ int main(int argc, char** argv) {
     config.gpu_workers = static_cast<std::size_t>(cli.option_int("gpus"));
     config.policy = parse_policy(cli.option("policy"));
     config.top_hits = static_cast<std::size_t>(cli.option_int("top"));
+    config.threads_per_cpu_worker =
+        static_cast<std::size_t>(cli.option_int("threads"));
 
     std::cerr << "searching " << queries.size() << " queries against "
               << db.size() << " records with policy "
               << master::policy_name(config.policy) << " on "
-              << config.cpu_workers << " CPU + " << config.gpu_workers
-              << " GPU workers...\n";
+              << config.cpu_workers << " CPU (x"
+              << config.threads_per_cpu_worker << " threads) + "
+              << config.gpu_workers << " GPU workers...\n";
     const master::SearchReport report =
         master::run_search(queries, db, config);
 

@@ -92,11 +92,17 @@ StripedResult striped_score(const StripedProfile& profile,
   }
 
   const std::int16_t best = v_max.hmax();
-  if (best >= std::numeric_limits<std::int16_t>::max()) {
-    result.overflow = true;
-    result.score = best;
-    return result;
-  }
+  // Overflow guard band. adds() saturates, so a clamped H is exactly
+  // INT16_MAX — but a *legitimate* score of INT16_MAX is indistinguishable
+  // from a clamp, and any cell within max_score of the ceiling cannot be
+  // proven clamp-free. Conversely, if the maximum stays below
+  // INT16_MAX − max_score, no add can ever have saturated (each add raises H
+  // by at most max_score and every stored H passed through v_max), so the
+  // result is provably exact. Anything inside the band is conservatively
+  // reported as overflow and rescanned by the driver.
+  const std::int16_t guard = static_cast<std::int16_t>(
+      std::numeric_limits<std::int16_t>::max() - profile.max_score());
+  result.overflow = best >= guard;
   result.score = best;
   return result;
 }

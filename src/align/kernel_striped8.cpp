@@ -77,9 +77,15 @@ StripedResult striped8_score(const StripedProfileU8& profile,
   }
 
   const std::uint8_t best = v_max.hmax();
-  // Any saturated add would have produced an H of exactly 255 − bias, so a
-  // maximum below that proves no clamping happened anywhere.
-  if (best >= 255 - static_cast<int>(profile.bias())) {
+  // Overflow guard band (same rule as the 16-bit kernel): the biased add
+  // saturates at 255, so a clamp requires a prior H above
+  // 255 − bias − max_score; every stored H passed through v_max, so a
+  // maximum below that band proves no clamping happened anywhere. Scores
+  // inside the band (including a legitimate ceiling score, which is
+  // indistinguishable from a clamp) are conservatively escalated.
+  const int guard = 255 - static_cast<int>(profile.bias()) -
+                    static_cast<int>(profile.max_score());
+  if (best >= guard) {
     result.overflow = true;
   }
   result.score = best;

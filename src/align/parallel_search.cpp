@@ -1,0 +1,158 @@
+#include "align/parallel_search.h"
+
+#include <algorithm>
+#include <future>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace swdual::align {
+
+namespace {
+
+/// Residue-balanced contiguous partition: cut after the record whose
+/// cumulative residue count crosses the next multiple of total/num_chunks.
+/// Every chunk gets at least one record; empty records count as cost 1 so a
+/// database of empty sequences still splits. Requires a non-empty db.
+std::vector<std::pair<std::size_t, std::size_t>> balanced_cuts(
+    const DbView& db, std::size_t num_chunks) {
+  const std::size_t n = db.size();
+  num_chunks = std::clamp<std::size_t>(num_chunks, 1, n);
+  std::vector<std::uint64_t> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + std::max<std::uint64_t>(db[i].size(), 1);
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> cuts;
+  cuts.reserve(num_chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::uint64_t target = prefix[n] * (c + 1) / num_chunks;
+    std::size_t end = begin + 1;
+    while (end < n && prefix[end] < target) ++end;
+    // Leave one record for each remaining chunk.
+    end = std::min(end, n - (num_chunks - 1 - c));
+    end = std::max(end, begin + 1);
+    cuts.emplace_back(begin, end);
+    begin = end;
+  }
+  cuts.back().second = n;
+  return cuts;
+}
+
+}  // namespace
+
+ParallelSearchEngine::ParallelSearchEngine(const DbView& db,
+                                           const ParallelSearchOptions& options)
+    : db_(db) {
+  original_index_.resize(db_.size());
+  std::iota(original_index_.begin(), original_index_.end(), 0);
+  if (options.sort_by_length) {
+    std::stable_sort(original_index_.begin(), original_index_.end(),
+                     [&db](std::size_t a, std::size_t b) {
+                       return db[a].size() > db[b].size();
+                     });
+    for (std::size_t p = 0; p < db_.size(); ++p) {
+      db_[p] = db[original_index_[p]];
+    }
+  }
+
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  std::size_t num_chunks;
+  if (options.chunk_records > 0) {
+    num_chunks =
+        (db_.size() + options.chunk_records - 1) / options.chunk_records;
+  } else {
+    num_chunks = threads * std::max<std::size_t>(1, options.chunks_per_thread);
+  }
+  if (!db_.empty()) {
+    if (options.chunk_records > 0) {
+      // Fixed record-count chunks, as requested.
+      for (std::size_t begin = 0; begin < db_.size();
+           begin += options.chunk_records) {
+        chunks_.push_back(
+            {begin, std::min(begin + options.chunk_records, db_.size())});
+      }
+    } else {
+      for (const auto& [begin, end] : balanced_cuts(db_, num_chunks)) {
+        chunks_.push_back({begin, end});
+      }
+    }
+  }
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+ParallelSearchEngine::ChunkOutcome ParallelSearchEngine::run_chunk(
+    const SearchProfiles& profiles, const Chunk& chunk,
+    std::size_t top_k) const {
+  ChunkOutcome outcome;
+  outcome.result = search_range(profiles, db_, chunk.begin, chunk.end);
+  if (top_k > 0) {
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      push_top_hit(outcome.hits,
+                   {original_index_[i], outcome.result.scores[i - chunk.begin]},
+                   top_k);
+    }
+  }
+  return outcome;
+}
+
+RankedSearchResult ParallelSearchEngine::run(
+    std::span<const std::uint8_t> query, const ScoringScheme& scheme,
+    KernelKind kernel, std::size_t top_k) const {
+  WallTimer timer;
+  const SearchProfiles profiles(query, scheme, kernel);
+
+  std::vector<ChunkOutcome> outcomes(chunks_.size());
+  if (pool_) {
+    std::vector<std::future<ChunkOutcome>> futures;
+    futures.reserve(chunks_.size());
+    for (const Chunk& chunk : chunks_) {
+      futures.push_back(pool_->submit([this, &profiles, chunk, top_k] {
+        return run_chunk(profiles, chunk, top_k);
+      }));
+    }
+    for (std::size_t c = 0; c < futures.size(); ++c) {
+      outcomes[c] = futures[c].get();
+    }
+  } else {
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      outcomes[c] = run_chunk(profiles, chunks_[c], top_k);
+    }
+  }
+
+  // Deterministic merge: chunks reduced in index order, scores scattered
+  // through the inverse permutation back to database order.
+  RankedSearchResult ranked;
+  SearchResult& merged = ranked.result;
+  merged.scores.assign(db_.size(), 0);
+  for (std::size_t c = 0; c < outcomes.size(); ++c) {
+    const Chunk& chunk = chunks_[c];
+    const SearchResult& r = outcomes[c].result;
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      merged.scores[original_index_[i]] = r.scores[i - chunk.begin];
+    }
+    merged.cells += r.cells;
+    merged.overflow_rescans += r.overflow_rescans;
+    for (const SearchHit& hit : outcomes[c].hits) {
+      push_top_hit(ranked.hits, hit, top_k);
+    }
+  }
+  finish_top_hits(ranked.hits);
+  merged.seconds = timer.seconds();
+  return ranked;
+}
+
+SearchResult ParallelSearchEngine::search(std::span<const std::uint8_t> query,
+                                          const ScoringScheme& scheme,
+                                          KernelKind kernel) const {
+  return run(query, scheme, kernel, 0).result;
+}
+
+RankedSearchResult ParallelSearchEngine::search_ranked(
+    std::span<const std::uint8_t> query, const ScoringScheme& scheme,
+    KernelKind kernel, std::size_t k) const {
+  return run(query, scheme, kernel, k);
+}
+
+}  // namespace swdual::align

@@ -1,0 +1,100 @@
+// Chunked parallel database search: multithreaded intra-task scans.
+//
+// The master–slave engine parallelizes *across* tasks (one query vs the
+// whole database per worker); this engine additionally parallelizes *inside*
+// one task, the way SWIPE/CUDASW++-class tools do: the database is
+// partitioned into residue-balanced chunks that fan out over a ThreadPool,
+// every chunk sharing one read-only set of query profiles (including the
+// lazily built 16-bit escalation profile of the striped8 tier).
+//
+// Results are bit-identical to the serial search_database path — same
+// scores, same cells / overflow_rescans accounting — deterministically,
+// regardless of thread count: chunks are merged in index order and every
+// per-record value is independent of its chunk.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "align/search.h"
+#include "util/thread_pool.h"
+
+namespace swdual::align {
+
+struct ParallelSearchOptions {
+  /// Worker threads for the internal pool. 1 runs chunks inline (no pool).
+  std::size_t threads = 1;
+
+  /// Fixed chunk size in records; 0 selects residue-balanced automatic
+  /// partitioning (chunks_per_thread chunks per thread). Values larger than
+  /// the database collapse to a single chunk.
+  std::size_t chunk_records = 0;
+
+  /// Automatic-partition granularity: more chunks per thread smooth load
+  /// imbalance from length skew at slightly higher merge cost.
+  std::size_t chunks_per_thread = 4;
+
+  /// Permute the database longest-first once at engine construction (the
+  /// inverse mapping is applied at merge, so callers always see database
+  /// order). Groups similar lengths into the same interseq batch so padded
+  /// lanes waste fewer cells; harmless for the other kernels.
+  bool sort_by_length = true;
+};
+
+/// A ranked search: the full result plus its k best hits.
+struct RankedSearchResult {
+  SearchResult result;
+  std::vector<SearchHit> hits;  ///< equal to result.top(k)
+};
+
+class ParallelSearchEngine {
+ public:
+  /// Snapshots `db` (span copies, not residues) and builds the partition
+  /// once; the underlying records must outlive the engine.
+  explicit ParallelSearchEngine(const DbView& db,
+                                const ParallelSearchOptions& options = {});
+
+  ParallelSearchEngine(const ParallelSearchEngine&) = delete;
+  ParallelSearchEngine& operator=(const ParallelSearchEngine&) = delete;
+
+  /// Score one query against the whole database. Scores are in database
+  /// order and bit-identical to serial search_database.
+  SearchResult search(std::span<const std::uint8_t> query,
+                      const ScoringScheme& scheme, KernelKind kernel) const;
+
+  /// search() plus a bounded top-k merge: each chunk keeps a k-hit heap and
+  /// only those heaps are merged, so ranking costs O(n log k) total instead
+  /// of sorting all n scores.
+  RankedSearchResult search_ranked(std::span<const std::uint8_t> query,
+                                   const ScoringScheme& scheme,
+                                   KernelKind kernel, std::size_t k) const;
+
+  std::size_t num_chunks() const { return chunks_.size(); }
+  std::size_t threads() const { return pool_ ? pool_->size() : 1; }
+  std::size_t db_records() const { return db_.size(); }
+
+ private:
+  struct Chunk {
+    std::size_t begin = 0;  ///< first record (permuted order)
+    std::size_t end = 0;    ///< one past the last record
+  };
+
+  struct ChunkOutcome {
+    SearchResult result;
+    std::vector<SearchHit> hits;  ///< chunk-local top-k, original indices
+  };
+
+  ChunkOutcome run_chunk(const SearchProfiles& profiles, const Chunk& chunk,
+                         std::size_t top_k) const;
+  RankedSearchResult run(std::span<const std::uint8_t> query,
+                         const ScoringScheme& scheme, KernelKind kernel,
+                         std::size_t top_k) const;
+
+  DbView db_;  ///< permuted (or original-order) span copies
+  std::vector<std::size_t> original_index_;  ///< permuted pos → db pos
+  std::vector<Chunk> chunks_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when options.threads <= 1
+};
+
+}  // namespace swdual::align

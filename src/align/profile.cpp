@@ -18,7 +18,9 @@ QueryProfile::QueryProfile(std::span<const std::uint8_t> query,
 
 StripedProfile::StripedProfile(std::span<const std::uint8_t> query,
                                const ScoreMatrix& matrix)
-    : length_(query.size()), alphabet_size_(matrix.size()) {
+    : length_(query.size()),
+      alphabet_size_(matrix.size()),
+      max_score_(matrix.max_score()) {
   SWDUAL_REQUIRE(!query.empty(), "striped profile needs a non-empty query");
   segment_length_ = (length_ + kLanes16 - 1) / kLanes16;
   data_.assign(alphabet_size_ * segment_length_ * kLanes16, 0);
@@ -38,7 +40,7 @@ StripedProfile::StripedProfile(std::span<const std::uint8_t> query,
 
 StripedProfileU8::StripedProfileU8(std::span<const std::uint8_t> query,
                                    const ScoreMatrix& matrix)
-    : length_(query.size()) {
+    : length_(query.size()), max_score_(matrix.max_score()) {
   SWDUAL_REQUIRE(!query.empty(), "striped profile needs a non-empty query");
   SWDUAL_REQUIRE(matrix.min_score() <= 0,
                  "byte profile expects a matrix with non-positive minimum");

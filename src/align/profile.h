@@ -51,6 +51,9 @@ class StripedProfile {
   std::size_t query_length() const { return length_; }
   std::size_t segment_length() const { return segment_length_; }
   std::size_t alphabet_size() const { return alphabet_size_; }
+  /// Largest substitution score of the source matrix; the kernel's overflow
+  /// guard band (see kernel_striped.cpp) is derived from it.
+  std::int8_t max_score() const { return max_score_; }
 
   /// Striped rows for database residue `code`:
   /// row(code)[s * kLanes16 + lane] == score of query position
@@ -64,6 +67,7 @@ class StripedProfile {
   std::size_t length_;
   std::size_t segment_length_;
   std::size_t alphabet_size_;
+  std::int8_t max_score_ = 0;
   std::vector<std::int16_t> data_;
 };
 
@@ -80,6 +84,8 @@ class StripedProfileU8 {
   std::size_t segment_length() const { return segment_length_; }
   /// The bias added to every stored score (= −min matrix score, ≥ 0).
   std::uint8_t bias() const { return bias_; }
+  /// Largest substitution score of the source matrix (overflow guard band).
+  std::int8_t max_score() const { return max_score_; }
 
   /// row(code)[s * kLanes8 + lane] == biased score of query position
   /// lane*segLen + s against database residue `code`.
@@ -92,6 +98,7 @@ class StripedProfileU8 {
   std::size_t length_;
   std::size_t segment_length_;
   std::uint8_t bias_;
+  std::int8_t max_score_ = 0;
   std::vector<std::uint8_t> data_;
 };
 

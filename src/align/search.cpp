@@ -22,18 +22,37 @@ const char* kernel_name(KernelKind kind) {
   return "unknown";
 }
 
+bool hit_better(const SearchHit& a, const SearchHit& b) {
+  return a.score != b.score ? a.score > b.score : a.db_index < b.db_index;
+}
+
 std::vector<SearchHit> SearchResult::top(std::size_t k) const {
   std::vector<SearchHit> hits;
-  hits.reserve(scores.size());
   for (std::size_t i = 0; i < scores.size(); ++i) {
-    hits.push_back({i, scores[i]});
+    push_top_hit(hits, {i, scores[i]}, k);
   }
-  std::stable_sort(hits.begin(), hits.end(),
-                   [](const SearchHit& a, const SearchHit& b) {
-                     return a.score > b.score;
-                   });
-  if (hits.size() > k) hits.resize(k);
+  finish_top_hits(hits);
   return hits;
+}
+
+void push_top_hit(std::vector<SearchHit>& heap, const SearchHit& candidate,
+                  std::size_t k) {
+  if (k == 0) return;
+  // Heap ordered by hit_better ("better ranks lower"), so heap.front() is
+  // the worst retained hit and each of the n candidates costs O(log k) —
+  // O(n log k) overall instead of the former full stable_sort.
+  if (heap.size() < k) {
+    heap.push_back(candidate);
+    std::push_heap(heap.begin(), heap.end(), hit_better);
+  } else if (hit_better(candidate, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), hit_better);
+    heap.back() = candidate;
+    std::push_heap(heap.begin(), heap.end(), hit_better);
+  }
+}
+
+void finish_top_hits(std::vector<SearchHit>& heap) {
+  std::sort(heap.begin(), heap.end(), hit_better);
 }
 
 DbView make_db_view(const std::vector<seq::Sequence>& records) {
@@ -45,33 +64,61 @@ DbView make_db_view(const std::vector<seq::Sequence>& records) {
   return view;
 }
 
-SearchResult search_database(std::span<const std::uint8_t> query,
-                             const DbView& db, const ScoringScheme& scheme,
-                             KernelKind kernel) {
-  SearchResult result;
-  result.scores.assign(db.size(), 0);
-  WallTimer timer;
+SearchProfiles::SearchProfiles(std::span<const std::uint8_t> query,
+                               const ScoringScheme& scheme, KernelKind kernel)
+    : query_(query), scheme_(scheme), kernel_(kernel) {
+  if (query_.empty()) return;
+  switch (kernel_) {
+    case KernelKind::kStriped:
+      profile16_ = std::make_unique<StripedProfile>(query_, *scheme_.matrix);
+      break;
+    case KernelKind::kStriped8:
+      profile8_ = std::make_unique<StripedProfileU8>(query_, *scheme_.matrix);
+      break;
+    case KernelKind::kScalar:
+    case KernelKind::kInterSeq:
+      break;  // no striped state; kInterSeq builds its profile per batch
+  }
+}
 
-  switch (kernel) {
+const StripedProfile& SearchProfiles::striped16() const {
+  std::call_once(once16_, [this] {
+    if (!profile16_) {
+      profile16_ = std::make_unique<StripedProfile>(query_, *scheme_.matrix);
+    }
+  });
+  return *profile16_;
+}
+
+SearchResult search_range(const SearchProfiles& profiles, const DbView& db,
+                          std::size_t begin, std::size_t end) {
+  SWDUAL_REQUIRE(begin <= end && end <= db.size(),
+                 "search_range out of bounds");
+  const std::span<const std::uint8_t> query = profiles.query();
+  const ScoringScheme& scheme = profiles.scheme();
+  SearchResult result;
+  result.scores.assign(end - begin, 0);
+
+  switch (profiles.kernel()) {
     case KernelKind::kScalar: {
-      for (std::size_t i = 0; i < db.size(); ++i) {
+      for (std::size_t i = begin; i < end; ++i) {
         const ScoreResult r = gotoh_score(query, db[i], scheme);
-        result.scores[i] = r.score;
+        result.scores[i - begin] = r.score;
         result.cells += r.cells;
       }
       break;
     }
     case KernelKind::kStriped: {
       if (query.empty()) break;
-      const StripedProfile profile(query, *scheme.matrix);
-      for (std::size_t i = 0; i < db.size(); ++i) {
+      const StripedProfile& profile = profiles.striped16();
+      for (std::size_t i = begin; i < end; ++i) {
         const StripedResult r = striped_score(profile, db[i], scheme.gap);
         result.cells += r.cells;
         if (r.overflow) {
-          result.scores[i] = gotoh_score(query, db[i], scheme).score;
+          result.scores[i - begin] = gotoh_score(query, db[i], scheme).score;
           ++result.overflow_rescans;
         } else {
-          result.scores[i] = r.score;
+          result.scores[i - begin] = r.score;
         }
       }
       break;
@@ -80,41 +127,47 @@ SearchResult search_database(std::span<const std::uint8_t> query,
       // Tiered precision: bytes first, escalate saturated pairs to 16 bits,
       // and to the 32-bit oracle if even those saturate.
       if (query.empty()) break;
-      const StripedProfileU8 profile8(query, *scheme.matrix);
-      std::unique_ptr<StripedProfile> profile16;  // built on first escalation
-      for (std::size_t i = 0; i < db.size(); ++i) {
+      const StripedProfileU8& profile8 = profiles.striped8();
+      for (std::size_t i = begin; i < end; ++i) {
         const StripedResult r8 = striped8_score(profile8, db[i], scheme.gap);
         result.cells += r8.cells;
         if (!r8.overflow) {
-          result.scores[i] = r8.score;
+          result.scores[i - begin] = r8.score;
           continue;
         }
         ++result.overflow_rescans;
-        if (!profile16) {
-          profile16 = std::make_unique<StripedProfile>(query, *scheme.matrix);
-        }
         const StripedResult r16 =
-            striped_score(*profile16, db[i], scheme.gap);
-        result.scores[i] = r16.overflow
-                               ? gotoh_score(query, db[i], scheme).score
-                               : r16.score;
+            striped_score(profiles.striped16(), db[i], scheme.gap);
+        result.scores[i - begin] = r16.overflow
+                                       ? gotoh_score(query, db[i], scheme).score
+                                       : r16.score;
       }
       break;
     }
     case KernelKind::kInterSeq: {
-      const InterSeqResult r = interseq_scores(query, db, scheme);
+      const SequenceViews slice(db.begin() + static_cast<std::ptrdiff_t>(begin),
+                                db.begin() + static_cast<std::ptrdiff_t>(end));
+      const InterSeqResult r = interseq_scores(query, slice, scheme);
       result.cells = r.cells;
       result.scores = r.scores;
-      for (std::size_t i = 0; i < db.size(); ++i) {
+      for (std::size_t i = 0; i < slice.size(); ++i) {
         if (r.overflow[i]) {
-          result.scores[i] = gotoh_score(query, db[i], scheme).score;
+          result.scores[i] = gotoh_score(query, slice[i], scheme).score;
           ++result.overflow_rescans;
         }
       }
       break;
     }
   }
+  return result;
+}
 
+SearchResult search_database(std::span<const std::uint8_t> query,
+                             const DbView& db, const ScoringScheme& scheme,
+                             KernelKind kernel) {
+  WallTimer timer;
+  const SearchProfiles profiles(query, scheme, kernel);
+  SearchResult result = search_range(profiles, db, 0, db.size());
   result.seconds = timer.seconds();
   return result;
 }

@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "align/profile.h"
 #include "align/scoring.h"
 #include "seq/sequence.h"
 
@@ -50,11 +53,61 @@ struct SearchResult {
   std::vector<SearchHit> top(std::size_t k) const;
 };
 
+/// Ranking order for hits: higher score first, ties by database order.
+bool hit_better(const SearchHit& a, const SearchHit& b);
+
+/// Bounded top-k selection primitives shared by SearchResult::top and the
+/// parallel engine's per-chunk merge: push a candidate into a size-k
+/// min-heap (O(log k)), then sort the retained hits into rank order.
+void push_top_hit(std::vector<SearchHit>& heap, const SearchHit& candidate,
+                  std::size_t k);
+void finish_top_hits(std::vector<SearchHit>& heap);
+
 /// Lightweight view of an encoded database held in memory.
 using DbView = std::vector<std::span<const std::uint8_t>>;
 
 /// Make views over a record vector (records must outlive the views).
 DbView make_db_view(const std::vector<seq::Sequence>& records);
+
+/// Per-query kernel state, built once and shared read-only by every chunk of
+/// one search (serial or parallel). The 16-bit escalation profile used by
+/// the striped8 tier is built lazily on the first saturated pair, under a
+/// once-flag, so concurrent chunks share a single build instead of one per
+/// chunk (or, previously, one per search_database call).
+class SearchProfiles {
+ public:
+  SearchProfiles(std::span<const std::uint8_t> query,
+                 const ScoringScheme& scheme, KernelKind kernel);
+
+  SearchProfiles(const SearchProfiles&) = delete;
+  SearchProfiles& operator=(const SearchProfiles&) = delete;
+
+  std::span<const std::uint8_t> query() const { return query_; }
+  const ScoringScheme& scheme() const { return scheme_; }
+  KernelKind kernel() const { return kernel_; }
+
+  /// 16-bit striped profile: eager for kStriped, lazy (first overflow) for
+  /// kStriped8. Safe to call concurrently; query must be non-empty.
+  const StripedProfile& striped16() const;
+
+  /// Byte-precision profile (kStriped8 only; query must be non-empty).
+  const StripedProfileU8& striped8() const { return *profile8_; }
+
+ private:
+  std::span<const std::uint8_t> query_;
+  ScoringScheme scheme_;
+  KernelKind kernel_;
+  std::unique_ptr<StripedProfileU8> profile8_;
+  mutable std::once_flag once16_;
+  mutable std::unique_ptr<StripedProfile> profile16_;
+};
+
+/// Score `query` against db[begin, end) with shared profiles. scores[i] of
+/// the result corresponds to db[begin + i]. This is the single scan routine
+/// behind both the serial driver and the parallel engine, so chunked runs
+/// are bit-identical to serial ones by construction.
+SearchResult search_range(const SearchProfiles& profiles, const DbView& db,
+                          std::size_t begin, std::size_t end);
 
 /// Score `query` against every database sequence with the chosen kernel.
 SearchResult search_database(std::span<const std::uint8_t> query,

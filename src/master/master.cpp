@@ -88,6 +88,7 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
   context.scheme = config.scheme;
   context.model = config.model;
   context.cpu_kernel = config.cpu_kernel;
+  context.threads_per_cpu_worker = config.threads_per_cpu_worker;
   context.fault_injector = config.fault_injector;
 
   ConcurrentQueue<TaskReport> results;

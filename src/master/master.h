@@ -36,6 +36,10 @@ struct MasterConfig {
   align::KernelKind cpu_kernel = align::KernelKind::kInterSeq;
   std::size_t top_hits = 10;     ///< hits reported per query
 
+  /// Intra-task threads per CPU worker (> 1 scans the database in parallel
+  /// chunks inside each task; scores are identical to the serial path).
+  std::size_t threads_per_cpu_worker = 1;
+
   /// Allocation rounds (Fig. 6: the master may allocate "only once at the
   /// beginning of the execution or iteratively until all tasks are
   /// executed"). 1 = the paper's one-round mode; r > 1 partitions the task

@@ -14,6 +14,11 @@ Worker::Worker(std::size_t id, sched::PeId pe, const WorkerContext& context,
     gpusim::DeviceSpec spec;
     spec.gcups = context_.model.gpu_worker().gcups;
     gpu_ = std::make_unique<gpusim::VirtualGpu>(spec);
+  } else if (context_.threads_per_cpu_worker > 1) {
+    align::ParallelSearchOptions options;
+    options.threads = context_.threads_per_cpu_worker;
+    engine_ =
+        std::make_unique<align::ParallelSearchEngine>(*context_.db, options);
   }
   thread_ = std::thread([this] { run(); });
 }
@@ -54,8 +59,11 @@ TaskReport Worker::execute(const TaskOrder& order) {
     report.cells = batch.cells;
     report.virtual_seconds = batch.virtual_seconds;
   } else {
-    const align::SearchResult result = align::search_database(
-        query_view, db, context_.scheme, context_.cpu_kernel);
+    const align::SearchResult result =
+        engine_ ? engine_->search(query_view, context_.scheme,
+                                  context_.cpu_kernel)
+                : align::search_database(query_view, db, context_.scheme,
+                                         context_.cpu_kernel);
     report.scores = result.scores;
     report.cells = result.cells;
     report.virtual_seconds =

@@ -11,6 +11,7 @@
 #include <memory>
 #include <thread>
 
+#include "align/parallel_search.h"
 #include "align/search.h"
 #include "gpusim/virtual_gpu.h"
 #include "master/protocol.h"
@@ -26,6 +27,11 @@ struct WorkerContext {
   align::ScoringScheme scheme;
   platform::PerfModel model;
   align::KernelKind cpu_kernel = align::KernelKind::kInterSeq;
+
+  /// Intra-task threads for each CPU worker: > 1 makes the worker scan the
+  /// database through a chunked ParallelSearchEngine instead of the serial
+  /// search_database path (results are bit-identical either way).
+  std::size_t threads_per_cpu_worker = 1;
 
   /// Fault injection hook for robustness testing: called before a task
   /// executes; returning true makes the worker report failure instead of
@@ -66,6 +72,9 @@ class Worker {
   ConcurrentQueue<TaskReport>& results_;
   ConcurrentQueue<TaskOrder> commands_;
   std::unique_ptr<gpusim::VirtualGpu> gpu_;  ///< only for GPU workers
+  /// Chunked multithreaded scan engine; only for CPU workers with
+  /// threads_per_cpu_worker > 1.
+  std::unique_ptr<align::ParallelSearchEngine> engine_;
   std::thread thread_;
 };
 

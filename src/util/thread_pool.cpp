@@ -25,15 +25,29 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t count,
-                  const std::function<void(std::size_t)>& fn) {
+void parallel_for(ThreadPool& pool, std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
+  const std::size_t step = std::max<std::size_t>(1, grain);
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(pool.submit(fn, i));
+  futures.reserve((count + step - 1) / step);
+  for (std::size_t begin = 0; begin < count; begin += step) {
+    const std::size_t end = std::min(begin + step, count);
+    futures.push_back(pool.submit([&fn, begin, end] { fn(begin, end); }));
   }
   for (auto& f : futures) f.get();
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  // Aim for a few ranges per worker: enough slack for load balancing without
+  // per-item queue overhead.
+  const std::size_t grain =
+      std::max<std::size_t>(1, count / (pool.size() * 4));
+  parallel_for(pool, count, grain,
+               [&fn](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) fn(i);
+               });
 }
 
 }  // namespace swdual

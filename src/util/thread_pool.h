@@ -9,7 +9,9 @@
 #include <future>
 #include <memory>
 #include <thread>
+#include <tuple>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/concurrent_queue.h"
@@ -25,13 +27,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Schedule a callable; returns a future for its result.
+  /// Schedule a callable; returns a future for its result. Arguments are
+  /// captured by value (decay-copied); move-only callables and arguments are
+  /// supported.
   template <typename F, typename... Args>
   auto submit(F&& f, Args&&... args)
-      -> std::future<std::invoke_result_t<F, Args...>> {
-    using R = std::invoke_result_t<F, Args...>;
+      -> std::future<std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>> {
+    using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>;
     auto task = std::make_shared<std::packaged_task<R()>>(
-        std::bind(std::forward<F>(f), std::forward<Args>(args)...));
+        [fn = std::forward<F>(f),
+         bound = std::make_tuple(std::forward<Args>(args)...)]() mutable -> R {
+          return std::apply(std::move(fn), std::move(bound));
+        });
     std::future<R> result = task->get_future();
     const bool accepted = queue_.push([task] { (*task)(); });
     if (!accepted) {
@@ -50,7 +57,14 @@ class ThreadPool {
 };
 
 /// Run fn(i) for i in [0, count) across the pool and wait for completion.
+/// Items are batched into ranges internally so tiny per-item closures do not
+/// pay one queue round-trip each.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
+
+/// Chunk-grain overload: fn(begin, end) over consecutive ranges of at most
+/// `grain` items (grain 0 is treated as 1). One queue entry per range.
+void parallel_for(ThreadPool& pool, std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
 
 }  // namespace swdual

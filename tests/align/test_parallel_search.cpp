@@ -1,0 +1,222 @@
+// Parallel-vs-serial equivalence for the chunked search engine: identical
+// scores, cells, and overflow accounting for every kernel across thread
+// counts and chunk geometries, plus byte-level determinism across runs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "align/parallel_search.h"
+#include "align/search.h"
+#include "seq/dbgen.h"
+#include "util/rng.h"
+
+namespace swdual::align {
+namespace {
+
+std::vector<seq::Sequence> random_database(std::size_t count,
+                                           std::uint64_t seed,
+                                           std::size_t min_len = 10,
+                                           std::size_t max_len = 300) {
+  Rng rng(seed);
+  std::vector<seq::Sequence> db;
+  for (std::size_t i = 0; i < count; ++i) {
+    db.push_back(seq::random_protein(
+        rng, "db" + std::to_string(i),
+        static_cast<std::size_t>(
+            rng.between(static_cast<std::int64_t>(min_len),
+                        static_cast<std::int64_t>(max_len)))));
+  }
+  return db;
+}
+
+/// Byte-level equality of the deterministic parts of a SearchResult
+/// (seconds is wall-clock and excluded by design).
+void expect_identical(const SearchResult& a, const SearchResult& b) {
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  if (!a.scores.empty()) {
+    EXPECT_EQ(std::memcmp(a.scores.data(), b.scores.data(),
+                          a.scores.size() * sizeof(int)),
+              0);
+  }
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.overflow_rescans, b.overflow_rescans);
+}
+
+class ParallelSearchKernels : public ::testing::TestWithParam<KernelKind> {};
+
+TEST_P(ParallelSearchKernels, MatchesSerialAcrossThreadCounts) {
+  const auto db = random_database(60, 11);
+  const DbView views = make_db_view(db);
+  Rng rng(12);
+  const seq::Sequence query = seq::random_protein(rng, "q", 120);
+  const std::span<const std::uint8_t> query_view(query.residues.data(),
+                                                 query.residues.size());
+  ScoringScheme scheme;
+  const SearchResult serial =
+      search_database(query_view, views, scheme, GetParam());
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ParallelSearchOptions options;
+    options.threads = threads;
+    const ParallelSearchEngine engine(views, options);
+    expect_identical(engine.search(query_view, scheme, GetParam()), serial);
+  }
+}
+
+TEST_P(ParallelSearchKernels, MatchesSerialAcrossChunkGeometries) {
+  const auto db = random_database(25, 13);
+  const DbView views = make_db_view(db);
+  Rng rng(14);
+  const seq::Sequence query = seq::random_protein(rng, "q", 80);
+  const std::span<const std::uint8_t> query_view(query.residues.data(),
+                                                 query.residues.size());
+  ScoringScheme scheme;
+  const SearchResult serial =
+      search_database(query_view, views, scheme, GetParam());
+  // Chunk sizes: single-record chunks, a mid value, and one larger than the
+  // whole database (collapses to a single chunk); each with/without the
+  // length-sorted permutation.
+  for (const std::size_t chunk_records : {1u, 7u, 1000u}) {
+    for (const bool sorted : {false, true}) {
+      ParallelSearchOptions options;
+      options.threads = 3;
+      options.chunk_records = chunk_records;
+      options.sort_by_length = sorted;
+      const ParallelSearchEngine engine(views, options);
+      if (chunk_records >= db.size()) {
+        EXPECT_EQ(engine.num_chunks(), 1u);
+      }
+      expect_identical(engine.search(query_view, scheme, GetParam()), serial);
+    }
+  }
+}
+
+TEST_P(ParallelSearchKernels, DeterministicAcrossRepeatedRuns) {
+  const auto db = random_database(40, 15);
+  const DbView views = make_db_view(db);
+  Rng rng(16);
+  const seq::Sequence query = seq::random_protein(rng, "q", 150);
+  const std::span<const std::uint8_t> query_view(query.residues.data(),
+                                                 query.residues.size());
+  ScoringScheme scheme;
+  ParallelSearchOptions options;
+  options.threads = 4;
+  const ParallelSearchEngine engine(views, options);
+  const SearchResult first = engine.search(query_view, scheme, GetParam());
+  for (int run = 0; run < 3; ++run) {
+    expect_identical(engine.search(query_view, scheme, GetParam()), first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ParallelSearchKernels,
+                         ::testing::Values(KernelKind::kScalar,
+                                           KernelKind::kStriped,
+                                           KernelKind::kStriped8,
+                                           KernelKind::kInterSeq),
+                         [](const auto& info) {
+                           return kernel_name(info.param);
+                         });
+
+TEST(ParallelSearch, OverflowEscalationMatchesSerial) {
+  // A planted self-similar giant saturates the 8-bit tier, exercising the
+  // shared lazily built 16-bit escalation profile across chunks.
+  Rng rng(17);
+  std::vector<seq::Sequence> db = random_database(12, 18, 20, 120);
+  seq::Sequence big;
+  big.id = "big";
+  big.alphabet = seq::AlphabetKind::kProtein;
+  big.residues.assign(3000, 17);  // poly-W
+  db.push_back(big);
+  const DbView views = make_db_view(db);
+  const std::span<const std::uint8_t> query_view(big.residues.data(),
+                                                 big.residues.size());
+  ScoringScheme scheme;
+  for (KernelKind kernel : {KernelKind::kStriped, KernelKind::kStriped8,
+                            KernelKind::kInterSeq}) {
+    const SearchResult serial =
+        search_database(query_view, views, scheme, kernel);
+    EXPECT_GE(serial.overflow_rescans, 1u) << kernel_name(kernel);
+    ParallelSearchOptions options;
+    options.threads = 4;
+    options.chunk_records = 3;
+    const ParallelSearchEngine engine(views, options);
+    expect_identical(engine.search(query_view, scheme, kernel), serial);
+  }
+}
+
+TEST(ParallelSearch, RankedSearchEqualsTopOfFullResult) {
+  const auto db = random_database(50, 19);
+  const DbView views = make_db_view(db);
+  Rng rng(20);
+  const seq::Sequence query = seq::random_protein(rng, "q", 100);
+  const std::span<const std::uint8_t> query_view(query.residues.data(),
+                                                 query.residues.size());
+  ScoringScheme scheme;
+  ParallelSearchOptions options;
+  options.threads = 4;
+  const ParallelSearchEngine engine(views, options);
+  for (const std::size_t k : {1u, 5u, 200u}) {
+    const RankedSearchResult ranked =
+        engine.search_ranked(query_view, scheme, KernelKind::kStriped8, k);
+    const auto expected = ranked.result.top(k);
+    ASSERT_EQ(ranked.hits.size(), expected.size()) << "k=" << k;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(ranked.hits[i].db_index, expected[i].db_index) << "k=" << k;
+      EXPECT_EQ(ranked.hits[i].score, expected[i].score) << "k=" << k;
+    }
+  }
+}
+
+TEST(ParallelSearch, EmptyDatabaseAndEmptyQuery) {
+  const DbView empty_db;
+  ParallelSearchOptions options;
+  options.threads = 2;
+  const ParallelSearchEngine engine(empty_db, options);
+  ScoringScheme scheme;
+  Rng rng(21);
+  const seq::Sequence query = seq::random_protein(rng, "q", 30);
+  const std::span<const std::uint8_t> query_view(query.residues.data(),
+                                                 query.residues.size());
+  for (KernelKind kernel : {KernelKind::kScalar, KernelKind::kStriped,
+                            KernelKind::kStriped8, KernelKind::kInterSeq}) {
+    const SearchResult r = engine.search(query_view, scheme, kernel);
+    EXPECT_TRUE(r.scores.empty());
+    EXPECT_EQ(r.cells, 0u);
+  }
+
+  const auto db = random_database(10, 22);
+  const DbView views = make_db_view(db);
+  const ParallelSearchEngine full(views, options);
+  for (KernelKind kernel : {KernelKind::kScalar, KernelKind::kStriped,
+                            KernelKind::kStriped8, KernelKind::kInterSeq}) {
+    const SearchResult serial = search_database({}, views, scheme, kernel);
+    expect_identical(full.search({}, scheme, kernel), serial);
+  }
+}
+
+TEST(ParallelSearch, ResidueBalancedPartitionCoversAndBalances) {
+  // Heavily skewed lengths: auto partitioning must still cover every record
+  // exactly once and produce the requested chunk structure.
+  Rng rng(23);
+  std::vector<seq::Sequence> db;
+  for (int i = 0; i < 64; ++i) {
+    db.push_back(seq::random_protein(rng, "d", i % 8 == 0 ? 2000 : 20));
+  }
+  const DbView views = make_db_view(db);
+  ParallelSearchOptions options;
+  options.threads = 4;
+  options.chunks_per_thread = 2;
+  const ParallelSearchEngine engine(views, options);
+  EXPECT_EQ(engine.num_chunks(), 8u);
+  EXPECT_EQ(engine.db_records(), db.size());
+  const seq::Sequence query = seq::random_protein(rng, "q", 64);
+  const std::span<const std::uint8_t> query_view(query.residues.data(),
+                                                 query.residues.size());
+  ScoringScheme scheme;
+  const SearchResult serial =
+      search_database(query_view, views, scheme, KernelKind::kInterSeq);
+  expect_identical(engine.search(query_view, scheme, KernelKind::kInterSeq),
+                   serial);
+}
+
+}  // namespace
+}  // namespace swdual::align

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
@@ -45,6 +46,17 @@ TEST(ThreadPool, SubmitWithArguments) {
   EXPECT_EQ(f.get(), 7);
 }
 
+TEST(ThreadPool, SubmitMoveOnlyCallableAndArgument) {
+  ThreadPool pool(2);
+  auto value = std::make_unique<int>(41);
+  auto f = pool.submit(
+      [captured = std::make_unique<int>(1)](std::unique_ptr<int> arg) {
+        return *captured + *arg;
+      },
+      std::move(value));
+  EXPECT_EQ(f.get(), 42);
+}
+
 TEST(ThreadPool, DestructorDrainsQueue) {
   std::atomic<int> counter{0};
   {
@@ -68,6 +80,34 @@ TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
 TEST(ParallelFor, ZeroCountIsNoop) {
   ThreadPool pool(2);
   parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+  parallel_for(pool, 0, 16, [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, ChunkGrainCoversDisjointRanges) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  std::atomic<int> ranges{0};
+  parallel_for(pool, hits.size(), 7,
+               [&](std::size_t begin, std::size_t end) {
+                 EXPECT_LT(begin, end);
+                 EXPECT_LE(end - begin, 7u);
+                 ranges.fetch_add(1);
+                 for (std::size_t i = begin; i < end; ++i) {
+                   hits[i].fetch_add(1);
+                 }
+               });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(ranges.load(), (100 + 6) / 7);
+}
+
+TEST(ParallelFor, ZeroGrainTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 5, 0, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(end, begin + 1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 5);
 }
 
 }  // namespace
