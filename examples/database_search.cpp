@@ -10,9 +10,12 @@
 //   ./database_search --generate ensembl_dog --scale 200 --queries 5
 //   ./database_search --db db.fa --query-file queries.fa --cpus 2 --gpus 2
 //   ./database_search --generate uniprot --scale 500 --policy self-scheduling
+#include <fstream>
 #include <iostream>
 
 #include "master/master.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "seq/dbgen.h"
 #include "seq/fasta.h"
 #include "seq/queryset.h"
@@ -69,6 +72,11 @@ int main(int argc, char** argv) {
                  "swdual");
   cli.add_option("top", "hits reported per query", "5");
   cli.add_flag("gantt", "print the planned Gantt chart");
+  cli.add_option("trace",
+                 "write a Chrome trace-event JSON timeline (open with "
+                 "chrome://tracing or ui.perfetto.dev) to this file",
+                 "");
+  cli.add_flag("metrics", "print the runtime metrics registry after the run");
 
   try {
     cli.parse(argc, argv);
@@ -110,6 +118,14 @@ int main(int argc, char** argv) {
     config.threads_per_cpu_worker =
         static_cast<std::size_t>(cli.option_int("threads"));
 
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    const std::string trace_path = cli.option("trace");
+    if (!trace_path.empty() || cli.flag("metrics")) {
+      config.tracer = &tracer;
+      config.metrics = &metrics;
+    }
+
     std::cerr << "searching " << queries.size() << " queries against "
               << db.size() << " records with policy "
               << master::policy_name(config.policy) << " on "
@@ -139,6 +155,25 @@ int main(int argc, char** argv) {
                 << sched::render_gantt(
                        report.planned,
                        {config.cpu_workers, config.gpu_workers});
+    }
+    if (!trace_path.empty()) {
+      obs::ChromeTraceOptions trace_options;
+      trace_options.track_names[obs::kMasterTrack] = "master";
+      for (std::size_t g = 0; g < config.gpu_workers; ++g) {
+        trace_options.track_names[obs::worker_track(g)] =
+            "gpu" + std::to_string(g);
+      }
+      for (std::size_t c = 0; c < config.cpu_workers; ++c) {
+        trace_options.track_names[obs::worker_track(config.gpu_workers + c)] =
+            "cpu" + std::to_string(c);
+      }
+      std::ofstream out(trace_path);
+      if (!out) throw IoError("cannot write trace file: " + trace_path);
+      obs::write_chrome_trace(out, tracer.flush(), trace_options);
+      std::cerr << "trace written to " << trace_path << '\n';
+    }
+    if (cli.flag("metrics")) {
+      std::cout << '\n' << metrics.dump();
     }
     return 0;
   } catch (const std::exception& error) {

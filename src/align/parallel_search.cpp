@@ -4,6 +4,8 @@
 #include <future>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -44,7 +46,10 @@ std::vector<std::pair<std::size_t, std::size_t>> balanced_cuts(
 
 ParallelSearchEngine::ParallelSearchEngine(const DbView& db,
                                            const ParallelSearchOptions& options)
-    : db_(db) {
+    : db_(db),
+      tracer_(options.tracer),
+      metrics_(options.metrics),
+      trace_track_(options.trace_track) {
   original_index_.resize(db_.size());
   std::iota(original_index_.begin(), original_index_.end(), 0);
   if (options.sort_by_length) {
@@ -84,9 +89,18 @@ ParallelSearchEngine::ParallelSearchEngine(const DbView& db,
 
 ParallelSearchEngine::ChunkOutcome ParallelSearchEngine::run_chunk(
     const SearchProfiles& profiles, const Chunk& chunk,
-    std::size_t top_k) const {
+    std::size_t chunk_index, std::size_t top_k) const {
+  obs::Span span;
+  if (tracer_) {
+    span = tracer_->span("chunk_scan", "align", trace_track_);
+    span.arg("chunk", static_cast<double>(chunk_index));
+    span.arg("records", static_cast<double>(chunk.end - chunk.begin));
+  }
+  WallTimer timer;
   ChunkOutcome outcome;
   outcome.result = search_range(profiles, db_, chunk.begin, chunk.end);
+  span.arg("cells", static_cast<double>(outcome.result.cells));
+  if (metrics_) metrics_->observe("chunk_scan_seconds", timer.seconds());
   if (top_k > 0) {
     for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
       push_top_hit(outcome.hits,
@@ -107,9 +121,10 @@ RankedSearchResult ParallelSearchEngine::run(
   if (pool_) {
     std::vector<std::future<ChunkOutcome>> futures;
     futures.reserve(chunks_.size());
-    for (const Chunk& chunk : chunks_) {
-      futures.push_back(pool_->submit([this, &profiles, chunk, top_k] {
-        return run_chunk(profiles, chunk, top_k);
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      const Chunk chunk = chunks_[c];
+      futures.push_back(pool_->submit([this, &profiles, chunk, c, top_k] {
+        return run_chunk(profiles, chunk, c, top_k);
       }));
     }
     for (std::size_t c = 0; c < futures.size(); ++c) {
@@ -117,7 +132,7 @@ RankedSearchResult ParallelSearchEngine::run(
     }
   } else {
     for (std::size_t c = 0; c < chunks_.size(); ++c) {
-      outcomes[c] = run_chunk(profiles, chunks_[c], top_k);
+      outcomes[c] = run_chunk(profiles, chunks_[c], c, top_k);
     }
   }
 

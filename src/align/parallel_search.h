@@ -20,6 +20,11 @@
 #include "align/search.h"
 #include "util/thread_pool.h"
 
+namespace swdual::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace swdual::obs
+
 namespace swdual::align {
 
 struct ParallelSearchOptions {
@@ -40,6 +45,14 @@ struct ParallelSearchOptions {
   /// order). Groups similar lengths into the same interseq batch so padded
   /// lanes waste fewer cells; harmless for the other kernels.
   bool sort_by_length = true;
+
+  /// Optional observability sinks (obs/trace.h, obs/metrics.h): every chunk
+  /// scan becomes a wall-clock `chunk_scan` span on `trace_track` (recorded
+  /// from the pool thread that ran it) and a `chunk_scan_seconds` histogram
+  /// sample. Both must outlive the engine.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::size_t trace_track = 0;
 };
 
 /// A ranked search: the full result plus its k best hits.
@@ -86,7 +99,7 @@ class ParallelSearchEngine {
   };
 
   ChunkOutcome run_chunk(const SearchProfiles& profiles, const Chunk& chunk,
-                         std::size_t top_k) const;
+                         std::size_t chunk_index, std::size_t top_k) const;
   RankedSearchResult run(std::span<const std::uint8_t> query,
                          const ScoringScheme& scheme, KernelKind kernel,
                          std::size_t top_k) const;
@@ -95,6 +108,9 @@ class ParallelSearchEngine {
   std::vector<std::size_t> original_index_;  ///< permuted pos → db pos
   std::vector<Chunk> chunks_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when options.threads <= 1
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::size_t trace_track_ = 0;
 };
 
 }  // namespace swdual::align

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "master/worker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/baselines.h"
 #include "sched/dual_approx.h"
 #include "util/error.h"
@@ -64,11 +66,26 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
   const bool dynamic = config.policy == AllocationPolicy::kSelfScheduling;
   const auto plan_batch =
       [&config, &platform](const std::vector<sched::Task>& batch) {
+        sched::DualSearchStats stats;
+        const auto note_lambda = [&config, &stats] {
+          if (config.metrics) {
+            config.metrics->observe("lambda_iterations",
+                                    static_cast<double>(stats.iterations));
+          }
+        };
         switch (config.policy) {
-          case AllocationPolicy::kSwdual:
-            return sched::swdual_schedule(batch, platform);
-          case AllocationPolicy::kSwdualRefined:
-            return sched::swdual_schedule_refined(batch, platform);
+          case AllocationPolicy::kSwdual: {
+            sched::Schedule s = sched::swdual_schedule(
+                batch, platform, 1e-3, &stats, config.tracer);
+            note_lambda();
+            return s;
+          }
+          case AllocationPolicy::kSwdualRefined: {
+            sched::Schedule s = sched::swdual_schedule_refined(
+                batch, platform, 1e-3, &stats, config.tracer);
+            note_lambda();
+            return s;
+          }
           case AllocationPolicy::kEqualPower:
             return sched::equal_power(batch, platform);
           case AllocationPolicy::kProportional:
@@ -90,6 +107,8 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
   context.cpu_kernel = config.cpu_kernel;
   context.threads_per_cpu_worker = config.threads_per_cpu_worker;
   context.fault_injector = config.fault_injector;
+  context.tracer = config.tracer;
+  context.metrics = config.metrics;
 
   ConcurrentQueue<TaskReport> results;
   std::vector<std::unique_ptr<Worker>> workers;
@@ -108,6 +127,16 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
   std::vector<TaskReport> collected;
   collected.reserve(tasks.size());
 
+  const auto note_dispatch = [&config](std::size_t worker_id,
+                                       std::size_t task_id) {
+    if (config.metrics) config.metrics->add("tasks_dispatched");
+    if (config.tracer) {
+      config.tracer->instant("dispatch", "master", obs::kMasterTrack,
+                             {{"task_id", static_cast<double>(task_id)},
+                              {"worker", static_cast<double>(worker_id)}});
+    }
+  };
+
   // Failure handling: a failed report is reassigned to the next worker in
   // registration order (a different one than the failing worker whenever the
   // platform has more than one), bounded by max_task_retries per task.
@@ -118,6 +147,16 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
                  "task " + std::to_string(r.task_id) + " failed " +
                      std::to_string(attempt) + " times — giving up");
     const std::size_t target = (r.worker_id + 1) % workers.size();
+    if (config.metrics) config.metrics->add("task_retries");
+    if (config.tracer) {
+      config.tracer->instant("retry", "retry", obs::kMasterTrack,
+                             {{"task_id", static_cast<double>(r.task_id)},
+                              {"attempt", static_cast<double>(attempt)},
+                              {"failed_worker",
+                               static_cast<double>(r.worker_id)},
+                              {"target_worker", static_cast<double>(target)}});
+    }
+    note_dispatch(target, r.task_id);
     SWDUAL_CHECK(workers[target]->assign({r.task_id, r.query_index}),
                  "no worker available for failed-task reassignment");
   };
@@ -129,13 +168,21 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
     std::size_t next_task = 0;
     for (auto& worker : workers) {
       if (next_task >= tasks.size()) break;
+      note_dispatch(worker->id(), next_task);
       worker->assign({next_task, next_task});
       ++next_task;
+    }
+    obs::Span collect_span;
+    if (config.tracer) {
+      collect_span =
+          config.tracer->span("collect", "master", obs::kMasterTrack);
+      collect_span.arg("tasks", static_cast<double>(tasks.size()));
     }
     while (collected.size() < tasks.size()) {
       auto r = results.pop();
       SWDUAL_CHECK(r.has_value(), "result stream ended early");
       if (next_task < tasks.size()) {
+        note_dispatch(r->worker_id, next_task);
         workers[r->worker_id]->assign({next_task, next_task});
         ++next_task;
       }
@@ -156,16 +203,33 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
       const std::vector<sched::Task> batch(
           tasks.begin() + static_cast<std::ptrdiff_t>(begin),
           tasks.begin() + static_cast<std::ptrdiff_t>(end));
+      const double round_index =
+          static_cast<double>(begin / batch_size);
+      obs::Span schedule_span;
+      if (config.tracer) {
+        schedule_span =
+            config.tracer->span("schedule", "master", obs::kMasterTrack);
+        schedule_span.arg("round", round_index);
+        schedule_span.arg("tasks", static_cast<double>(batch.size()));
+      }
       sched::Schedule round_plan = plan_batch(batch);
+      schedule_span.finish();
       std::vector<sched::Assignment> ordered(round_plan.assignments());
       std::sort(ordered.begin(), ordered.end(),
                 [](const sched::Assignment& a, const sched::Assignment& b) {
                   return a.start < b.start;
                 });
       for (const sched::Assignment& a : ordered) {
-        workers[worker_for(a.pe, config.gpu_workers)]->assign(
-            {a.task_id, a.task_id});
+        const std::size_t worker = worker_for(a.pe, config.gpu_workers);
+        note_dispatch(worker, a.task_id);
+        workers[worker]->assign({a.task_id, a.task_id});
         plan.add(a);
+      }
+      obs::Span collect_span;
+      if (config.tracer) {
+        collect_span =
+            config.tracer->span("collect", "master", obs::kMasterTrack);
+        collect_span.arg("round", round_index);
       }
       const std::size_t target = collected.size() + batch.size();
       while (collected.size() < target) {
@@ -182,6 +246,11 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
   }
   workers.clear();  // joins all threads
 
+  obs::Span merge_span;
+  if (config.tracer) {
+    merge_span = config.tracer->span("merge", "master", obs::kMasterTrack);
+    merge_span.arg("reports", static_cast<double>(collected.size()));
+  }
   report.results.resize(queries.size());
   for (const TaskReport& r : collected) {
     report.total_cells += r.cells;

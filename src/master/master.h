@@ -12,6 +12,11 @@
 #include "platform/perf_model.h"
 #include "sched/schedule.h"
 
+namespace swdual::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace swdual::obs
+
 namespace swdual::master {
 
 /// Allocation policies the master can apply (paper's SWDUAL plus the
@@ -54,6 +59,15 @@ struct MasterConfig {
   std::function<bool(std::size_t task_id, std::size_t worker_id)>
       fault_injector;
   std::size_t max_task_retries = 3;
+
+  /// Optional observability sinks (obs/trace.h, obs/metrics.h), borrowed for
+  /// the duration of run_search. When set, the master traces its
+  /// schedule/collect/merge phases and retry decisions on obs::kMasterTrack,
+  /// each worker traces task spans (wall + virtual clock) on its own track,
+  /// and counters/histograms (`tasks_dispatched`, `task_retries`,
+  /// `chunk_scan_seconds`, ...) accumulate in the registry.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One query's merged result.

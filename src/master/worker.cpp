@@ -1,5 +1,7 @@
 #include "master/worker.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -17,6 +19,9 @@ Worker::Worker(std::size_t id, sched::PeId pe, const WorkerContext& context,
   } else if (context_.threads_per_cpu_worker > 1) {
     align::ParallelSearchOptions options;
     options.threads = context_.threads_per_cpu_worker;
+    options.tracer = context_.tracer;
+    options.metrics = context_.metrics;
+    options.trace_track = obs::worker_track(id_);
     engine_ =
         std::make_unique<align::ParallelSearchEngine>(*context_.db, options);
   }
@@ -47,8 +52,23 @@ TaskReport Worker::execute(const TaskOrder& order) {
 
   if (context_.fault_injector &&
       context_.fault_injector(order.task_id, id_)) {
+    if (context_.tracer) {
+      context_.tracer->instant(
+          "fault", "fault", obs::worker_track(id_),
+          {{"task_id", static_cast<double>(order.task_id)},
+           {"worker", static_cast<double>(id_)}});
+    }
+    if (context_.metrics) context_.metrics->add("task_faults");
     report.failed = true;
     return report;
+  }
+
+  obs::Span span;
+  if (context_.tracer) {
+    span = context_.tracer->span("task", "task", obs::worker_track(id_));
+    span.arg("task_id", static_cast<double>(order.task_id));
+    span.arg("query", static_cast<double>(order.query_index));
+    span.arg("worker", static_cast<double>(id_));
   }
 
   WallTimer timer;
@@ -70,6 +90,15 @@ TaskReport Worker::execute(const TaskOrder& order) {
         context_.model.cpu_worker().seconds_for(result.cells);
   }
   report.wall_seconds = timer.seconds();
+  // Successful tasks tile the worker's virtual timeline back to back, so
+  // per-track span sums reproduce SearchReport::worker_virtual_busy.
+  span.arg("cells", static_cast<double>(report.cells));
+  span.virtual_interval(virtual_clock_,
+                        virtual_clock_ + report.virtual_seconds);
+  virtual_clock_ += report.virtual_seconds;
+  if (context_.metrics) {
+    context_.metrics->observe("task_virtual_seconds", report.virtual_seconds);
+  }
   return report;
 }
 

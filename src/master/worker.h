@@ -18,6 +18,11 @@
 #include "platform/perf_model.h"
 #include "util/concurrent_queue.h"
 
+namespace swdual::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace swdual::obs
+
 namespace swdual::master {
 
 /// Shared read-only context for all workers.
@@ -39,6 +44,13 @@ struct WorkerContext {
   /// thread-safe. nullptr = no faults.
   std::function<bool(std::size_t task_id, std::size_t worker_id)>
       fault_injector;
+
+  /// Optional observability sinks (obs/trace.h, obs/metrics.h). When set,
+  /// every executed task becomes a span on track obs::worker_track(id) with
+  /// wall time plus the worker's accumulated virtual-time interval, faults
+  /// become instant events, and per-task metrics are recorded.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Worker {
@@ -75,6 +87,9 @@ class Worker {
   /// Chunked multithreaded scan engine; only for CPU workers with
   /// threads_per_cpu_worker > 1.
   std::unique_ptr<align::ParallelSearchEngine> engine_;
+  /// Virtual clock of this worker: tasks execute back to back in modeled
+  /// time, so successive task spans tile [0, worker_virtual_busy) exactly.
+  double virtual_clock_ = 0.0;
   std::thread thread_;
 };
 

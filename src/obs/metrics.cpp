@@ -1,0 +1,61 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace swdual::obs {
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSummary& h = histograms_[name];
+  h.min = h.count == 0 ? value : std::min(h.min, value);
+  h.max = h.count == 0 ? value : std::max(h.max, value);
+  h.sum += value;
+  ++h.count;
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = counters_.find(name);
+  return found != counters_.end() ? found->second : 0.0;
+}
+
+MetricsRegistry::HistogramSummary MetricsRegistry::histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = histograms_.find(name);
+  return found != histograms_.end() ? found->second : HistogramSummary{};
+}
+
+namespace {
+
+std::string format_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << "counter " << name << ' ' << format_value(value) << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram " << name << " count=" << h.count
+        << " sum=" << format_value(h.sum) << " min=" << format_value(h.min)
+        << " max=" << format_value(h.max)
+        << " mean=" << format_value(h.mean()) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace swdual::obs

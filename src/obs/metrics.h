@@ -1,0 +1,59 @@
+// Named runtime metrics: thread-safe counters and value histograms.
+//
+// Complements the tracer (obs/trace.h): spans answer "when did it happen",
+// the registry answers "how often / how much" with O(1) state per metric.
+// The instrumented layers use a small shared vocabulary:
+//   counters   tasks_dispatched, task_retries, task_faults
+//   histograms chunk_scan_seconds, task_virtual_seconds, lambda_iterations
+// Names are created on first use; readers of absent names see zeros.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace swdual::obs {
+
+class MetricsRegistry {
+ public:
+  /// Running summary of one histogram. min/max are 0 when count == 0.
+  struct HistogramSummary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Add `delta` to the named counter (created at 0 on first use).
+  void add(const std::string& name, double delta = 1.0);
+
+  /// Record one sample into the named histogram.
+  void observe(const std::string& name, double value);
+
+  /// Current counter value; 0.0 for a name never touched.
+  double counter(const std::string& name) const;
+
+  /// Current histogram summary; all-zero for a name never touched.
+  HistogramSummary histogram(const std::string& name) const;
+
+  /// Flat text dump, deterministic: one `counter <name> <value>` line per
+  /// counter then one `histogram <name> count=... sum=... min=... max=...
+  /// mean=...` line per histogram, each block sorted by name.
+  std::string dump() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, HistogramSummary> histograms_;
+};
+
+}  // namespace swdual::obs

@@ -3,23 +3,45 @@
 #include <algorithm>
 #include <map>
 #include <queue>
+#include <string>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace swdual::platform {
 
 namespace {
 
-void finalize(ExecutionTrace& trace, const sched::HybridPlatform& platform) {
-  std::map<std::pair<int, std::size_t>, double> busy;
+/// Track for a DES PE, matching the master's worker-id convention (GPUs
+/// register first): GPU g → worker g, CPU c → worker k + c.
+std::size_t track_of(const sched::PeId& pe,
+                     const sched::HybridPlatform& platform) {
+  const std::size_t worker = pe.type == sched::PeType::kGpu
+                                 ? pe.index
+                                 : platform.num_gpus + pe.index;
+  return obs::worker_track(worker);
+}
+
+void finalize(ExecutionTrace& trace, const sched::HybridPlatform& platform,
+              obs::Tracer* tracer) {
   for (const TraceEntry& entry : trace.entries) {
     trace.makespan = std::max(trace.makespan, entry.end);
     const double duration = entry.end - entry.start;
-    busy[{static_cast<int>(entry.pe.type), entry.pe.index}] += duration;
     if (entry.pe.type == sched::PeType::kCpu) {
       trace.cpu_busy += duration;
     } else {
       trace.gpu_busy += duration;
+    }
+    if (tracer) {
+      obs::TraceEvent event;
+      event.clock = obs::Clock::kVirtual;
+      event.name = "task " + std::to_string(entry.task_id);
+      event.category = "des";
+      event.track = track_of(entry.pe, platform);
+      event.start = entry.start;
+      event.end = entry.end;
+      event.args = {{"task_id", static_cast<double>(entry.task_id)}};
+      tracer->record(std::move(event));
     }
   }
   const double capacity =
@@ -31,7 +53,8 @@ void finalize(ExecutionTrace& trace, const sched::HybridPlatform& platform) {
 
 ExecutionTrace simulate_static(const sched::Schedule& schedule,
                                const std::vector<sched::Task>& tasks,
-                               const sched::HybridPlatform& platform) {
+                               const sched::HybridPlatform& platform,
+                               obs::Tracer* tracer) {
   std::map<std::size_t, const sched::Task*> by_id;
   for (const sched::Task& task : tasks) by_id[task.id] = &task;
 
@@ -60,13 +83,14 @@ ExecutionTrace simulate_static(const sched::Schedule& schedule,
       clock += duration;
     }
   }
-  finalize(trace, platform);
+  finalize(trace, platform, tracer);
   return trace;
 }
 
 ExecutionTrace simulate_self_scheduling(const std::vector<sched::Task>& tasks,
                                         const sched::HybridPlatform& platform,
-                                        double dispatch_latency) {
+                                        double dispatch_latency,
+                                        obs::Tracer* tracer) {
   SWDUAL_REQUIRE(platform.total() > 0, "platform has no PEs");
   SWDUAL_REQUIRE(dispatch_latency >= 0, "latency must be non-negative");
 
@@ -94,7 +118,7 @@ ExecutionTrace simulate_self_scheduling(const std::vector<sched::Task>& tasks,
     trace.entries.push_back({task.id, pe, start, end});
     heap.emplace(end, slot);
   }
-  finalize(trace, platform);
+  finalize(trace, platform, tracer);
   return trace;
 }
 

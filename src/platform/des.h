@@ -8,10 +8,15 @@
 // *timing* behaviour (makespan, per-PE idle, dynamic dispatch order).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "sched/schedule.h"
 #include "sched/task.h"
+
+namespace swdual::obs {
+class Tracer;
+}  // namespace swdual::obs
 
 namespace swdual::platform {
 
@@ -31,10 +36,15 @@ struct ExecutionTrace {
   double gpu_busy = 0.0;   ///< Σ busy time on GPUs
   double total_idle = 0.0; ///< Σ over PEs of (makespan − busy)
 
+  /// Idle share of the platform's capacity, guarded the same way as
+  /// master::SearchReport::virtual_idle_fraction: an empty workload (or any
+  /// degenerate zero-makespan / zero-PE case) is 0 % idle, never NaN, and
+  /// rounding can't push the result outside [0, 1].
   double idle_fraction(const sched::HybridPlatform& platform) const {
     const double capacity =
         makespan * static_cast<double>(platform.total());
-    return capacity > 0 ? total_idle / capacity : 0.0;
+    if (!(capacity > 0)) return 0.0;
+    return std::clamp(total_idle / capacity, 0.0, 1.0);
   }
 };
 
@@ -43,15 +53,23 @@ struct ExecutionTrace {
 /// is never larger than the schedule's. This models the paper's one-round
 /// master–slave dispatch: the master sends each worker its task list up
 /// front and workers execute without further coordination.
+///
+/// With a tracer, every TraceEntry is additionally emitted as a
+/// virtual-clock event (category "des") on the PE's track, numbered with
+/// the master's GPUs-first worker-id convention — so DES timelines and real
+/// worker timelines land on the same Chrome trace lanes.
 ExecutionTrace simulate_static(const sched::Schedule& schedule,
                                const std::vector<sched::Task>& tasks,
-                               const sched::HybridPlatform& platform);
+                               const sched::HybridPlatform& platform,
+                               obs::Tracer* tracer = nullptr);
 
 /// Simulate dynamic self-scheduling: workers pull the next undispatched task
 /// the moment they become free (the one-unit-at-a-time strategy of [10]).
-/// `dispatch_latency` models the master round-trip per pull.
+/// `dispatch_latency` models the master round-trip per pull. Tracing as in
+/// simulate_static.
 ExecutionTrace simulate_self_scheduling(const std::vector<sched::Task>& tasks,
                                         const sched::HybridPlatform& platform,
-                                        double dispatch_latency = 0.0);
+                                        double dispatch_latency = 0.0,
+                                        obs::Tracer* tracer = nullptr);
 
 }  // namespace swdual::platform

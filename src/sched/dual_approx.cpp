@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "sched/baselines.h"
 #include "sched/list_scheduling.h"
 #include "util/error.h"
@@ -157,7 +158,7 @@ double makespan_lower_bound(const std::vector<Task>& tasks,
 
 Schedule swdual_schedule(const std::vector<Task>& tasks,
                          const HybridPlatform& platform, double epsilon,
-                         DualSearchStats* stats) {
+                         DualSearchStats* stats, obs::Tracer* tracer) {
   SWDUAL_REQUIRE(epsilon > 0, "epsilon must be positive");
   if (tasks.empty()) {
     if (stats) *stats = {};
@@ -176,11 +177,26 @@ Schedule swdual_schedule(const std::vector<Task>& tasks,
   double final_lambda = b_max;
 
   const auto consider = [&](double lambda) -> bool {
+    obs::Span span;
+    if (tracer) {
+      span = tracer->span("lambda_step", "sched", obs::kMasterTrack);
+      span.arg("lambda", lambda);
+    }
     DualStepResult step = dual_approx_step(tasks, platform, lambda);
+    if (tracer) {
+      span.arg("feasible", step.feasible ? 1.0 : 0.0);
+      // Knapsack fill level: GPU area over its budget kλ (Fig. 4); tops 1
+      // when the overflow task j_last crossed the boundary.
+      const double budget =
+          static_cast<double>(platform.num_gpus) * lambda;
+      span.arg("gpu_fill", budget > 0 ? step.gpu_area / budget : 0.0);
+      span.arg("cpu_area", step.cpu_area);
+    }
     if (!step.feasible) return false;
     const double makespan = step.schedule.makespan();
     SWDUAL_CHECK(leq(makespan, 2.0 * lambda),
                  "dual-approx step violated its 2λ guarantee");
+    span.arg("makespan", makespan);
     if (makespan < best_makespan) {
       best_makespan = makespan;
       best = std::move(step.schedule);
@@ -232,8 +248,9 @@ Schedule realize_allocation(const std::vector<Task>& tasks,
 
 Schedule swdual_schedule_refined(const std::vector<Task>& tasks,
                                  const HybridPlatform& platform,
-                                 double epsilon, DualSearchStats* stats) {
-  Schedule base = swdual_schedule(tasks, platform, epsilon, stats);
+                                 double epsilon, DualSearchStats* stats,
+                                 obs::Tracer* tracer) {
+  Schedule base = swdual_schedule(tasks, platform, epsilon, stats, tracer);
   if (tasks.empty() || platform.num_cpus == 0 || platform.num_gpus == 0) {
     return base;
   }

@@ -29,6 +29,10 @@
 #include "sched/schedule.h"
 #include "sched/task.h"
 
+namespace swdual::obs {
+class Tracer;
+}  // namespace swdual::obs
+
 namespace swdual::sched {
 
 /// Outcome of one dual-approximation step.
@@ -53,11 +57,14 @@ struct DualSearchStats {
 
 /// Full SWDUAL scheduler: binary search on λ between provable bounds,
 /// returning the best schedule found. `epsilon` is the relative width at
-/// which the search stops. Guaranteed makespan ≤ 2·OPT.
+/// which the search stops. Guaranteed makespan ≤ 2·OPT. With a tracer, each
+/// λ-iteration becomes a `lambda_step` span on obs::kMasterTrack carrying λ,
+/// the YES/NO verdict, and the knapsack GPU fill level.
 Schedule swdual_schedule(const std::vector<Task>& tasks,
                          const HybridPlatform& platform,
                          double epsilon = 1e-3,
-                         DualSearchStats* stats = nullptr);
+                         DualSearchStats* stats = nullptr,
+                         obs::Tracer* tracer = nullptr);
 
 /// Refined variant: SWDUAL followed by local improvement (single-task moves
 /// and cross-type swaps accepted while the makespan strictly decreases).
@@ -67,7 +74,8 @@ Schedule swdual_schedule(const std::vector<Task>& tasks,
 Schedule swdual_schedule_refined(const std::vector<Task>& tasks,
                                  const HybridPlatform& platform,
                                  double epsilon = 1e-3,
-                                 DualSearchStats* stats = nullptr);
+                                 DualSearchStats* stats = nullptr,
+                                 obs::Tracer* tracer = nullptr);
 
 /// Certified lower bound on the optimal makespan: the larger of the longest
 /// min-processing-time task and the smallest λ for which the fractional

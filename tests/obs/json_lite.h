@@ -1,0 +1,198 @@
+// Minimal recursive-descent JSON parser for test assertions (no external
+// dependency allowed in this environment). Supports the full value grammar
+// the Chrome trace exporter emits: objects, arrays, strings with escapes,
+// numbers, booleans, null. Throws std::runtime_error on malformed input, so
+// tests double as validity checks of the exporter's output.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace swdual::testjson {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+  const Value& at(const std::string& key) const {
+    if (!has(key)) throw std::runtime_error("missing key: " + key);
+    return object.at(key);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value value = parse_value();
+    skip_space();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing JSON data");
+    return value;
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_space();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& literal) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value value;
+        value.kind = Value::Kind::kString;
+        value.string = parse_string();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        Value value;
+        value.kind = Value::Kind::kBool;
+        if (consume_literal("true")) {
+          value.boolean = true;
+        } else if (consume_literal("false")) {
+          value.boolean = false;
+        } else {
+          throw std::runtime_error("bad literal");
+        }
+        return value;
+      }
+      case 'n': {
+        if (!consume_literal("null")) throw std::runtime_error("bad literal");
+        return {};
+      }
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: throw std::runtime_error("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    skip_space();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double number = std::strtod(start, &end);
+    if (end == start) throw std::runtime_error("bad number");
+    pos_ += static_cast<std::size_t>(end - start);
+    Value value;
+    value.kind = Value::Kind::kNumber;
+    value.number = number;
+    return value;
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value value;
+    value.kind = Value::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return value;
+      if (c != ',') throw std::runtime_error("expected ',' in array");
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value value;
+    value.kind = Value::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      const std::string key = parse_string();
+      expect(':');
+      value.object.emplace(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return value;
+      if (c != ',') throw std::runtime_error("expected ',' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace swdual::testjson

@@ -1,0 +1,65 @@
+// Unit tests for obs::MetricsRegistry.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace swdual::obs {
+namespace {
+
+TEST(Metrics, CountersAccumulate) {
+  MetricsRegistry registry;
+  EXPECT_DOUBLE_EQ(registry.counter("tasks_dispatched"), 0.0);
+  registry.add("tasks_dispatched");
+  registry.add("tasks_dispatched");
+  registry.add("tasks_dispatched", 3.0);
+  EXPECT_DOUBLE_EQ(registry.counter("tasks_dispatched"), 5.0);
+  EXPECT_DOUBLE_EQ(registry.counter("never_touched"), 0.0);
+}
+
+TEST(Metrics, HistogramSummary) {
+  MetricsRegistry registry;
+  registry.observe("chunk_scan_seconds", 0.5);
+  registry.observe("chunk_scan_seconds", 1.5);
+  registry.observe("chunk_scan_seconds", 1.0);
+  const auto h = registry.histogram("chunk_scan_seconds");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 3.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 1.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+}
+
+TEST(Metrics, EmptyHistogramIsAllZero) {
+  MetricsRegistry registry;
+  const auto h = registry.histogram("absent");
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_DOUBLE_EQ(h.sum, 0.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Metrics, NegativeSamplesKeepMinMax) {
+  MetricsRegistry registry;
+  registry.observe("delta", -2.0);
+  registry.observe("delta", 1.0);
+  const auto h = registry.histogram("delta");
+  EXPECT_DOUBLE_EQ(h.min, -2.0);
+  EXPECT_DOUBLE_EQ(h.max, 1.0);
+}
+
+TEST(Metrics, DumpIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.add("zebra", 2.0);
+  registry.add("alpha", 1.0);
+  registry.observe("latency", 0.25);
+  const std::string dump = registry.dump();
+  EXPECT_EQ(dump,
+            "counter alpha 1\n"
+            "counter zebra 2\n"
+            "histogram latency count=1 sum=0.25 min=0.25 max=0.25 "
+            "mean=0.25\n");
+}
+
+}  // namespace
+}  // namespace swdual::obs

@@ -1,6 +1,8 @@
 // Unit/property tests for the discrete-event simulator.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "platform/des.h"
 #include "sched/baselines.h"
 #include "sched/dual_approx.h"
@@ -108,6 +110,27 @@ TEST(SimulateSelfScheduling, DispatchLatencySlowsRun) {
 TEST(SimulateSelfScheduling, NegativeLatencyRejected) {
   EXPECT_THROW((simulate_self_scheduling({{0, 1, 1}}, {1, 1}, -1.0)),
                InvalidArgument);
+}
+
+TEST(ExecutionTraceTest, EmptyWorkloadIdleFractionIsZeroNotNaN) {
+  // Regression: 0/0 used to leak NaN out of idle_fraction. The guard must
+  // match the master's convention — an empty run is 0 % idle.
+  const HybridPlatform platform{2, 2};
+  const ExecutionTrace static_trace =
+      simulate_static(sched::Schedule{}, {}, platform);
+  EXPECT_DOUBLE_EQ(static_trace.makespan, 0.0);
+  EXPECT_TRUE(std::isfinite(static_trace.idle_fraction(platform)));
+  EXPECT_DOUBLE_EQ(static_trace.idle_fraction(platform), 0.0);
+
+  const ExecutionTrace dynamic_trace = simulate_self_scheduling({}, platform);
+  EXPECT_TRUE(std::isfinite(dynamic_trace.idle_fraction(platform)));
+  EXPECT_DOUBLE_EQ(dynamic_trace.idle_fraction(platform), 0.0);
+
+  // Degenerate platform: fraction stays clamped and finite either way.
+  ExecutionTrace weird;
+  weird.makespan = 1.0;
+  weird.total_idle = 99.0;
+  EXPECT_DOUBLE_EQ(weird.idle_fraction({2, 2}), 1.0);  // clamped to [0, 1]
 }
 
 }  // namespace
