@@ -1,0 +1,78 @@
+// Approximation-bound contract checker for the dual-approximation scheduler
+// (paper §III; DESIGN.md "Correctness tooling").
+//
+// The SWDUAL guarantee — makespan ≤ 2·OPT — is not directly testable because
+// OPT is unknown, but it becomes testable against a *certified lower bound*
+// LB ≤ OPT that the dual-approximation step can always satisfy. This header
+// computes three such bounds and asserts the guarantee against their maximum:
+//
+//   longest_task    L    = max_j min(p_j, p̄_j): every task runs entirely on
+//                          one PE, taking at least its faster time.
+//   aggregate_area  A    = Σ_j min(p_j, p̄_j) / (m + k): each task occupies
+//                          at least its faster time of some PE, and total
+//                          busy time across m + k PEs is at most (m+k)·λ.
+//   knapsack        K    = the smallest λ passing the paper's λ-feasibility
+//                          test in its fractional relaxation: tasks with
+//                          p_j > λ are forced onto the GPUs (their area must
+//                          fit in kλ), tasks with p̄_j > λ onto the CPUs
+//                          (area ≤ mλ), and the free tasks split by the
+//                          continuous minimization knapsack (5)–(7) — fill
+//                          GPUs by decreasing acceleration ratio p/p̄ up to
+//                          area kλ, spill the rest to the CPUs, which must
+//                          fit in mλ. Every real λ-schedule satisfies all
+//                          three conditions, so K ≤ OPT.
+//
+// Soundness of the 2·LB assertion (not merely 2·OPT): a fractional-feasible
+// λ is always a YES for dual_approx_step — the integral greedy keeps the
+// boundary task j_last entirely on the GPUs, so it leaves *at most* the
+// fractional CPU workload — and a NO at λ implies fractional infeasibility.
+// The binary search in swdual_schedule therefore converges its YES frontier
+// to within its ε of a λ ≤ K, giving makespan ≤ 2·K/(1−ε). The default
+// slack absorbs that ε and the floating-point tolerances.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/task.h"
+
+namespace swdual::check {
+
+/// The guaranteed worst-case ratios asserted by check_approximation_bound.
+inline constexpr double kDualApproxFactor = 2.0;     ///< swdual_schedule
+inline constexpr double kRefinedApproxFactor = 1.5;  ///< refined (3/2) variant
+
+/// The certified lower bounds on the optimal makespan, individually.
+struct LowerBounds {
+  double longest_task = 0.0;    ///< L: max over tasks of min(p, p̄)
+  double aggregate_area = 0.0;  ///< A: Σ min(p, p̄) / (m + k)
+  double knapsack = 0.0;        ///< K: fractional λ-feasibility threshold
+  double certified = 0.0;       ///< max(L, A, K) — the bound checked against
+};
+
+/// Compute all lower bounds for a task set on a platform. The platform must
+/// have at least one PE, and every task must be runnable on some PE class
+/// that exists (throws swdual::InvalidArgument otherwise).
+LowerBounds schedule_lower_bounds(const std::vector<sched::Task>& tasks,
+                                  const sched::HybridPlatform& platform);
+
+/// Outcome of one bound check (also returned on success, for reporting).
+struct BoundCheckReport {
+  LowerBounds bounds;
+  double makespan = 0.0;
+  double factor = kDualApproxFactor;
+  double ratio = 0.0;  ///< makespan / certified LB (0 for an empty workload)
+};
+
+/// Assert `schedule.makespan() ≤ factor · LB · slack` where LB is the
+/// certified lower bound of `schedule_lower_bounds`. Throws swdual::Error
+/// with the full bound breakdown on violation; returns the report otherwise.
+/// The schedule is assumed structurally valid (run validate_schedule first).
+/// `slack` absorbs the binary search's ε and floating-point tolerance; the
+/// default covers swdual_schedule's ε ≤ 1e-3.
+BoundCheckReport check_approximation_bound(
+    const sched::Schedule& schedule, const std::vector<sched::Task>& tasks,
+    const sched::HybridPlatform& platform, double factor = kDualApproxFactor,
+    double slack = 1.01);
+
+}  // namespace swdual::check

@@ -1,0 +1,46 @@
+// Contract macro layer for correctness checks (DESIGN.md "Correctness
+// tooling").
+//
+// Two tiers, one shared failure path (util/error.h):
+//
+//   SWDUAL_CHECK(expr, msg)   — always-on invariant; throws swdual::Error.
+//                               Defined in util/error.h; validators and the
+//                               schedulers' certified guarantees use it, so
+//                               it never compiles out.
+//   SWDUAL_DCHECK(expr, msg)  — debug contract for hot paths. Compiles to a
+//                               no-op (expression unevaluated, variables
+//                               still "used") when the project is configured
+//                               with SWDUAL_CONTRACTS=OFF; otherwise behaves
+//                               exactly like SWDUAL_CHECK.
+//
+// The CMake option SWDUAL_CONTRACTS (default ON) sets the preprocessor
+// symbol SWDUAL_CONTRACTS_ENABLED on every target via swdual_options.
+// Compiling a translation unit outside the build system leaves the symbol
+// undefined, which this header treats as enabled — contracts should only
+// ever disappear on purpose.
+#pragma once
+
+#include "util/error.h"
+
+#ifndef SWDUAL_CONTRACTS_ENABLED
+#define SWDUAL_CONTRACTS_ENABLED 1
+#endif
+
+namespace swdual::check {
+
+/// Build-time state of the debug-contract tier, for tests and diagnostics.
+constexpr bool contracts_enabled() { return SWDUAL_CONTRACTS_ENABLED != 0; }
+
+}  // namespace swdual::check
+
+#if SWDUAL_CONTRACTS_ENABLED
+#define SWDUAL_DCHECK(expr, msg) SWDUAL_CHECK(expr, msg)
+#else
+// Keep the expression parsed (so contract rot is still a compile error and
+// the variables it names stay "used") without evaluating it.
+#define SWDUAL_DCHECK(expr, msg) \
+  do {                           \
+    (void)sizeof((expr) ? 1 : 0);\
+    (void)sizeof(msg);           \
+  } while (0)
+#endif

@@ -1,0 +1,197 @@
+#include "check/trace_check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "util/error.h"
+
+namespace swdual::check {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+using PeKey = std::pair<int, std::size_t>;
+
+PeKey key_of(const sched::PeId& pe) {
+  return {static_cast<int>(pe.type), pe.index};
+}
+
+std::map<std::size_t, const sched::Task*> index_tasks(
+    const std::vector<sched::Task>& tasks) {
+  std::map<std::size_t, const sched::Task*> by_id;
+  for (const sched::Task& task : tasks) by_id[task.id] = &task;
+  SWDUAL_CHECK(by_id.size() == tasks.size(), "duplicate task ids in input");
+  return by_id;
+}
+
+/// Check the recomputable aggregate fields of a trace against its entries.
+void check_aggregates(const platform::ExecutionTrace& trace,
+                      const sched::HybridPlatform& platform) {
+  double makespan = 0.0;
+  double cpu_busy = 0.0;
+  double gpu_busy = 0.0;
+  for (const platform::TraceEntry& entry : trace.entries) {
+    makespan = std::max(makespan, entry.end);
+    const double duration = entry.end - entry.start;
+    if (entry.pe.type == sched::PeType::kCpu) {
+      cpu_busy += duration;
+    } else {
+      gpu_busy += duration;
+    }
+  }
+  SWDUAL_CHECK(std::abs(trace.makespan - makespan) <= kTol * (1 + makespan),
+               "trace makespan disagrees with its entries");
+  SWDUAL_CHECK(std::abs(trace.cpu_busy - cpu_busy) <= kTol * (1 + cpu_busy),
+               "trace cpu_busy disagrees with its entries");
+  SWDUAL_CHECK(std::abs(trace.gpu_busy - gpu_busy) <= kTol * (1 + gpu_busy),
+               "trace gpu_busy disagrees with its entries");
+  const double idle = makespan * static_cast<double>(platform.total()) -
+                      cpu_busy - gpu_busy;
+  SWDUAL_CHECK(std::abs(trace.total_idle - idle) <= kTol * (1 + std::abs(idle)),
+               "trace total_idle disagrees with its entries");
+}
+
+}  // namespace
+
+void cross_validate_trace(const platform::ExecutionTrace& trace,
+                          const sched::Schedule& schedule,
+                          const std::vector<sched::Task>& tasks,
+                          const sched::HybridPlatform& platform) {
+  const auto by_id = index_tasks(tasks);
+  SWDUAL_CHECK(trace.entries.size() == schedule.size(),
+               "trace has " + std::to_string(trace.entries.size()) +
+                   " entries for a schedule of " +
+                   std::to_string(schedule.size()) + " assignment(s)");
+
+  // Group both sides per PE, ordered by start time (the DES replay order).
+  std::map<PeKey, std::vector<const sched::Assignment*>> planned;
+  for (const sched::Assignment& a : schedule.assignments()) {
+    SWDUAL_CHECK(a.pe.index < platform.count(a.pe.type),
+                 "schedule uses nonexistent PE " + pe_name(a.pe));
+    planned[key_of(a.pe)].push_back(&a);
+  }
+  std::map<PeKey, std::vector<const platform::TraceEntry*>> executed;
+  for (const platform::TraceEntry& entry : trace.entries) {
+    SWDUAL_CHECK(entry.pe.index < platform.count(entry.pe.type),
+                 "trace uses nonexistent PE " + pe_name(entry.pe));
+    executed[key_of(entry.pe)].push_back(&entry);
+  }
+
+  for (auto& [pe, list] : planned) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const sched::Assignment* a,
+                        const sched::Assignment* b) {
+                       return a->start < b->start;
+                     });
+    auto it = executed.find(pe);
+    SWDUAL_CHECK(it != executed.end() && it->second.size() == list.size(),
+                 "PE " + pe_name(list.front()->pe) + " planned " +
+                     std::to_string(list.size()) + " task(s) but executed " +
+                     std::to_string(it == executed.end() ? 0
+                                                        : it->second.size()));
+    auto& run = it->second;
+    std::stable_sort(run.begin(), run.end(),
+                     [](const platform::TraceEntry* a,
+                        const platform::TraceEntry* b) {
+                       return a->start < b->start;
+                     });
+
+    // Replay must keep the planned order and compact back-to-back from 0.
+    double clock = 0.0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const sched::Assignment& plan = *list[i];
+      const platform::TraceEntry& entry = *run[i];
+      const std::string where =
+          "task " + std::to_string(plan.task_id) + " on " + pe_name(plan.pe);
+      SWDUAL_CHECK(entry.task_id == plan.task_id,
+                   "execution order diverged from the plan: position " +
+                       std::to_string(i) + " on " + pe_name(plan.pe) +
+                       " ran task " + std::to_string(entry.task_id) +
+                       " instead of task " + std::to_string(plan.task_id));
+      const auto task_it = by_id.find(plan.task_id);
+      SWDUAL_CHECK(task_it != by_id.end(),
+                   "schedule places unknown task " +
+                       std::to_string(plan.task_id));
+      const double expected = task_it->second->time_on(plan.pe.type);
+      const double duration = entry.end - entry.start;
+      SWDUAL_CHECK(std::abs(duration - expected) <= kTol * (1 + expected),
+                   "trace duration " + std::to_string(duration) + " for " +
+                       where + " differs from processing time " +
+                       std::to_string(expected));
+      SWDUAL_CHECK(std::abs(plan.duration() - expected) <=
+                       kTol * (1 + expected),
+                   "planned duration differs from processing time for " +
+                       where);
+      SWDUAL_CHECK(std::abs(entry.start - clock) <= kTol * (1 + clock),
+                   "trace start " + std::to_string(entry.start) + " for " +
+                       where + " is not the compaction of the plan (expected " +
+                       std::to_string(clock) + ")");
+      SWDUAL_CHECK(entry.start <= plan.start + kTol * (1 + plan.start),
+                   "trace starts " + where + " later than planned");
+      clock += expected;
+    }
+  }
+  // Trace-only PEs would have been caught by the per-PE size comparison
+  // unless the schedule never planned them — catch that here.
+  for (const auto& [pe, run] : executed) {
+    SWDUAL_CHECK(planned.count(pe) == 1,
+                 "trace executed " + std::to_string(run.size()) +
+                     " task(s) on " + pe_name(run.front()->pe) +
+                     " which the schedule never planned");
+  }
+
+  check_aggregates(trace, platform);
+  SWDUAL_CHECK(trace.makespan <= schedule.makespan() * (1 + kTol) + kTol,
+               "work-conserving replay finished later than the plan");
+}
+
+void validate_trace(const platform::ExecutionTrace& trace,
+                    const std::vector<sched::Task>& tasks,
+                    const sched::HybridPlatform& platform) {
+  const auto by_id = index_tasks(tasks);
+
+  std::map<std::size_t, std::size_t> seen;
+  std::map<PeKey, std::vector<const platform::TraceEntry*>> per_pe;
+  for (const platform::TraceEntry& entry : trace.entries) {
+    const auto it = by_id.find(entry.task_id);
+    SWDUAL_CHECK(it != by_id.end(), "trace executed unknown task " +
+                                        std::to_string(entry.task_id));
+    SWDUAL_CHECK(++seen[entry.task_id] == 1,
+                 "task " + std::to_string(entry.task_id) +
+                     " executed more than once");
+    SWDUAL_CHECK(entry.pe.index < platform.count(entry.pe.type),
+                 "trace uses nonexistent PE " + pe_name(entry.pe));
+    SWDUAL_CHECK(entry.start >= -kTol,
+                 "negative start for task " + std::to_string(entry.task_id));
+    const double expected = it->second->time_on(entry.pe.type);
+    const double duration = entry.end - entry.start;
+    SWDUAL_CHECK(std::abs(duration - expected) <= kTol * (1 + expected),
+                 "duration mismatch for task " +
+                     std::to_string(entry.task_id) + " on " +
+                     pe_name(entry.pe));
+    per_pe[key_of(entry.pe)].push_back(&entry);
+  }
+  SWDUAL_CHECK(seen.size() == tasks.size(),
+               "trace misses " + std::to_string(tasks.size() - seen.size()) +
+                   " task(s)");
+
+  for (auto& [pe, list] : per_pe) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const platform::TraceEntry* a,
+                        const platform::TraceEntry* b) {
+                       return a->start < b->start;
+                     });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      SWDUAL_CHECK(list[i]->start >= list[i - 1]->end - kTol,
+                   "overlap on " + pe_name(list[i]->pe) + " between tasks " +
+                       std::to_string(list[i - 1]->task_id) + " and " +
+                       std::to_string(list[i]->task_id));
+    }
+  }
+  check_aggregates(trace, platform);
+}
+
+}  // namespace swdual::check

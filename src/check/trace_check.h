@@ -1,0 +1,42 @@
+// Cross-validation between static schedules and DES execution traces
+// (DESIGN.md "Correctness tooling").
+//
+// The golden-trace and bit-identical-merge tests depend on the DES replaying
+// exactly what the scheduler planned. cross_validate_trace proves it: every
+// assignment of the Schedule appears in the ExecutionTrace exactly once, on
+// the same PE, with the same duration, in the same per-PE order, at the
+// work-conserving compaction of the planned start times (simulate_static's
+// contract — for the compact schedules every policy in this library emits,
+// that means the *same* start times). validate_trace is the schedule-free
+// variant for dynamic policies (self-scheduling), checking the trace's
+// internal invariants against the task set alone.
+#pragma once
+
+#include <vector>
+
+#include "platform/des.h"
+#include "sched/schedule.h"
+#include "sched/task.h"
+
+namespace swdual::check {
+
+/// Prove `trace` is exactly the DES replay of `schedule`: same placements,
+/// same per-PE execution order, durations equal to the task's processing
+/// time on its PE class, starts equal to the back-to-back compaction of the
+/// plan (and never later than planned), and internally consistent
+/// makespan/busy/idle aggregates. Throws swdual::Error naming the first
+/// offending task and PE.
+void cross_validate_trace(const platform::ExecutionTrace& trace,
+                          const sched::Schedule& schedule,
+                          const std::vector<sched::Task>& tasks,
+                          const sched::HybridPlatform& platform);
+
+/// Structural validation of a trace without a reference schedule (dynamic
+/// policies): every task executed exactly once on an existing PE, duration
+/// matching its processing time there, no overlap on any PE, non-negative
+/// starts, and consistent aggregates. Throws swdual::Error on violation.
+void validate_trace(const platform::ExecutionTrace& trace,
+                    const std::vector<sched::Task>& tasks,
+                    const sched::HybridPlatform& platform);
+
+}  // namespace swdual::check

@@ -4,9 +4,12 @@
 #include <cstddef>
 #include <memory>
 
+#include "check/bounds.h"
+#include "check/trace_check.h"
 #include "master/worker.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "platform/des.h"
 #include "sched/baselines.h"
 #include "sched/dual_approx.h"
 #include "util/error.h"
@@ -214,6 +217,20 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
       }
       sched::Schedule round_plan = plan_batch(batch);
       schedule_span.finish();
+      if (config.validate_contracts) {
+        // Contract layer (debug flag): the plan must be structurally sound,
+        // the dual-approximation policies must honor their certified bound,
+        // and the DES must replay the plan exactly.
+        sched::validate_schedule(round_plan, batch, platform);
+        if (config.policy == AllocationPolicy::kSwdual ||
+            config.policy == AllocationPolicy::kSwdualRefined) {
+          check::check_approximation_bound(round_plan, batch, platform,
+                                           check::kDualApproxFactor);
+        }
+        check::cross_validate_trace(
+            platform::simulate_static(round_plan, batch, platform),
+            round_plan, batch, platform);
+      }
       std::vector<sched::Assignment> ordered(round_plan.assignments());
       std::sort(ordered.begin(), ordered.end(),
                 [](const sched::Assignment& a, const sched::Assignment& b) {

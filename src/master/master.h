@@ -60,6 +60,14 @@ struct MasterConfig {
       fault_injector;
   std::size_t max_task_retries = 3;
 
+  /// Debug contract checks on every allocation round (check/bounds.h,
+  /// check/trace_check.h): the round plan is validated structurally, the
+  /// dual-approximation policies are checked against their certified
+  /// 2.OPT bound, and a DES replay of the plan is cross-validated against
+  /// it before dispatch. Failures throw swdual::Error. Off by default —
+  /// the checks re-run the lower-bound search per round.
+  bool validate_contracts = false;
+
   /// Optional observability sinks (obs/trace.h, obs/metrics.h), borrowed for
   /// the duration of run_search. When set, the master traces its
   /// schedule/collect/merge phases and retry decisions on obs::kMasterTrack,

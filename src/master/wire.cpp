@@ -48,7 +48,8 @@ class Reader {
     }
     T value = 0;
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      value |= static_cast<T>(bytes_[position_ + i]) << (8 * i);
+      value = static_cast<T>(
+          value | static_cast<T>(bytes_[position_ + i]) << (8 * i));
     }
     position_ += sizeof(T);
     return value;
@@ -69,9 +70,10 @@ class Reader {
 std::vector<std::uint8_t> frame(MessageType type,
                                 std::vector<std::uint8_t> payload) {
   SWDUAL_REQUIRE(payload.size() <= 0xffffffffu, "payload too large");
-  std::vector<std::uint8_t> out;
+  // Constructed from the magic rather than insert-into-empty: GCC 12's
+  // -Wstringop-overflow misfires on the latter at -O2 (PR 105329-style).
+  std::vector<std::uint8_t> out(kMagic.begin(), kMagic.end());
   out.reserve(kHeaderSize + payload.size() + kTrailerSize);
-  out.insert(out.end(), kMagic.begin(), kMagic.end());
   out.push_back(static_cast<std::uint8_t>(type));
   const auto length = static_cast<std::uint32_t>(payload.size());
   for (std::size_t i = 0; i < 4; ++i) {

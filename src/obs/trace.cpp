@@ -9,8 +9,8 @@
 namespace swdual::obs {
 
 double TraceEvent::arg(const std::string& key, double fallback) const {
-  for (const auto& [name, value] : args) {
-    if (name == key) return value;
+  for (const auto& [arg_key, arg_value] : args) {
+    if (arg_key == key) return arg_value;
   }
   return fallback;
 }

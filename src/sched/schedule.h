@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "check/contracts.h"
 #include "sched/task.h"
 
 namespace swdual::sched {
@@ -22,7 +23,11 @@ struct Assignment {
 /// A complete non-preemptive schedule.
 class Schedule {
  public:
-  void add(Assignment assignment) { assignments_.push_back(assignment); }
+  void add(Assignment assignment) {
+    SWDUAL_DCHECK(assignment.end >= assignment.start,
+                  "assignment ends before it starts");
+    assignments_.push_back(assignment);
+  }
 
   const std::vector<Assignment>& assignments() const { return assignments_; }
   bool empty() const { return assignments_.empty(); }

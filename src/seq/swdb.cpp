@@ -31,7 +31,9 @@ T read_le(std::istream& in) {
   in.read(bytes.data(), bytes.size());
   T value = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
-    value |= static_cast<T>(static_cast<unsigned char>(bytes[i])) << (8 * i);
+    value = static_cast<T>(
+        value |
+        static_cast<T>(static_cast<unsigned char>(bytes[i])) << (8 * i));
   }
   return value;
 }

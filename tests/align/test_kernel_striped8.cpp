@@ -116,7 +116,7 @@ TEST(Striped8, RejectsOutOfRangePenalties) {
 
 TEST(Striped8, GapPenaltySweepAgainstOracle) {
   Rng rng(39);
-  for (const auto [gs, ge] : {std::pair{5, 1}, {10, 2}, {14, 4}, {0, 1}}) {
+  for (const auto& [gs, ge] : {std::pair{5, 1}, {10, 2}, {14, 4}, {0, 1}}) {
     ScoringScheme scheme;
     scheme.gap = {gs, ge};
     for (int rep = 0; rep < 20; ++rep) {

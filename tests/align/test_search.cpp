@@ -41,8 +41,8 @@ INSTANTIATE_TEST_SUITE_P(Kernels, SearchKernels,
                                            KernelKind::kStriped,
                                            KernelKind::kStriped8,
                                            KernelKind::kInterSeq),
-                         [](const auto& info) {
-                           return kernel_name(info.param);
+                         [](const auto& param_info) {
+                           return kernel_name(param_info.param);
                          });
 
 TEST(Search, TopHitsSortedAndTiesStable) {

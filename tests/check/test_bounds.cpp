@@ -1,0 +1,172 @@
+// Unit tests for the certified lower bounds and the approximation-bound
+// contract checker, including deliberately violating fixtures.
+#include <gtest/gtest.h>
+
+#include "check/bounds.h"
+#include "sched/dual_approx.h"
+#include "util/error.h"
+
+namespace swdual::check {
+namespace {
+
+using sched::HybridPlatform;
+using sched::PeType;
+using sched::Schedule;
+using sched::Task;
+
+TEST(LowerBounds, EmptyWorkloadIsAllZero) {
+  const LowerBounds bounds = schedule_lower_bounds({}, {2, 2});
+  EXPECT_EQ(bounds.longest_task, 0.0);
+  EXPECT_EQ(bounds.aggregate_area, 0.0);
+  EXPECT_EQ(bounds.knapsack, 0.0);
+  EXPECT_EQ(bounds.certified, 0.0);
+}
+
+TEST(LowerBounds, RejectsEmptyPlatform) {
+  EXPECT_THROW(schedule_lower_bounds({{0, 1, 1}}, {0, 0}), InvalidArgument);
+}
+
+TEST(LowerBounds, SingleTaskUsesFasterSide) {
+  const LowerBounds bounds = schedule_lower_bounds({{0, 10, 2}}, {1, 1});
+  EXPECT_DOUBLE_EQ(bounds.longest_task, 2.0);
+  EXPECT_DOUBLE_EQ(bounds.certified, 2.0);
+}
+
+TEST(LowerBounds, AreaBoundForManyUnitTasks) {
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 100; ++i) tasks.push_back({i, 1, 1});
+  const LowerBounds bounds = schedule_lower_bounds(tasks, {1, 1});
+  EXPECT_DOUBLE_EQ(bounds.aggregate_area, 50.0);
+  EXPECT_NEAR(bounds.certified, 50.0, 0.5);
+}
+
+TEST(LowerBounds, MandatoryPlacementTightensPastFractionalRelaxation) {
+  // Two tasks with cpu=11, gpu=10 on 1 CPU + 1 GPU. The plain fractional
+  // relaxation (threshold ~10.5) misses that any λ < 11 forces both tasks
+  // onto the single GPU (cpu_time 11 > λ), overflowing kλ. The true optimum
+  // is 11 — one task per PE — and the knapsack bound certifies it.
+  const std::vector<Task> tasks = {{0, 11, 10}, {1, 11, 10}};
+  const HybridPlatform platform{1, 1};
+  const LowerBounds bounds = schedule_lower_bounds(tasks, platform);
+  EXPECT_DOUBLE_EQ(bounds.longest_task, 10.0);
+  EXPECT_DOUBLE_EQ(bounds.aggregate_area, 10.0);
+  EXPECT_NEAR(bounds.knapsack, 11.0, 1e-6);
+  EXPECT_NEAR(bounds.certified, 11.0, 1e-6);
+  // The fractional relaxation the scheduler's own lower bound uses is
+  // strictly weaker on this instance.
+  EXPECT_LT(sched::makespan_lower_bound(tasks, platform),
+            bounds.certified - 0.1);
+}
+
+TEST(LowerBounds, CertifiedIsComponentMaximum) {
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 25; ++i) {
+    tasks.push_back({i, double(2 + i % 7), double(1 + i % 3)});
+  }
+  const LowerBounds bounds = schedule_lower_bounds(tasks, {2, 2});
+  EXPECT_GE(bounds.certified, bounds.longest_task);
+  EXPECT_GE(bounds.certified, bounds.aggregate_area);
+  EXPECT_GE(bounds.certified, bounds.knapsack);
+  EXPECT_DOUBLE_EQ(bounds.certified,
+                   std::max({bounds.longest_task, bounds.aggregate_area,
+                             bounds.knapsack}));
+}
+
+TEST(BoundCheck, AcceptsOptimalShapedSchedule) {
+  // One task per PE at its best placement: ratio 1 against the bound.
+  const std::vector<Task> tasks = {{0, 11, 10}, {1, 11, 10}};
+  const HybridPlatform platform{1, 1};
+  Schedule s;
+  s.add({0, {PeType::kCpu, 0}, 0.0, 11.0});
+  s.add({1, {PeType::kGpu, 0}, 0.0, 10.0});
+  const BoundCheckReport report =
+      check_approximation_bound(s, tasks, platform);
+  EXPECT_DOUBLE_EQ(report.makespan, 11.0);
+  EXPECT_NEAR(report.ratio, 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(report.factor, kDualApproxFactor);
+}
+
+TEST(BoundCheck, RejectsSerializedScheduleBeyondFactorTwo) {
+  // Violating fixture: 8 unit tasks on 2 CPUs + 2 GPUs all serialized on one
+  // CPU. Certified LB is 2 (area 8/4, knapsack 2), so makespan 8 breaks the
+  // 2x contract and the checker must throw.
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 8; ++i) tasks.push_back({i, 1, 1});
+  const HybridPlatform platform{2, 2};
+  Schedule s;
+  for (std::size_t i = 0; i < 8; ++i) {
+    s.add({i, {PeType::kCpu, 0}, double(i), double(i + 1)});
+  }
+  try {
+    check_approximation_bound(s, tasks, platform);
+    FAIL() << "expected the bound checker to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("approximation bound violated"), std::string::npos);
+    EXPECT_NE(what.find("knapsack"), std::string::npos);
+  }
+}
+
+TEST(BoundCheck, SameFixturePassesUnderMatchingFactor) {
+  // The serialized fixture has ratio exactly 4: a generous factor accepts it,
+  // proving the checker keys off the factor rather than always rejecting.
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 8; ++i) tasks.push_back({i, 1, 1});
+  Schedule s;
+  for (std::size_t i = 0; i < 8; ++i) {
+    s.add({i, {PeType::kCpu, 0}, double(i), double(i + 1)});
+  }
+  const BoundCheckReport report =
+      check_approximation_bound(s, tasks, {2, 2}, 4.0);
+  EXPECT_NEAR(report.ratio, 4.0, 1e-9);
+}
+
+TEST(BoundCheck, RefinedFactorIsStricter) {
+  // A schedule with ratio exactly 2 passes the 2x contract (slack covers
+  // the boundary) but must fail the refined 1.5x contract.
+  const std::vector<Task> tasks = {{0, 5, 5}, {1, 5, 5}, {2, 5, 5},
+                                   {3, 5, 5}};
+  const HybridPlatform platform{2, 2};  // LB: area 20/4 = 5
+  Schedule s;  // two PEs take two tasks each: makespan 10, others idle
+  s.add({0, {PeType::kCpu, 0}, 0.0, 5.0});
+  s.add({1, {PeType::kCpu, 0}, 5.0, 10.0});
+  s.add({2, {PeType::kGpu, 0}, 0.0, 5.0});
+  s.add({3, {PeType::kGpu, 0}, 5.0, 10.0});
+  EXPECT_NO_THROW(
+      check_approximation_bound(s, tasks, platform, kDualApproxFactor));
+  EXPECT_THROW(
+      check_approximation_bound(s, tasks, platform, kRefinedApproxFactor),
+      Error);
+}
+
+TEST(BoundCheck, EmptyScheduleEmptyTasksPasses) {
+  const BoundCheckReport report =
+      check_approximation_bound(Schedule{}, {}, {1, 1});
+  EXPECT_EQ(report.makespan, 0.0);
+  EXPECT_EQ(report.ratio, 0.0);
+}
+
+TEST(BoundCheck, RejectsVacuousFactorAndTighteningSlack) {
+  const std::vector<Task> tasks = {{0, 1, 1}};
+  Schedule s;
+  s.add({0, {PeType::kCpu, 0}, 0.0, 1.0});
+  EXPECT_THROW(check_approximation_bound(s, tasks, {1, 1}, 0.5),
+               InvalidArgument);
+  EXPECT_THROW(check_approximation_bound(s, tasks, {1, 1}, 2.0, 0.9),
+               InvalidArgument);
+}
+
+TEST(BoundCheck, SwdualScheduleAlwaysPasses) {
+  // The contract the whole suite leans on: schedules from the dual
+  // approximation never trip their own checker.
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 40; ++i) {
+    tasks.push_back({i, double(1 + (i * 13) % 29), double(1 + (i * 5) % 7)});
+  }
+  const HybridPlatform platform{3, 2};
+  EXPECT_NO_THROW(check_approximation_bound(
+      sched::swdual_schedule(tasks, platform), tasks, platform));
+}
+
+}  // namespace
+}  // namespace swdual::check

@@ -1,0 +1,216 @@
+// Unit tests for schedule↔trace cross-validation, built around a tamper
+// matrix: start from a genuine DES replay, corrupt one property at a time,
+// and require the checker to catch each corruption.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/trace_check.h"
+#include "platform/des.h"
+#include "util/error.h"
+
+namespace swdual::check {
+namespace {
+
+using platform::ExecutionTrace;
+using platform::TraceEntry;
+using sched::HybridPlatform;
+using sched::PeType;
+using sched::Schedule;
+using sched::Task;
+
+/// Recompute a hand-edited trace's aggregate fields so tests trip the check
+/// they target instead of the aggregate-consistency net.
+void refresh_aggregates(ExecutionTrace& trace,
+                        const HybridPlatform& platform) {
+  trace.makespan = trace.cpu_busy = trace.gpu_busy = 0.0;
+  for (const TraceEntry& entry : trace.entries) {
+    trace.makespan = std::max(trace.makespan, entry.end);
+    (entry.pe.type == PeType::kCpu ? trace.cpu_busy : trace.gpu_busy) +=
+        entry.end - entry.start;
+  }
+  trace.total_idle =
+      trace.makespan * static_cast<double>(platform.total()) -
+      trace.cpu_busy - trace.gpu_busy;
+}
+
+struct TamperFixture {
+  std::vector<Task> tasks = {{0, 4, 2}, {1, 6, 3}, {2, 4, 2}};
+  HybridPlatform platform{1, 1};
+  Schedule schedule;
+  ExecutionTrace trace;
+
+  TamperFixture() {
+    schedule.add({0, {PeType::kCpu, 0}, 0.0, 4.0});
+    schedule.add({1, {PeType::kCpu, 0}, 4.0, 10.0});
+    schedule.add({2, {PeType::kGpu, 0}, 0.0, 2.0});
+    trace = platform::simulate_static(schedule, tasks, platform);
+  }
+
+  void expect_rejected(const std::string& needle) const {
+    try {
+      cross_validate_trace(trace, schedule, tasks, platform);
+      FAIL() << "tampered trace accepted; wanted error containing '" << needle
+             << "'";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "actual error: " << e.what();
+    }
+  }
+};
+
+TEST(CrossValidate, GenuineReplayPasses) {
+  const TamperFixture f;
+  EXPECT_NO_THROW(cross_validate_trace(f.trace, f.schedule, f.tasks,
+                                       f.platform));
+}
+
+TEST(CrossValidate, DroppedEntryRejected) {
+  TamperFixture f;
+  f.trace.entries.pop_back();
+  refresh_aggregates(f.trace, f.platform);
+  f.expect_rejected("entries for a schedule of");
+}
+
+TEST(CrossValidate, StretchedDurationRejected) {
+  TamperFixture f;
+  f.trace.entries[0].end += 1.0;
+  refresh_aggregates(f.trace, f.platform);
+  f.expect_rejected("differs from processing time");
+}
+
+TEST(CrossValidate, SwappedExecutionOrderRejected) {
+  // Two equal-duration tasks on one CPU, executed in the reverse of the
+  // planned order: placements, durations, and start times all still line up,
+  // so only the order check can catch it.
+  std::vector<Task> tasks = {{0, 4, 2}, {1, 4, 2}};
+  const HybridPlatform platform{1, 0};
+  Schedule schedule;
+  schedule.add({0, {PeType::kCpu, 0}, 0.0, 4.0});
+  schedule.add({1, {PeType::kCpu, 0}, 4.0, 8.0});
+  ExecutionTrace trace;
+  trace.entries.push_back({1, {PeType::kCpu, 0}, 0.0, 4.0});
+  trace.entries.push_back({0, {PeType::kCpu, 0}, 4.0, 8.0});
+  refresh_aggregates(trace, platform);
+  EXPECT_THROW(cross_validate_trace(trace, schedule, tasks, platform), Error);
+}
+
+TEST(CrossValidate, MisplacedEntryRejected) {
+  TamperFixture f;
+  f.trace.entries[0].pe = {PeType::kGpu, 0};  // planned on CPU0
+  refresh_aggregates(f.trace, f.platform);
+  f.expect_rejected("planned");
+}
+
+TEST(CrossValidate, NonexistentPeRejected) {
+  TamperFixture f;
+  for (TraceEntry& entry : f.trace.entries) {
+    if (entry.pe.type == PeType::kGpu) entry.pe.index = 7;
+  }
+  refresh_aggregates(f.trace, f.platform);
+  f.expect_rejected("nonexistent PE");
+}
+
+TEST(CrossValidate, DelayedStartRejected) {
+  // Shift one PE's whole run later: durations and order survive, but the
+  // replay is no longer the work-conserving compaction.
+  TamperFixture f;
+  for (TraceEntry& entry : f.trace.entries) {
+    if (entry.pe.type == PeType::kGpu) {
+      entry.start += 1.5;
+      entry.end += 1.5;
+    }
+  }
+  refresh_aggregates(f.trace, f.platform);
+  f.expect_rejected("not the compaction");
+}
+
+TEST(CrossValidate, LyingAggregatesRejected) {
+  TamperFixture f;
+  f.trace.makespan *= 0.5;  // entries untouched; only the summary lies
+  f.expect_rejected("makespan disagrees");
+}
+
+TEST(CrossValidate, NonCompactScheduleStillReplaysNoLater) {
+  // A plan with idle gaps: the DES compacts it, the checker accepts the
+  // compaction (entry.start <= planned start), and the replayed makespan
+  // undercuts the plan's.
+  const std::vector<Task> tasks = {{0, 4, 2}, {1, 6, 3}};
+  const HybridPlatform platform{1, 0};
+  Schedule schedule;
+  schedule.add({0, {PeType::kCpu, 0}, 1.0, 5.0});    // gap before
+  schedule.add({1, {PeType::kCpu, 0}, 7.0, 13.0});   // gap between
+  const ExecutionTrace trace =
+      platform::simulate_static(schedule, tasks, platform);
+  EXPECT_NO_THROW(cross_validate_trace(trace, schedule, tasks, platform));
+  EXPECT_DOUBLE_EQ(trace.makespan, 10.0);
+}
+
+TEST(ValidateTrace, SelfSchedulingReplayPasses) {
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 20; ++i) {
+    tasks.push_back({i, double(1 + i % 9), double(1 + i % 4)});
+  }
+  const HybridPlatform platform{2, 2};
+  const ExecutionTrace trace =
+      platform::simulate_self_scheduling(tasks, platform);
+  EXPECT_NO_THROW(validate_trace(trace, tasks, platform));
+}
+
+TEST(ValidateTrace, OverlapRejected) {
+  const std::vector<Task> tasks = {{0, 4, 2}, {1, 6, 3}};
+  const HybridPlatform platform{1, 0};
+  ExecutionTrace trace;
+  trace.entries.push_back({0, {PeType::kCpu, 0}, 0.0, 4.0});
+  trace.entries.push_back({1, {PeType::kCpu, 0}, 2.0, 8.0});  // overlaps
+  refresh_aggregates(trace, platform);
+  EXPECT_THROW(validate_trace(trace, tasks, platform), Error);
+}
+
+TEST(ValidateTrace, DuplicateExecutionRejected) {
+  const std::vector<Task> tasks = {{0, 4, 2}};
+  const HybridPlatform platform{1, 1};
+  ExecutionTrace trace;
+  trace.entries.push_back({0, {PeType::kCpu, 0}, 0.0, 4.0});
+  trace.entries.push_back({0, {PeType::kGpu, 0}, 0.0, 2.0});
+  refresh_aggregates(trace, platform);
+  EXPECT_THROW(validate_trace(trace, tasks, platform), Error);
+}
+
+TEST(ValidateTrace, MissingAndUnknownTasksRejected) {
+  const std::vector<Task> tasks = {{0, 4, 2}, {1, 6, 3}};
+  const HybridPlatform platform{1, 1};
+  ExecutionTrace missing;
+  missing.entries.push_back({0, {PeType::kCpu, 0}, 0.0, 4.0});
+  refresh_aggregates(missing, platform);
+  EXPECT_THROW(validate_trace(missing, tasks, platform), Error);
+
+  ExecutionTrace unknown;
+  unknown.entries.push_back({0, {PeType::kCpu, 0}, 0.0, 4.0});
+  unknown.entries.push_back({1, {PeType::kCpu, 0}, 4.0, 10.0});
+  unknown.entries.push_back({9, {PeType::kGpu, 0}, 0.0, 1.0});
+  refresh_aggregates(unknown, platform);
+  EXPECT_THROW(validate_trace(unknown, tasks, platform), Error);
+}
+
+TEST(ValidateTrace, NegativeStartRejected) {
+  const std::vector<Task> tasks = {{0, 4, 2}};
+  const HybridPlatform platform{1, 0};
+  ExecutionTrace trace;
+  trace.entries.push_back({0, {PeType::kCpu, 0}, -1.0, 3.0});
+  refresh_aggregates(trace, platform);
+  EXPECT_THROW(validate_trace(trace, tasks, platform), Error);
+}
+
+TEST(ValidateTrace, WrongPeClassDurationRejected) {
+  // Task executed on the GPU but billed its CPU time.
+  const std::vector<Task> tasks = {{0, 4, 2}};
+  const HybridPlatform platform{1, 1};
+  ExecutionTrace trace;
+  trace.entries.push_back({0, {PeType::kGpu, 0}, 0.0, 4.0});
+  refresh_aggregates(trace, platform);
+  EXPECT_THROW(validate_trace(trace, tasks, platform), Error);
+}
+
+}  // namespace
+}  // namespace swdual::check

@@ -57,6 +57,7 @@ TEST_P(MasterPolicies, AllPoliciesProduceExactTopHits) {
   config.gpu_workers = 2;
   config.policy = GetParam();
   config.top_hits = 1;
+  config.validate_contracts = true;
   const SearchReport report =
       run_search(fixture.queries, fixture.db, config);
   ASSERT_EQ(report.results.size(), fixture.queries.size());
@@ -75,8 +76,8 @@ INSTANTIATE_TEST_SUITE_P(
                       AllocationPolicy::kSelfScheduling,
                       AllocationPolicy::kEqualPower,
                       AllocationPolicy::kProportional, AllocationPolicy::kLpt),
-    [](const auto& info) {
-      std::string name = policy_name(info.param);
+    [](const auto& param_info) {
+      std::string name = policy_name(param_info.param);
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
     });
@@ -141,7 +142,7 @@ TEST(Master, MoreWorkersThanTasks) {
 
 TEST(Master, CpuOnlyAndGpuOnlyPlatforms) {
   const Fixture fixture(3, 15, 37);
-  for (const auto [cpus, gpus] :
+  for (const auto& [cpus, gpus] :
        {std::pair<std::size_t, std::size_t>{2, 0}, {0, 2}}) {
     MasterConfig config;
     config.cpu_workers = cpus;
@@ -178,6 +179,7 @@ TEST(Master, MultiRoundMatchesOneRoundResults) {
   one_round.top_hits = 2;
   MasterConfig three_rounds = one_round;
   three_rounds.rounds = 3;
+  three_rounds.validate_contracts = true;  // every round's plan is contracted
   const SearchReport a = run_search(fixture.queries, fixture.db, one_round);
   const SearchReport b =
       run_search(fixture.queries, fixture.db, three_rounds);

@@ -126,8 +126,8 @@ INSTANTIATE_TEST_SUITE_P(
                       AllocationPolicy::kSelfScheduling,
                       AllocationPolicy::kEqualPower,
                       AllocationPolicy::kProportional, AllocationPolicy::kLpt),
-    [](const auto& info) {
-      std::string name = policy_name(info.param);
+    [](const auto& param_info) {
+      std::string name = policy_name(param_info.param);
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
     });

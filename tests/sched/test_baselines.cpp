@@ -1,6 +1,8 @@
 // Unit tests for baseline allocation policies.
 #include <gtest/gtest.h>
 
+#include "check/trace_check.h"
+#include "platform/des.h"
 #include "sched/baselines.h"
 #include "sched/schedule.h"
 #include "util/error.h"
@@ -8,6 +10,17 @@
 
 namespace swdual::sched {
 namespace {
+
+/// Structural validity plus exact DES replay (every static policy's
+/// schedules are compact, so the replay reproduces the plan bit for bit).
+void expect_replayable(const Schedule& schedule,
+                       const std::vector<Task>& tasks,
+                       const HybridPlatform& platform) {
+  validate_schedule(schedule, tasks, platform);
+  check::cross_validate_trace(
+      platform::simulate_static(schedule, tasks, platform), schedule, tasks,
+      platform);
+}
 
 std::vector<Task> random_tasks(std::size_t n, std::uint64_t seed,
                                double accel_lo = 2.0, double accel_hi = 10.0) {
@@ -25,7 +38,7 @@ TEST(SelfScheduling, ValidAndComplete) {
   const auto tasks = random_tasks(40, 1);
   const HybridPlatform platform{4, 4};
   const Schedule s = self_scheduling(tasks, platform);
-  validate_schedule(s, tasks, platform);
+  expect_replayable(s, tasks, platform);
 }
 
 TEST(SelfScheduling, SinglePePlatformSerializes) {
@@ -54,7 +67,7 @@ TEST(EqualPower, DealsRoundRobin) {
   const auto tasks = random_tasks(12, 3);
   const HybridPlatform platform{2, 2};
   const Schedule s = equal_power(tasks, platform);
-  validate_schedule(s, tasks, platform);
+  expect_replayable(s, tasks, platform);
   // 12 tasks over 4 PEs -> 3 each.
   std::size_t on_gpu0 = 0;
   for (const auto& a : s.assignments()) {
@@ -67,7 +80,7 @@ TEST(ProportionalStatic, ValidAndGpuGetsMostWork) {
   const auto tasks = random_tasks(80, 4, 8.0, 12.0);  // ~10x acceleration
   const HybridPlatform platform{4, 4};
   const Schedule s = proportional_static(tasks, platform);
-  validate_schedule(s, tasks, platform);
+  expect_replayable(s, tasks, platform);
   // With ~10x faster GPUs, the GPU pool should receive most of the
   // CPU-equivalent work: GPU-area * accel ≈ moved work.
   const ScheduleMetrics metrics = compute_metrics(s, platform);
@@ -88,7 +101,7 @@ TEST(LptHybrid, ValidAndBeatsUnorderedEct) {
   for (std::uint64_t seed = 10; seed < 20; ++seed) {
     const auto tasks = random_tasks(60, seed);
     const HybridPlatform platform{4, 2};
-    validate_schedule(lpt_hybrid(tasks, platform), tasks, platform);
+    expect_replayable(lpt_hybrid(tasks, platform), tasks, platform);
     if (lpt_hybrid(tasks, platform).makespan() <=
         earliest_completion(tasks, platform).makespan() + 1e-9) {
       wins += 1;
@@ -106,7 +119,7 @@ TEST(AllBaselines, HandleSingleTask) {
         Policy{&equal_power}, Policy{&proportional_static},
         Policy{&lpt_hybrid}}) {
     const Schedule s = (*policy)(tasks, platform);
-    validate_schedule(s, tasks, platform);
+    expect_replayable(s, tasks, platform);
     EXPECT_GT(s.makespan(), 0.0);
   }
 }

@@ -1,12 +1,27 @@
 // Unit tests for the dual-approximation step and binary search (paper §III).
 #include <gtest/gtest.h>
 
+#include "check/bounds.h"
+#include "check/trace_check.h"
+#include "platform/des.h"
 #include "sched/dual_approx.h"
 #include "sched/schedule.h"
 #include "util/error.h"
 
 namespace swdual::sched {
 namespace {
+
+/// Full contract pass for a schedule produced by a dual-approx path:
+/// structural validity, certified approximation bound, and exact DES replay.
+void expect_contracts(const Schedule& schedule, const std::vector<Task>& tasks,
+                      const HybridPlatform& platform,
+                      double factor = check::kDualApproxFactor) {
+  validate_schedule(schedule, tasks, platform);
+  check::check_approximation_bound(schedule, tasks, platform, factor);
+  check::cross_validate_trace(
+      platform::simulate_static(schedule, tasks, platform), schedule, tasks,
+      platform);
+}
 
 TEST(DualStep, TaskTooLongEverywhereIsNo) {
   const std::vector<Task> tasks = {{0, 10, 10}};
@@ -54,6 +69,9 @@ TEST(DualStep, GuaranteeMakespanAtMostTwoLambda) {
   ASSERT_TRUE(r.feasible);
   validate_schedule(r.schedule, tasks, platform);
   EXPECT_LE(r.schedule.makespan(), 2.0 * lambda + 1e-9);
+  check::cross_validate_trace(
+      platform::simulate_static(r.schedule, tasks, platform), r.schedule,
+      tasks, platform);
 }
 
 TEST(DualStep, KnapsackPrefersBestAcceleratedTasks) {
@@ -130,12 +148,34 @@ TEST(SwdualSchedule, TwoApproxGuarantee) {
   const HybridPlatform platform{4, 4};
   DualSearchStats stats;
   const Schedule s = swdual_schedule(tasks, platform, 1e-4, &stats);
-  validate_schedule(s, tasks, platform);
+  expect_contracts(s, tasks, platform);
   const double lb = makespan_lower_bound(tasks, platform);
   EXPECT_LE(s.makespan(), 2.0 * lb * 1.01 + 1e-9)
       << "2-approximation guarantee vs certified lower bound";
   EXPECT_GT(stats.iterations, 0u);
   EXPECT_GE(stats.makespan, lb);
+}
+
+TEST(SwdualSchedule, CertifiedBoundsTightenMakespanLowerBound) {
+  // The contract checker's knapsack bound enforces the mandatory-placement
+  // conditions the fractional relaxation of makespan_lower_bound omits, so
+  // it can only be tighter (and never above the achieved makespan).
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 60; ++i) {
+    tasks.push_back({i, double(3 + i % 13), double(1 + i % 5)});
+  }
+  const HybridPlatform platform{3, 2};
+  const check::LowerBounds bounds =
+      check::schedule_lower_bounds(tasks, platform);
+  // makespan_lower_bound's bisection stops at a 1e-9 *relative* gap and
+  // reports the feasible end, so it may overshoot the shared fractional
+  // threshold by that much — compare with a matching relative margin.
+  const double legacy = makespan_lower_bound(tasks, platform);
+  EXPECT_GE(bounds.certified, legacy * (1.0 - 1e-8));
+  EXPECT_GE(bounds.certified, bounds.longest_task);
+  EXPECT_GE(bounds.certified, bounds.aggregate_area);
+  EXPECT_LE(bounds.certified,
+            swdual_schedule(tasks, platform).makespan() + 1e-9);
 }
 
 TEST(SwdualSchedule, BinarySearchIterationsLogarithmic) {
@@ -171,7 +211,8 @@ TEST(SwdualRefined, NeverWorseThanBase) {
     const HybridPlatform platform{3, 2};
     const double base = swdual_schedule(tasks, platform).makespan();
     const Schedule refined = swdual_schedule_refined(tasks, platform);
-    validate_schedule(refined, tasks, platform);
+    // The refined (3/2-style) variant is held to the tighter factor.
+    expect_contracts(refined, tasks, platform, check::kRefinedApproxFactor);
     EXPECT_LE(refined.makespan(), base + 1e-9) << "variant " << variant;
   }
 }

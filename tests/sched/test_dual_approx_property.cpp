@@ -6,6 +6,9 @@
 #include <cmath>
 #include <tuple>
 
+#include "check/bounds.h"
+#include "check/trace_check.h"
+#include "platform/des.h"
 #include "sched/baselines.h"
 #include "sched/dual_approx.h"
 #include "util/rng.h"
@@ -71,6 +74,10 @@ TEST_P(DualApproxRandom, TwoApproxAgainstLowerBound) {
     const double lb = makespan_lower_bound(tasks, platform);
     ASSERT_LE(s.makespan(), 2.0 * lb * 1.001 + 1e-9)
         << "seed=" << seed << " rep=" << rep << " m=" << m << " k=" << k;
+    // Full contract pass: certified bound + exact DES replay of the plan.
+    check::check_approximation_bound(s, tasks, platform);
+    check::cross_validate_trace(
+        platform::simulate_static(s, tasks, platform), s, tasks, platform);
   }
 }
 
@@ -79,6 +86,24 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{1, 1u, 1u}, std::tuple{2, 4u, 1u},
                       std::tuple{3, 1u, 4u}, std::tuple{4, 4u, 4u},
                       std::tuple{5, 8u, 8u}, std::tuple{6, 2u, 6u}));
+
+TEST(DualApproxSoundness, CertifiedLowerBoundsNeverExceedBruteForceOptimum) {
+  // The contract checker's certified bounds must be true lower bounds: on
+  // instances small enough to solve exactly, every component stays at or
+  // below the brute-force optimum.
+  Rng rng(9091);
+  for (int rep = 0; rep < 30; ++rep) {
+    const auto tasks = random_instance(rng, 2 + rng.below(6), 1.2, 20.0);
+    const HybridPlatform platform{1 + rng.below(2), 1 + rng.below(2)};
+    const double opt = brute_force_optimum(tasks, platform);
+    const check::LowerBounds bounds =
+        check::schedule_lower_bounds(tasks, platform);
+    ASSERT_LE(bounds.longest_task, opt * (1 + 1e-9)) << "rep " << rep;
+    ASSERT_LE(bounds.aggregate_area, opt * (1 + 1e-9)) << "rep " << rep;
+    ASSERT_LE(bounds.knapsack, opt * (1 + 1e-9)) << "rep " << rep;
+    ASSERT_LE(bounds.certified, opt * (1 + 1e-9)) << "rep " << rep;
+  }
+}
 
 TEST(DualApproxSoundness, NoAnswerNeverContradictsBruteForce) {
   // Small instances where the exact optimum is computable: whenever the
@@ -133,6 +158,23 @@ TEST(DualApproxQuality, BeatsOrMatchesBaselinesOnAcceleratedWorkloads) {
   }
   EXPECT_GE(no_worse_than_ss, total * 3 / 4);
   EXPECT_GE(no_worse_than_prop, total * 3 / 4);
+}
+
+TEST(DualApproxQuality, RefinedVariantMeetsThreeHalvesBound) {
+  // The local-search refinement stands in for the 3/2-approximation of
+  // Kedad-Sidhoum et al.; hold it to that factor against the certified
+  // lower bound on randomized instances.
+  Rng rng(2718);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto tasks = random_instance(rng, 15 + rng.below(30), 2.0, 25.0);
+    const HybridPlatform platform{1 + rng.below(4), 1 + rng.below(4)};
+    const Schedule s = swdual_schedule_refined(tasks, platform, 1e-4);
+    validate_schedule(s, tasks, platform);
+    check::check_approximation_bound(s, tasks, platform,
+                                     check::kRefinedApproxFactor);
+    check::cross_validate_trace(
+        platform::simulate_static(s, tasks, platform), s, tasks, platform);
+  }
 }
 
 TEST(DualApproxQuality, HomogeneousAndHeterogeneousTaskSizes) {

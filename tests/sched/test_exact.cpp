@@ -1,6 +1,9 @@
 // Tests for the exact branch-and-bound scheduler (the ground-truth oracle).
 #include <gtest/gtest.h>
 
+#include "check/bounds.h"
+#include "check/trace_check.h"
+#include "platform/des.h"
 #include "sched/baselines.h"
 #include "sched/dual_approx.h"
 #include "sched/exact.h"
@@ -76,6 +79,28 @@ TEST(Exact, MatchesBruteForceEnumeration) {
     ASSERT_TRUE(result.has_value());
     EXPECT_NEAR(result->makespan, best, 1e-9) << "rep " << rep;
     validate_schedule(result->schedule, tasks, platform);
+    check::cross_validate_trace(
+        platform::simulate_static(result->schedule, tasks, platform),
+        result->schedule, tasks, platform);
+  }
+}
+
+TEST(Exact, CertifiedLowerBoundsNeverExceedExactOptimum) {
+  // The contract checker's certified bounds are sound against the exact
+  // oracle: every component is a true lower bound on the optimal makespan,
+  // and the optimal schedule itself passes the 2x bound check trivially.
+  Rng rng(79);
+  for (int rep = 0; rep < 12; ++rep) {
+    const auto tasks = random_tasks(rng, 4 + rng.below(8));
+    const HybridPlatform platform{1 + rng.below(2), 1 + rng.below(2)};
+    const auto result = exact_schedule(tasks, platform);
+    ASSERT_TRUE(result.has_value());
+    const check::LowerBounds bounds =
+        check::schedule_lower_bounds(tasks, platform);
+    EXPECT_LE(bounds.certified, result->makespan * (1 + 1e-9)) << "rep " << rep;
+    const check::BoundCheckReport report = check::check_approximation_bound(
+        result->schedule, tasks, platform, check::kDualApproxFactor);
+    EXPECT_GE(report.ratio, 1.0 - 1e-9) << "rep " << rep;
   }
 }
 

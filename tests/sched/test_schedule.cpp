@@ -1,6 +1,7 @@
 // Unit tests for the schedule model, validator, and metrics.
 #include <gtest/gtest.h>
 
+#include "check/contracts.h"
 #include "sched/schedule.h"
 #include "util/error.h"
 
@@ -95,6 +96,34 @@ TEST(Validate, DetectsUnknownTask) {
   Schedule s;
   s.add({99, {PeType::kCpu, 0}, 0.0, 1.0});
   EXPECT_THROW(validate_schedule(s, three_tasks(), {2, 1}), Error);
+}
+
+TEST(Validate, DetectsNegativeStart) {
+  const auto tasks = three_tasks();
+  Schedule s;
+  s.add({0, {PeType::kCpu, 0}, -1.0, 9.0});
+  s.add({1, {PeType::kGpu, 0}, 0.0, 4.0});
+  s.add({2, {PeType::kCpu, 1}, 0.0, 6.0});
+  EXPECT_THROW(validate_schedule(s, tasks, {2, 1}), Error);
+}
+
+TEST(Validate, DetectsCpuDurationUsedOnGpu) {
+  // Task 0 placed on a GPU but given its CPU duration (10 instead of 2):
+  // the validator must reject PE-type-mismatched spans.
+  const auto tasks = three_tasks();
+  Schedule s;
+  s.add({0, {PeType::kGpu, 0}, 0.0, 10.0});
+  s.add({1, {PeType::kGpu, 0}, 10.0, 14.0});
+  s.add({2, {PeType::kCpu, 0}, 0.0, 6.0});
+  EXPECT_THROW(validate_schedule(s, tasks, {2, 1}), Error);
+}
+
+TEST(Contracts, AddRejectsInvertedSpanWhenEnabled) {
+  // Schedule::add carries a SWDUAL_DCHECK that the span is not inverted;
+  // it only fires when the contract tier is compiled in.
+  if (!check::contracts_enabled()) GTEST_SKIP() << "contracts compiled out";
+  Schedule s;
+  EXPECT_THROW(s.add({0, {PeType::kCpu, 0}, 5.0, 4.0}), Error);
 }
 
 TEST(Metrics, IdleAccounting) {

@@ -1,0 +1,204 @@
+// schedule_lint: contract linter for allocation policies.
+//
+// Generates a synthetic heterogeneous workload, runs every allocation policy
+// the master supports, and holds each result to the full contract stack:
+// structural validity (validate_schedule), the certified approximation bound
+// (check_approximation_bound — 2x for swdual, 3/2 for the refined variant),
+// and exact DES replay (cross_validate_trace). The dynamic self-scheduling
+// policy is linted through its simulated trace (validate_trace). Violations
+// print the diagnostic plus a Gantt snippet of the offending schedule and
+// exit nonzero, so the tool doubles as a CI tripwire.
+//
+//   ./schedule_lint --tasks 64 --cpus 4 --gpus 4 --seed 7
+//
+// --tamper injects a deliberate corruption into the swdual schedule before
+// checking; the run must then FAIL. CI registers one tampered invocation
+// with WILL_FAIL to prove the linter actually bites.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/bounds.h"
+#include "check/trace_check.h"
+#include "platform/des.h"
+#include "sched/baselines.h"
+#include "sched/dual_approx.h"
+#include "sched/schedule.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace swdual;
+
+std::vector<sched::Task> make_workload(std::size_t n, std::uint64_t seed,
+                                       double accel_lo, double accel_hi) {
+  Rng rng(seed);
+  std::vector<sched::Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cpu = 1.0 + rng.uniform() * 199.0;
+    const double accel = accel_lo + rng.uniform() * (accel_hi - accel_lo);
+    tasks.push_back({i, cpu, cpu / accel});
+  }
+  return tasks;
+}
+
+/// Rebuild `schedule` with one deliberate corruption. Every mode must be
+/// caught by at least one checker in lint_static.
+sched::Schedule tamper_schedule(const sched::Schedule& schedule,
+                                const std::string& mode) {
+  SWDUAL_REQUIRE(!schedule.empty(), "nothing to tamper with");
+  SWDUAL_REQUIRE(mode == "drop" || mode == "stretch" || mode == "overlap" ||
+                     mode == "misplace" || mode == "duplicate",
+                 "unknown --tamper mode '" + mode + "'");
+  std::vector<sched::Assignment> all = schedule.assignments();
+  if (mode == "drop") {
+    all.erase(all.begin());                  // task vanishes from the plan
+  } else if (mode == "duplicate") {
+    all.push_back(all.front());              // placed twice
+  } else if (mode == "stretch") {
+    all.front().end += 1.0;                  // wrong duration for its PE
+  } else if (mode == "misplace") {           // other PE class, old duration
+    sched::Assignment& a = all.front();
+    a.pe.type = a.pe.type == sched::PeType::kCpu ? sched::PeType::kGpu
+                                                 : sched::PeType::kCpu;
+    a.pe.index = 0;
+  } else {  // overlap: slide a task midway into its PE predecessor. A blind
+            // shift of assignment 0 can land in free space and lint clean,
+            // so find a PE that actually holds two tasks.
+    sched::Assignment* victim = nullptr;
+    const sched::Assignment* neighbour = nullptr;
+    for (sched::Assignment& a : all) {
+      for (const sched::Assignment& b : all) {
+        if (&a != &b && a.pe.type == b.pe.type && a.pe.index == b.pe.index &&
+            b.start < a.start) {
+          victim = &a;
+          neighbour = &b;
+        }
+      }
+    }
+    SWDUAL_REQUIRE(victim != nullptr,
+                   "no PE holds two tasks; cannot build an overlap");
+    const double duration = victim->duration();
+    victim->start = neighbour->start + 0.5 * neighbour->duration();
+    victim->end = victim->start + duration;
+  }
+  sched::Schedule out;
+  for (const sched::Assignment& a : all) out.add(a);
+  return out;
+}
+
+struct LintStats {
+  int checked = 0;
+  int violations = 0;
+};
+
+void report_violation(LintStats& stats, const std::string& policy,
+                      const std::string& what, const sched::Schedule& schedule,
+                      const sched::HybridPlatform& platform) {
+  ++stats.violations;
+  std::cout << "FAIL  " << policy << ": " << what << '\n';
+  if (!schedule.empty()) {
+    std::cout << render_gantt(schedule, platform);
+  }
+}
+
+void lint_static(LintStats& stats, const std::string& policy,
+                 const sched::Schedule& schedule,
+                 const std::vector<sched::Task>& tasks,
+                 const sched::HybridPlatform& platform, double bound_factor) {
+  ++stats.checked;
+  try {
+    sched::validate_schedule(schedule, tasks, platform);
+    if (bound_factor > 0) {
+      const check::BoundCheckReport report = check::check_approximation_bound(
+          schedule, tasks, platform, bound_factor);
+      std::cout << "ok    " << policy << ": makespan " << report.makespan
+                << ", ratio " << report.ratio << " <= " << report.factor
+                << " of certified LB " << report.bounds.certified << '\n';
+    } else {
+      std::cout << "ok    " << policy << ": makespan " << schedule.makespan()
+                << " (no approximation guarantee to check)\n";
+    }
+    check::cross_validate_trace(
+        platform::simulate_static(schedule, tasks, platform), schedule, tasks,
+        platform);
+  } catch (const Error& e) {
+    report_violation(stats, policy, e.what(), schedule, platform);
+  }
+}
+
+void lint_dynamic(LintStats& stats, const std::vector<sched::Task>& tasks,
+                  const sched::HybridPlatform& platform) {
+  ++stats.checked;
+  try {
+    const platform::ExecutionTrace trace =
+        platform::simulate_self_scheduling(tasks, platform);
+    check::validate_trace(trace, tasks, platform);
+    std::cout << "ok    self-scheduling: simulated makespan " << trace.makespan
+              << ", idle " << trace.idle_fraction(platform) * 100 << "%\n";
+  } catch (const Error& e) {
+    report_violation(stats, "self-scheduling", e.what(), {}, platform);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("schedule_lint",
+                "run every allocation policy and report contract violations");
+  cli.add_option("tasks", "number of synthetic tasks", "64");
+  cli.add_option("cpus", "CPUs (m)", "4");
+  cli.add_option("gpus", "GPUs (k)", "4");
+  cli.add_option("seed", "workload seed", "7");
+  cli.add_option("accel-lo", "minimum GPU acceleration", "1.0");
+  cli.add_option("accel-hi", "maximum GPU acceleration", "30.0");
+  cli.add_option("epsilon", "binary-search epsilon", "1e-4");
+  cli.add_option("tamper",
+                 "corrupt the swdual plan: none|drop|duplicate|stretch|"
+                 "overlap|misplace",
+                 "none");
+  try {
+    cli.parse(argc, argv);
+    if (cli.help_requested()) {
+      std::cout << cli.usage();
+      return 0;
+    }
+
+    const auto tasks = make_workload(
+        static_cast<std::size_t>(cli.option_int("tasks")),
+        static_cast<std::uint64_t>(cli.option_int("seed")),
+        cli.option_double("accel-lo"), cli.option_double("accel-hi"));
+    const sched::HybridPlatform platform{
+        static_cast<std::size_t>(cli.option_int("cpus")),
+        static_cast<std::size_t>(cli.option_int("gpus"))};
+    const double epsilon = cli.option_double("epsilon");
+    const std::string tamper = cli.option("tamper");
+
+    LintStats stats;
+    sched::Schedule dual = sched::swdual_schedule(tasks, platform, epsilon);
+    if (tamper != "none") dual = tamper_schedule(dual, tamper);
+    lint_static(stats, "swdual", dual, tasks, platform,
+                check::kDualApproxFactor);
+    lint_static(stats, "swdual-refined",
+                sched::swdual_schedule_refined(tasks, platform, epsilon),
+                tasks, platform, check::kRefinedApproxFactor);
+    lint_static(stats, "equal-power", sched::equal_power(tasks, platform),
+                tasks, platform, 0.0);
+    lint_static(stats, "proportional",
+                sched::proportional_static(tasks, platform), tasks, platform,
+                0.0);
+    lint_static(stats, "lpt", sched::lpt_hybrid(tasks, platform), tasks,
+                platform, 0.0);
+    lint_dynamic(stats, tasks, platform);
+
+    std::cout << stats.checked << " polic" << (stats.checked == 1 ? "y" : "ies")
+              << " checked, " << stats.violations << " violation(s)\n";
+    return stats.violations == 0 ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "schedule_lint: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Project-rule linter for the SWDUAL source tree.
+
+Enforces conventions clang-tidy cannot express:
+
+  * every header starts with ``#pragma once``
+  * banned unsafe/stateful C functions (rand, strtok, sprintf, atoi) —
+    the project uses util/rng.h and iostreams instead
+  * no wall-clock reads in the DES or scheduler (virtual-time code paths
+    must stay deterministic and reproducible)
+  * no unordered-container iteration in the observability exporters
+    (trace/metrics output order must be deterministic for golden tests)
+  * optionally (--cxx), every header under src/ compiles standalone
+
+Exit status 0 when clean, 1 with one ``file:line: message`` per violation
+otherwise. Run from anywhere: paths resolve relative to the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+BANNED_CALLS = re.compile(r"(?<![\w:])(?:std::)?(rand|strtok|sprintf|atoi)\s*\(")
+WALL_CLOCK = re.compile(
+    r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+)
+UNORDERED = re.compile(r"std::unordered_(map|set|multimap|multiset)")
+
+# Virtual-time code: progress is driven by modeled task durations, never by
+# the host clock. util/timer.h (wall time) is for the outermost reports and
+# perf-model calibration only.
+VIRTUAL_TIME_PREFIXES = ("src/platform/des", "src/sched/")
+WALL_CLOCK_HEADERS = re.compile(r'#include\s+"util/timer\.h"')
+
+# Exporters whose output order golden tests depend on.
+DETERMINISTIC_DIRS = ("obs",)
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments and string literals, preserving line numbers."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    mode = None  # None | "line" | "block" | "str" | "char"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "str"
+            elif c == "'":
+                mode = "char"
+            out.append(c)
+        else:
+            if mode == "line" and c == "\n":
+                mode = None
+            elif mode == "block" and c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            elif mode in ("str", "char") and c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            elif (mode == "str" and c == '"') or (mode == "char" and c == "'"):
+                mode = None
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def iter_sources():
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix in (".h", ".cpp") and path.is_file():
+            yield path
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    raw = path.read_text(encoding="utf-8")
+    code = strip_comments(raw)
+    rel = path.relative_to(REPO)
+    problems = []
+
+    def report(lineno: int, message: str) -> None:
+        problems.append(f"{rel}:{lineno}: {message}")
+
+    if path.suffix == ".h":
+        first_code_line = next(
+            (l for l in raw.splitlines() if l.strip() and not l.lstrip().startswith("//")),
+            "",
+        )
+        if first_code_line.strip() != "#pragma once":
+            report(1, "header must open with '#pragma once' after the file comment")
+
+    for match in BANNED_CALLS.finditer(code):
+        lineno = code.count("\n", 0, match.start()) + 1
+        report(
+            lineno,
+            f"banned call '{match.group(1)}' — use util/rng.h / iostreams "
+            "/ std::sto* instead",
+        )
+
+    top_dir = rel.parts[1] if len(rel.parts) > 1 else ""
+    if rel.as_posix().startswith(VIRTUAL_TIME_PREFIXES):
+        for pattern, message in (
+            (WALL_CLOCK, "wall-clock read in virtual-time code"),
+            (WALL_CLOCK_HEADERS, "util/timer.h (wall time) in virtual-time code"),
+        ):
+            for match in pattern.finditer(code):
+                lineno = code.count("\n", 0, match.start()) + 1
+                report(lineno, f"{message} — the DES and schedulers must be "
+                               "deterministic in virtual time")
+
+    if top_dir in DETERMINISTIC_DIRS:
+        for match in UNORDERED.finditer(code):
+            lineno = code.count("\n", 0, match.start()) + 1
+            report(
+                lineno,
+                f"std::unordered_{match.group(1)} in an exporter — iteration "
+                "order feeds trace/metrics output; use std::map/std::set",
+            )
+
+    return problems
+
+
+def check_self_contained(cxx: str) -> list[str]:
+    """Compile each header alone: it must pull in everything it needs."""
+    problems = []
+    with tempfile.TemporaryDirectory() as tmp:
+        tu = pathlib.Path(tmp) / "self_contained.cpp"
+        for header in sorted(SRC.rglob("*.h")):
+            rel = header.relative_to(SRC)
+            tu.write_text(f'#include "{rel.as_posix()}"\n', encoding="utf-8")
+            proc = subprocess.run(
+                [cxx, "-std=c++20", "-fsyntax-only", "-I", str(SRC), str(tu)],
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                first = (proc.stderr.strip() or "compile failed").splitlines()[0]
+                problems.append(
+                    f"src/{rel.as_posix()}:1: header is not self-contained: {first}"
+                )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cxx",
+        help="compiler for the header self-containment check (skipped if unset)",
+    )
+    args = parser.parse_args()
+
+    problems: list[str] = []
+    for path in iter_sources():
+        problems.extend(lint_file(path))
+    if args.cxx:
+        problems.extend(check_self_contained(args.cxx))
+
+    for problem in problems:
+        print(problem)
+    count = len(list(iter_sources()))
+    if problems:
+        print(f"swdual_lint: {len(problems)} problem(s) in {count} files")
+        return 1
+    print(f"swdual_lint: {count} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
