@@ -1,11 +1,17 @@
 // Kernel microbenchmarks (google-benchmark): real measured GCUPS on this
-// host for every alignment kernel, across query lengths. These are the
-// numbers behind the --calibrate path of the performance model.
+// host for every alignment kernel, across query lengths and across every
+// available SIMD backend (scalar/sse2/avx2/avx512 — registered at runtime
+// from CPUID, reported with their lane counts). These are the numbers
+// behind the --calibrate path of the performance model.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "align/backend.h"
 #include "align/banded.h"
 #include "align/kernel_interseq.h"
 #include "align/kernel_striped.h"
+#include "align/kernel_striped8.h"
 #include "align/scalar.h"
 #include "align/search.h"
 #include "seq/dbgen.h"
@@ -119,6 +125,87 @@ void BM_QueryProfileBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryProfileBuild)->Arg(256)->Arg(4096);
 
+// --- Per-backend kernel benchmarks --------------------------------------
+// One registration per (kernel, available backend), going straight through
+// the backend's kernel table so dispatch overhead is excluded and each ISA
+// is measured in isolation. The "lanes" counter records the vector width.
+
+void backend_striped8(benchmark::State& state, align::Backend backend) {
+  const KernelFixtureData data(360, 64, 256);
+  const std::span<const std::uint8_t> query(data.query.residues.data(),
+                                            data.query.residues.size());
+  const align::StripedProfileU8 profile(query, *data.scheme.matrix,
+                                        align::backend_lanes8(backend));
+  const align::KernelTable& kt = align::kernel_table(backend);
+  for (auto _ : state) {
+    int total = 0;
+    for (const auto& view : data.views) {
+      total += kt.striped8(profile, view, data.scheme.gap).score;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  report_gcups(state, data.cells);
+  state.counters["lanes"] =
+      static_cast<double>(align::backend_lanes8(backend));
+}
+
+void backend_striped(benchmark::State& state, align::Backend backend) {
+  const KernelFixtureData data(360, 64, 256);
+  const std::span<const std::uint8_t> query(data.query.residues.data(),
+                                            data.query.residues.size());
+  const align::StripedProfile profile(query, *data.scheme.matrix,
+                                      align::backend_lanes16(backend));
+  const align::KernelTable& kt = align::kernel_table(backend);
+  for (auto _ : state) {
+    int total = 0;
+    for (const auto& view : data.views) {
+      total += kt.striped(profile, view, data.scheme.gap).score;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  report_gcups(state, data.cells);
+  state.counters["lanes"] =
+      static_cast<double>(align::backend_lanes16(backend));
+}
+
+void backend_interseq(benchmark::State& state, align::Backend backend) {
+  const KernelFixtureData data(360, 64, 256);
+  const std::span<const std::uint8_t> query(data.query.residues.data(),
+                                            data.query.residues.size());
+  align::SequenceViews views;
+  for (const auto& v : data.views) views.push_back(v);
+  const align::KernelTable& kt = align::kernel_table(backend);
+  for (auto _ : state) {
+    const auto result = kt.interseq(query, views, data.scheme);
+    benchmark::DoNotOptimize(result.scores.data());
+  }
+  report_gcups(state, data.cells);
+  state.counters["lanes"] =
+      static_cast<double>(align::backend_lanes16(backend));
+}
+
+void register_backend_benchmarks() {
+  for (const align::Backend backend : align::available_backends()) {
+    const std::string suffix = align::backend_name(backend);
+    benchmark::RegisterBenchmark(
+        ("BM_Striped8Backend/" + suffix).c_str(),
+        [backend](benchmark::State& s) { backend_striped8(s, backend); });
+    benchmark::RegisterBenchmark(
+        ("BM_StripedBackend/" + suffix).c_str(),
+        [backend](benchmark::State& s) { backend_striped(s, backend); });
+    benchmark::RegisterBenchmark(
+        ("BM_InterSeqBackend/" + suffix).c_str(),
+        [backend](benchmark::State& s) { backend_interseq(s, backend); });
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_backend_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

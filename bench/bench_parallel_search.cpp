@@ -1,16 +1,19 @@
-// Serial vs chunked-parallel database search: measured GCUPS per kernel and
-// thread count on this host, with a scores-equality check against the serial
-// path on every configuration. Emits BENCH_parallel_search.json so later
-// changes have a recorded perf trajectory.
+// Serial vs chunked-parallel database search: measured GCUPS per kernel,
+// SIMD backend, and thread count on this host, with a scores-equality check
+// against the serial scalar-free reference on every configuration. Emits
+// BENCH_parallel_search.json so later changes have a recorded perf
+// trajectory.
 //
 //   ./bench_parallel_search [--records N] [--len L] [--query-len Q]
-//                           [--threads-list 1,2,4] [--reps R]
+//                           [--threads-list 1,2,4] [--backend-list all]
+//                           [--reps R]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "align/backend.h"
 #include "align/parallel_search.h"
 #include "align/search.h"
 #include "bench_common.h"
@@ -43,6 +46,25 @@ struct Measurement {
   double seconds = 0.0;
 };
 
+/// "all" → every backend the host can run, otherwise a comma-separated list
+/// of backend names, each validated as available.
+std::vector<align::Backend> parse_backends(const std::string& csv) {
+  if (csv == "all") return align::available_backends();
+  std::vector<align::Backend> out;
+  for (const std::string& item : split(csv, ',')) {
+    if (item.empty()) continue;
+    align::Backend backend = align::Backend::kAuto;
+    SWDUAL_REQUIRE(align::parse_backend(item, backend) &&
+                       backend != align::Backend::kAuto,
+                   "--backend-list entry is not a backend name: " + item);
+    SWDUAL_REQUIRE(align::backend_available(backend),
+                   "backend not available on this host: " + item);
+    out.push_back(backend);
+  }
+  SWDUAL_REQUIRE(!out.empty(), "--backend-list is empty");
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,6 +74,8 @@ int main(int argc, char** argv) {
   cli.add_option("len", "residues per record", "220");
   cli.add_option("query-len", "query length", "360");
   cli.add_option("threads-list", "thread counts to measure", "1,2,4");
+  cli.add_option("backend-list",
+                 "SIMD backends to measure ('all' = every available)", "all");
   cli.add_option("reps", "repetitions (best kept)", "3");
   cli.add_option("out", "JSON output path", "BENCH_parallel_search.json");
   try {
@@ -67,12 +91,14 @@ int main(int argc, char** argv) {
 
   std::size_t records = 0, len = 0, query_len = 0, reps = 0;
   std::vector<std::size_t> thread_counts;
+  std::vector<align::Backend> backends;
   try {
     records = static_cast<std::size_t>(cli.option_int("records"));
     len = static_cast<std::size_t>(cli.option_int("len"));
     query_len = static_cast<std::size_t>(cli.option_int("query-len"));
     reps = static_cast<std::size_t>(cli.option_int("reps"));
     thread_counts = parse_list(cli.option("threads-list"));
+    backends = parse_backends(cli.option("backend-list"));
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
@@ -116,8 +142,8 @@ int main(int argc, char** argv) {
       align::KernelKind::kInterSeq};
 
   TextTable table;
-  table.set_header({"kernel", "threads", "chunks", "GCUPS", "speedup",
-                    "scores==serial"});
+  table.set_header({"kernel", "backend", "threads", "chunks", "GCUPS",
+                    "speedup", "scores==ref"});
 
   std::string json = "{\n";
   json += "  \"bench\": \"parallel_search\",\n";
@@ -125,48 +151,78 @@ int main(int argc, char** argv) {
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
   json += "  \"records\": " + std::to_string(records) + ",\n";
   json += "  \"query_len\": " + std::to_string(query_len) + ",\n";
-  json += "  \"kernels\": {\n";
+  json += "  \"backends\": {\n";
 
+  // Reference scores: the narrowest requested backend, serial. Every other
+  // (backend, kernel, threads) cell must reproduce them bit for bit.
+  std::vector<std::vector<int>> reference(kernels.size());
   for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
-    const align::KernelKind kernel = kernels[ki];
-    const align::SearchResult serial =
-        align::search_database(query_view, views, scheme, kernel);
-    const Measurement serial_best = measure([&] {
-      return align::search_database(query_view, views, scheme, kernel);
-    });
-    table.add_row({align::kernel_name(kernel), "serial", "1",
-                   TextTable::fmt(serial_best.gcups, 3), "1.00", "yes"});
-    json += std::string("    \"") + align::kernel_name(kernel) + "\": {\n";
-    json += "      \"serial_gcups\": " +
-            TextTable::fmt(serial_best.gcups, 4) + ",\n";
-    json += "      \"parallel\": [\n";
+    reference[ki] = align::search_database(query_view, views, scheme,
+                                           kernels[ki], backends.front())
+                        .scores;
+  }
 
-    for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
-      const std::size_t threads = thread_counts[ti];
-      align::ParallelSearchOptions options;
-      options.threads = threads;
-      const align::ParallelSearchEngine engine(views, options);
-      const bool identical =
-          engine.search(query_view, scheme, kernel).scores == serial.scores;
-      const Measurement parallel_best =
-          measure([&] { return engine.search(query_view, scheme, kernel); });
-      const double speedup = serial_best.gcups > 0
-                                 ? parallel_best.gcups / serial_best.gcups
-                                 : 0.0;
-      table.add_row({align::kernel_name(kernel), std::to_string(threads),
-                     std::to_string(engine.num_chunks()),
-                     TextTable::fmt(parallel_best.gcups, 3),
-                     TextTable::fmt(speedup, 2), identical ? "yes" : "NO"});
-      json += "        {\"threads\": " + std::to_string(threads) +
-              ", \"chunks\": " + std::to_string(engine.num_chunks()) +
-              ", \"gcups\": " + TextTable::fmt(parallel_best.gcups, 4) +
-              ", \"speedup\": " + TextTable::fmt(speedup, 3) +
-              ", \"scores_identical\": " + (identical ? "true" : "false") +
-              "}";
-      json += ti + 1 < thread_counts.size() ? ",\n" : "\n";
+  for (std::size_t bi = 0; bi < backends.size(); ++bi) {
+    const align::Backend backend = backends[bi];
+    const char* bname = align::backend_name(backend);
+    json += std::string("    \"") + bname + "\": {\n";
+    json += "      \"lanes8\": " +
+            std::to_string(align::backend_lanes8(backend)) + ",\n";
+    json += "      \"lanes16\": " +
+            std::to_string(align::backend_lanes16(backend)) + ",\n";
+    json += "      \"kernels\": {\n";
+
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+      const align::KernelKind kernel = kernels[ki];
+      const align::SearchResult serial = align::search_database(
+          query_view, views, scheme, kernel, backend);
+      const bool serial_identical = serial.scores == reference[ki];
+      const Measurement serial_best = measure([&] {
+        return align::search_database(query_view, views, scheme, kernel,
+                                      backend);
+      });
+      table.add_row({align::kernel_name(kernel), bname, "serial", "1",
+                     TextTable::fmt(serial_best.gcups, 3), "1.00",
+                     serial_identical ? "yes" : "NO"});
+      json += std::string("        \"") + align::kernel_name(kernel) +
+              "\": {\n";
+      json += "          \"serial_gcups\": " +
+              TextTable::fmt(serial_best.gcups, 4) + ",\n";
+      json += std::string("          \"serial_scores_identical\": ") +
+              (serial_identical ? "true" : "false") + ",\n";
+      json += "          \"parallel\": [\n";
+
+      for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+        const std::size_t threads = thread_counts[ti];
+        align::ParallelSearchOptions options;
+        options.threads = threads;
+        const align::ParallelSearchEngine engine(views, options);
+        const bool identical =
+            engine.search(query_view, scheme, kernel, backend).scores ==
+            reference[ki];
+        const Measurement parallel_best = measure(
+            [&] { return engine.search(query_view, scheme, kernel, backend); });
+        const double speedup = serial_best.gcups > 0
+                                   ? parallel_best.gcups / serial_best.gcups
+                                   : 0.0;
+        table.add_row({align::kernel_name(kernel), bname,
+                       std::to_string(threads),
+                       std::to_string(engine.num_chunks()),
+                       TextTable::fmt(parallel_best.gcups, 3),
+                       TextTable::fmt(speedup, 2), identical ? "yes" : "NO"});
+        json += "            {\"threads\": " + std::to_string(threads) +
+                ", \"chunks\": " + std::to_string(engine.num_chunks()) +
+                ", \"gcups\": " + TextTable::fmt(parallel_best.gcups, 4) +
+                ", \"speedup\": " + TextTable::fmt(speedup, 3) +
+                ", \"scores_identical\": " + (identical ? "true" : "false") +
+                "}";
+        json += ti + 1 < thread_counts.size() ? ",\n" : "\n";
+      }
+      json += "          ]\n";
+      json += ki + 1 < kernels.size() ? "        },\n" : "        }\n";
     }
-    json += "      ]\n";
-    json += ki + 1 < kernels.size() ? "    },\n" : "    }\n";
+    json += "      }\n";
+    json += bi + 1 < backends.size() ? "    },\n" : "    }\n";
   }
   json += "  }\n}\n";
 

@@ -70,6 +70,10 @@ int main(int argc, char** argv) {
                  "swdual | swdual-refined | self-scheduling | equal-power | "
                  "proportional | lpt",
                  "swdual");
+  cli.add_option("backend",
+                 "SIMD backend for the CPU kernels: auto | scalar | sse2 | "
+                 "avx2 | avx512 (auto = widest the host supports)",
+                 "auto");
   cli.add_option("top", "hits reported per query", "5");
   cli.add_flag("gantt", "print the planned Gantt chart");
   cli.add_option("trace",
@@ -117,6 +121,18 @@ int main(int argc, char** argv) {
     config.top_hits = static_cast<std::size_t>(cli.option_int("top"));
     config.threads_per_cpu_worker =
         static_cast<std::size_t>(cli.option_int("threads"));
+    if (!align::parse_backend(cli.option("backend"), config.cpu_backend)) {
+      throw InvalidArgument("unknown backend: " + cli.option("backend") +
+                            " (want auto|scalar|sse2|avx2|avx512)");
+    }
+    // Fail fast with a clear message (resolve_backend would also throw, but
+    // only once the first CPU task runs).
+    if (config.cpu_backend != align::Backend::kAuto &&
+        !align::backend_available(config.cpu_backend)) {
+      throw InvalidArgument(
+          std::string("backend not available on this host: ") +
+          align::backend_name(config.cpu_backend));
+    }
 
     obs::Tracer tracer;
     obs::MetricsRegistry metrics;
@@ -130,8 +146,10 @@ int main(int argc, char** argv) {
               << db.size() << " records with policy "
               << master::policy_name(config.policy) << " on "
               << config.cpu_workers << " CPU (x"
-              << config.threads_per_cpu_worker << " threads) + "
-              << config.gpu_workers << " GPU workers...\n";
+              << config.threads_per_cpu_worker << " threads, "
+              << align::backend_name(
+                     align::resolve_backend(config.cpu_backend))
+              << " backend) + " << config.gpu_workers << " GPU workers...\n";
     const master::SearchReport report =
         master::run_search(queries, db, config);
 

@@ -8,6 +8,7 @@
 //
 //   ./hybrid_scheduling_demo --tasks 24 --cpus 4 --gpus 2 --seed 3
 #include <algorithm>
+#include <exception>
 #include <iostream>
 
 #include "sched/baselines.h"
@@ -17,7 +18,7 @@
 #include "util/rng.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace swdual;
   using namespace swdual::sched;
 
@@ -105,4 +106,7 @@ int main(int argc, char** argv) {
             << "\nself-scheduling Gantt chart:\n"
             << render_gantt(self_scheduling(tasks, platform), platform);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "error: " << error.what() << '\n';
+  return 1;
 }

@@ -10,6 +10,7 @@
 // of database entries plus unrelated randoms), a hybrid SWDUAL search, and
 // statistical significance (bit scores, E-values) deciding which queries
 // inherit an annotation and which are reported as novel.
+#include <exception>
 #include <iostream>
 
 #include "align/statistics.h"
@@ -19,7 +20,7 @@
 #include "util/cli.h"
 #include "util/rng.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace swdual;
 
   CliParser cli("protein_annotation",
@@ -110,4 +111,7 @@ int main(int argc, char** argv) {
               << '\n';
   }
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "error: " << error.what() << '\n';
+  return 1;
 }

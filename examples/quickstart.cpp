@@ -7,6 +7,7 @@
 //
 // Build & run:  ./quickstart
 #include <cstdio>
+#include <exception>
 #include <iostream>
 
 #include "align/kernel_striped.h"
@@ -18,7 +19,7 @@
 #include "seq/queryset.h"
 #include "util/rng.h"
 
-int main() {
+int main() try {
   using namespace swdual;
 
   // --- 1. Fig. 1: ACTTGTCCG vs ATTGTCAG, ma=+1 mi=-1 g=-2 ----------------
@@ -81,4 +82,7 @@ int main() {
       static_cast<double>(report.total_cells) / 1e6, report.wall_seconds,
       report.virtual_makespan, report.virtual_gcups);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "error: " << error.what() << '\n';
+  return 1;
 }

@@ -1,0 +1,164 @@
+#include "align/backend.h"
+
+#include <cstdlib>
+
+#include "align/kernel_dispatch.h"
+#include "util/error.h"
+
+namespace swdual::align {
+
+namespace {
+
+/// Host CPU support for a backend's instruction set (independent of what
+/// this binary was compiled with).
+bool cpu_supports(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSSE2:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("sse2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kAVX2:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kAVX512:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0;
+#else
+      return false;
+#endif
+    case Backend::kAuto:
+      return false;
+  }
+  return false;
+}
+
+const KernelTable* table_for(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return detail::scalar_kernel_table();
+    case Backend::kSSE2: return detail::sse2_kernel_table();
+    case Backend::kAVX2: return detail::avx2_kernel_table();
+    case Backend::kAVX512: return detail::avx512_kernel_table();
+    case Backend::kAuto: return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto: return "auto";
+    case Backend::kScalar: return "scalar";
+    case Backend::kSSE2: return "sse2";
+    case Backend::kAVX2: return "avx2";
+    case Backend::kAVX512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool parse_backend(const std::string& name, Backend& out) {
+  if (name == "auto") { out = Backend::kAuto; return true; }
+  if (name == "scalar") { out = Backend::kScalar; return true; }
+  if (name == "sse2") { out = Backend::kSSE2; return true; }
+  if (name == "avx2") { out = Backend::kAVX2; return true; }
+  if (name == "avx512") { out = Backend::kAVX512; return true; }
+  return false;
+}
+
+bool backend_compiled(Backend backend) {
+  return table_for(backend) != nullptr;
+}
+
+bool backend_available(Backend backend) {
+  return backend_compiled(backend) && cpu_supports(backend);
+}
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (Backend backend : {Backend::kScalar, Backend::kSSE2, Backend::kAVX2,
+                          Backend::kAVX512}) {
+    if (backend_available(backend)) out.push_back(backend);
+  }
+  return out;
+}
+
+Backend best_backend() {
+  // The environment override is consulted on every call (it is only read at
+  // dispatch-table granularity — once per search, not per record) so test
+  // harnesses and the CI forced-backend jobs can re-point it at will.
+  if (const char* forced = std::getenv("SWDUAL_FORCE_BACKEND");
+      forced != nullptr && *forced != '\0') {
+    Backend backend = Backend::kAuto;
+    if (!parse_backend(forced, backend)) {
+      throw InvalidArgument(std::string("SWDUAL_FORCE_BACKEND names an "
+                                        "unknown backend: ") +
+                            forced);
+    }
+    if (backend != Backend::kAuto) {
+      if (!backend_available(backend)) {
+        throw InvalidArgument(
+            std::string("SWDUAL_FORCE_BACKEND=") + forced +
+            " is not available on this host (compiled: " +
+            (backend_compiled(backend) ? "yes" : "no") + ")");
+      }
+      return backend;
+    }
+  }
+  Backend best = Backend::kScalar;
+  for (Backend backend :
+       {Backend::kSSE2, Backend::kAVX2, Backend::kAVX512}) {
+    if (backend_available(backend)) best = backend;
+  }
+  return best;
+}
+
+Backend resolve_backend(Backend backend) {
+  if (backend == Backend::kAuto) return best_backend();
+  if (!backend_available(backend)) {
+    throw InvalidArgument(std::string("SIMD backend not available on this "
+                                      "host: ") +
+                          backend_name(backend));
+  }
+  return backend;
+}
+
+std::size_t backend_lanes8(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+    case Backend::kSSE2: return 16;
+    case Backend::kAVX2: return 32;
+    case Backend::kAVX512: return 64;
+    case Backend::kAuto: return backend_lanes8(best_backend());
+  }
+  return 16;
+}
+
+std::size_t backend_lanes16(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+    case Backend::kSSE2: return 8;
+    case Backend::kAVX2: return 16;
+    case Backend::kAVX512: return 32;
+    case Backend::kAuto: return backend_lanes16(best_backend());
+  }
+  return 8;
+}
+
+const KernelTable& kernel_table(Backend backend) {
+  const KernelTable* table = table_for(resolve_backend(backend));
+  SWDUAL_REQUIRE(table != nullptr, "kernel table missing for backend");
+  return *table;
+}
+
+}  // namespace swdual::align

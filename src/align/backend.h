@@ -1,0 +1,91 @@
+// Runtime-dispatched SIMD backends for the alignment kernels.
+//
+// The kernels are templated over the vector width (simd8.h / simd16.h
+// document the interface contract); this header is the runtime side: an
+// enum of compiled backends, CPUID-based availability checks, a
+// best-backend chooser overridable with the SWDUAL_FORCE_BACKEND
+// environment variable (scalar | sse2 | avx2 | avx512), and a per-backend
+// table of kernel entry points that the search drivers call through.
+//
+// Every backend computes bit-identical scores and identical overflow
+// (8→16-bit escalation) decisions — the striped layout depends on the lane
+// count, but each DP cell's value does not, and the overflow guard bands
+// are functions of cell values only (DESIGN.md "SIMD backends & dispatch"
+// has the full argument). Backends therefore differ *only* in speed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "align/kernel_interseq.h"
+#include "align/kernel_striped.h"
+#include "align/kernel_striped8.h"
+#include "align/profile.h"
+#include "align/scoring.h"
+
+namespace swdual::align {
+
+/// SIMD instruction-set tier used by the striped/interseq kernels.
+enum class Backend {
+  kAuto,    ///< resolve to best_backend() at use
+  kScalar,  ///< width-generic scalar emulation (16×u8 / 8×i16 geometry)
+  kSSE2,    ///< 128-bit: 16×u8 / 8×i16 lanes
+  kAVX2,    ///< 256-bit: 32×u8 / 16×i16 lanes
+  kAVX512,  ///< 512-bit (AVX-512BW): 64×u8 / 32×i16 lanes
+};
+
+/// Printable backend name ("auto", "scalar", "sse2", "avx2", "avx512").
+const char* backend_name(Backend backend);
+
+/// Parse a backend name (as printed by backend_name). Returns false and
+/// leaves `out` untouched on unknown names.
+bool parse_backend(const std::string& name, Backend& out);
+
+/// True if this binary contains code for `backend` (compile-time property;
+/// e.g. AVX2 requires the build to have compiled kernel_backend_avx2.cpp
+/// with AVX2 enabled). kScalar is always compiled; kAuto is never.
+bool backend_compiled(Backend backend);
+
+/// True if `backend` is compiled in *and* the host CPU can execute it.
+bool backend_available(Backend backend);
+
+/// All available backends, narrowest first (always contains kScalar).
+std::vector<Backend> available_backends();
+
+/// The widest available backend — unless the SWDUAL_FORCE_BACKEND
+/// environment variable names one, in which case that backend is returned
+/// (InvalidArgument if it is unknown or unavailable on this host). The
+/// environment is consulted on every call so tests can re-point it.
+Backend best_backend();
+
+/// kAuto → best_backend(); anything else is validated as available
+/// (InvalidArgument otherwise) and returned unchanged.
+Backend resolve_backend(Backend backend);
+
+/// Byte-kernel lane count of a resolved backend (16 / 16 / 32 / 64).
+std::size_t backend_lanes8(Backend backend);
+
+/// 16-bit-kernel lane count of a resolved backend (8 / 8 / 16 / 32).
+std::size_t backend_lanes16(Backend backend);
+
+/// Kernel entry points of one backend. Profiles passed to the striped
+/// kernels must have been built with the backend's lane count.
+struct KernelTable {
+  StripedResult (*striped8)(const StripedProfileU8& profile,
+                            std::span<const std::uint8_t> db,
+                            const GapPenalty& gap);
+  StripedResult (*striped)(const StripedProfile& profile,
+                           std::span<const std::uint8_t> db,
+                           const GapPenalty& gap);
+  InterSeqResult (*interseq)(std::span<const std::uint8_t> query,
+                             const SequenceViews& db,
+                             const ScoringScheme& scheme);
+};
+
+/// The kernel table of a *resolved*, available backend.
+const KernelTable& kernel_table(Backend backend);
+
+}  // namespace swdual::align

@@ -1,0 +1,19 @@
+// Internal: per-backend kernel-table providers.
+//
+// Each kernel_backend_<name>.cpp defines its provider; a provider returns
+// nullptr when the backend was not compiled into this binary (e.g. the
+// AVX-512 TU built by a compiler without -mavx512bw support, or SSE2 on a
+// non-x86 target). backend.cpp assembles the dispatch from these. Not part
+// of the public API — include align/backend.h instead.
+#pragma once
+
+#include "align/backend.h"
+
+namespace swdual::align::detail {
+
+const KernelTable* scalar_kernel_table();  // never nullptr
+const KernelTable* sse2_kernel_table();
+const KernelTable* avx2_kernel_table();
+const KernelTable* avx512_kernel_table();
+
+}  // namespace swdual::align::detail

@@ -1,119 +1,16 @@
 #include "align/kernel_interseq.h"
 
-#include <algorithm>
-#include <limits>
-#include <numeric>
-
-#include "align/simd16.h"
-#include "util/error.h"
+#include "align/backend.h"
 
 namespace swdual::align {
-
-namespace {
-
-constexpr std::int16_t kPadScore = -30000;
-
-/// DP state for one group of up to eight database sequences.
-struct GroupState {
-  std::vector<std::int16_t> h;  // H[i], 8 lanes per query position
-  std::vector<std::int16_t> e;  // E[i], 8 lanes per query position
-  V16 v_max = V16::zero();
-};
-
-}  // namespace
 
 InterSeqResult interseq_scores(std::span<const std::uint8_t> query,
                                const SequenceViews& db,
                                const ScoringScheme& scheme) {
-  InterSeqResult result;
-  result.scores.assign(db.size(), 0);
-  result.overflow.assign(db.size(), false);
-  for (const auto& seq : db) {
-    result.cells += static_cast<std::uint64_t>(query.size()) * seq.size();
-  }
-  if (query.empty() || db.empty()) return result;
-
-  const QueryProfile profile(query, *scheme.matrix);
-  const std::size_t m = query.size();
-  // Sentinel row: padding lanes gather from here once their sequence ends.
-  const std::vector<std::int16_t> pad_row(m, kPadScore);
-
-  // Process longest-first so lanes in a group have similar lengths and the
-  // padded tail (pure overhead) stays short — the batching strategy of
-  // CUDASW++ and SWIPE.
-  std::vector<std::size_t> order(db.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return db[a].size() > db[b].size();
-  });
-
-  const V16 v_gap_extend = V16::splat(static_cast<std::int16_t>(scheme.gap.extend));
-  const V16 v_gap_open_extend = V16::splat(
-      static_cast<std::int16_t>(scheme.gap.open + scheme.gap.extend));
-  const V16 v_zero = V16::zero();
-
-  for (std::size_t group_start = 0; group_start < order.size();
-       group_start += kLanes16) {
-    const std::size_t lanes_used =
-        std::min(kLanes16, order.size() - group_start);
-    std::size_t max_len = 0;
-    for (std::size_t l = 0; l < lanes_used; ++l) {
-      max_len = std::max(max_len, db[order[group_start + l]].size());
-    }
-    if (max_len == 0) continue;
-
-    GroupState state;
-    state.h.assign(m * kLanes16, 0);
-    state.e.assign(m * kLanes16, 0);
-
-    for (std::size_t j = 0; j < max_len; ++j) {
-      // Per-lane profile rows for this database column.
-      const std::int16_t* rows[kLanes16];
-      for (std::size_t l = 0; l < kLanes16; ++l) {
-        if (l < lanes_used && j < db[order[group_start + l]].size()) {
-          rows[l] = profile.row(db[order[group_start + l]][j]);
-        } else {
-          rows[l] = pad_row.data();
-        }
-      }
-
-      V16 v_diag = V16::zero();  // H[i-1][j-1]; boundary row is 0
-      V16 v_f = V16::zero();     // F[i][j], carried down the column
-      for (std::size_t i = 0; i < m; ++i) {
-        alignas(16) std::int16_t gathered[kLanes16];
-        for (std::size_t l = 0; l < kLanes16; ++l) gathered[l] = rows[l][i];
-        const V16 v_score = V16::load(gathered);
-        const V16 v_h_prev = V16::load(state.h.data() + i * kLanes16);
-        const V16 v_e_prev = V16::load(state.e.data() + i * kLanes16);
-
-        // E: horizontal gap from column j-1 (Eq. 3).
-        const V16 v_e = max(subs(v_e_prev, v_gap_extend),
-                            subs(v_h_prev, v_gap_open_extend));
-        // H (Eq. 2): diagonal uses H[i-1][j-1] saved from the previous i.
-        V16 v_h = adds(v_diag, v_score);
-        v_h = max(v_h, v_e);
-        v_h = max(v_h, v_f);
-        v_h = max(v_h, v_zero);
-        state.v_max = max(state.v_max, v_h);
-
-        v_diag = v_h_prev;
-        v_h.store(state.h.data() + i * kLanes16);
-        v_e.store(state.e.data() + i * kLanes16);
-
-        // F for the next query position (Eq. 4).
-        v_f = max(subs(v_f, v_gap_extend), subs(v_h, v_gap_open_extend));
-      }
-    }
-
-    for (std::size_t l = 0; l < lanes_used; ++l) {
-      const std::size_t original = order[group_start + l];
-      const std::int16_t best = state.v_max.lane(l);
-      result.scores[original] = best;
-      result.overflow[original] =
-          best >= std::numeric_limits<std::int16_t>::max();
-    }
-  }
-  return result;
+  // Batch width tracks the active backend's 16-bit lane count (8/16/32);
+  // per-sequence scores are independent of the batch a sequence lands in,
+  // so results are bit-identical across backends.
+  return kernel_table(best_backend()).interseq(query, db, scheme);
 }
 
 }  // namespace swdual::align

@@ -1,14 +1,17 @@
 // Rognes-style inter-sequence SIMD Smith–Waterman.
 //
 // This is the kernel class behind the paper's SWIPE baseline (Rognes 2011):
-// instead of vectorizing within one DP matrix, eight *database sequences*
-// are aligned against the query simultaneously, one per SIMD lane. There is
-// no striping and no lazy-F fixup — every lane is an independent matrix, so
-// all dependencies are lane-local and the recurrence is computed directly.
+// instead of vectorizing within one DP matrix, one batch of *database
+// sequences* is aligned against the query simultaneously, one per SIMD
+// lane (8 lanes on SSE2, 16 on AVX2, 32 on AVX-512BW — the active backend
+// decides). There is no striping and no lazy-F fixup — every lane is an
+// independent matrix, so all dependencies are lane-local and the
+// recurrence is computed directly.
 //
-// Sequences are batched in groups of eight, longest-first, with exhausted
-// lanes padded by a sentinel profile row of large negative scores (padding
-// columns can then never create or extend a positive-scoring alignment).
+// Sequences are batched one SIMD-width at a time, longest-first, with
+// exhausted lanes padded by a sentinel profile row of large negative scores
+// (padding columns can then never create or extend a positive-scoring
+// alignment). Per-sequence scores are independent of the batch width.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +32,8 @@ struct InterSeqResult {
 /// Views of the database sequences to score in one call.
 using SequenceViews = std::vector<std::span<const std::uint8_t>>;
 
-/// Score one query against many database sequences, eight at a time.
+/// Score one query against many database sequences, one SIMD batch at a
+/// time, on the best available backend (SWDUAL_FORCE_BACKEND overrides).
 InterSeqResult interseq_scores(std::span<const std::uint8_t> query,
                                const SequenceViews& db, const ScoringScheme& scheme);
 

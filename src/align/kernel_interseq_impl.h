@@ -1,0 +1,123 @@
+// Width-generic body of the Rognes inter-sequence kernel.
+//
+// Templated over any 16-bit vector type V satisfying the simd16.h interface
+// contract: V::kLanes database sequences are aligned against the query
+// simultaneously, one per lane. Lanes are fully independent DP matrices, so
+// per-sequence scores and overflow flags do not depend on the batch width —
+// only throughput does. kernel_backend_*.cpp instantiate this at each
+// compiled width.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "align/kernel_interseq.h"
+#include "align/profile.h"
+#include "align/scratch.h"
+
+namespace swdual::align {
+
+inline constexpr std::int16_t kInterSeqPadScore = -30000;
+
+template <class V>
+InterSeqResult interseq_scores_impl(std::span<const std::uint8_t> query,
+                                    const SequenceViews& db,
+                                    const ScoringScheme& scheme) {
+  constexpr std::size_t kL = V::kLanes;
+  InterSeqResult result;
+  result.scores.assign(db.size(), 0);
+  result.overflow.assign(db.size(), false);
+  for (const auto& seq : db) {
+    result.cells += static_cast<std::uint64_t>(query.size()) * seq.size();
+  }
+  if (query.empty() || db.empty()) return result;
+
+  const QueryProfile profile(query, *scheme.matrix);
+  const std::size_t m = query.size();
+
+  // Process longest-first so lanes in a group have similar lengths and the
+  // padded tail (pure overhead) stays short — the batching strategy of
+  // CUDASW++ and SWIPE.
+  std::vector<std::size_t> order(db.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return db[a].size() > db[b].size();
+                   });
+
+  const V v_gap_extend =
+      V::splat(static_cast<std::int16_t>(scheme.gap.extend));
+  const V v_gap_open_extend = V::splat(
+      static_cast<std::int16_t>(scheme.gap.open + scheme.gap.extend));
+  const V v_zero = V::zero();
+
+  for (std::size_t group_start = 0; group_start < order.size();
+       group_start += kL) {
+    const std::size_t lanes_used = std::min(kL, order.size() - group_start);
+    std::size_t max_len = 0;
+    for (std::size_t l = 0; l < lanes_used; ++l) {
+      max_len = std::max(max_len, db[order[group_start + l]].size());
+    }
+    if (max_len == 0) continue;
+
+    // H/E columns and the sentinel row (padding lanes gather from it once
+    // their sequence ends) live in the per-thread workspace.
+    const AlignScratch::InterSeqState state = thread_scratch().interseq_state(
+        m * kL, m, kInterSeqPadScore);
+    V v_max = V::zero();
+
+    for (std::size_t j = 0; j < max_len; ++j) {
+      // Per-lane profile rows for this database column.
+      const std::int16_t* lane_rows[kL];
+      for (std::size_t l = 0; l < kL; ++l) {
+        if (l < lanes_used && j < db[order[group_start + l]].size()) {
+          lane_rows[l] = profile.row(db[order[group_start + l]][j]);
+        } else {
+          lane_rows[l] = state.pad_row;
+        }
+      }
+
+      V v_diag = V::zero();  // H[i-1][j-1]; boundary row is 0
+      V v_f = V::zero();     // F[i][j], carried down the column
+      for (std::size_t i = 0; i < m; ++i) {
+        alignas(64) std::int16_t gathered[kL];
+        for (std::size_t l = 0; l < kL; ++l) gathered[l] = lane_rows[l][i];
+        const V v_score = V::load(gathered);
+        const V v_h_prev = V::load(state.h + i * kL);
+        const V v_e_prev = V::load(state.e + i * kL);
+
+        // E: horizontal gap from column j-1 (Eq. 3).
+        const V v_e = max(subs(v_e_prev, v_gap_extend),
+                          subs(v_h_prev, v_gap_open_extend));
+        // H (Eq. 2): diagonal uses H[i-1][j-1] saved from the previous i.
+        V v_h = adds(v_diag, v_score);
+        v_h = max(v_h, v_e);
+        v_h = max(v_h, v_f);
+        v_h = max(v_h, v_zero);
+        v_max = max(v_max, v_h);
+
+        v_diag = v_h_prev;
+        v_h.store(state.h + i * kL);
+        v_e.store(state.e + i * kL);
+
+        // F for the next query position (Eq. 4).
+        v_f = max(subs(v_f, v_gap_extend), subs(v_h, v_gap_open_extend));
+      }
+    }
+
+    for (std::size_t l = 0; l < lanes_used; ++l) {
+      const std::size_t original = order[group_start + l];
+      const std::int16_t best = v_max.lane(l);
+      result.scores[original] = best;
+      result.overflow[original] =
+          best >= std::numeric_limits<std::int16_t>::max();
+    }
+  }
+  return result;
+}
+
+}  // namespace swdual::align

@@ -1,110 +1,18 @@
 #include "align/kernel_striped.h"
 
-#include <limits>
-#include <vector>
-
+#include "align/backend.h"
+#include "align/kernel_striped_impl.h"
 #include "align/simd16.h"
-#include "util/error.h"
 
 namespace swdual::align {
 
 StripedResult striped_score(const StripedProfile& profile,
                             std::span<const std::uint8_t> db,
                             const GapPenalty& gap) {
-  // A zero extension penalty would let a dominated-but-constant F chain spin
-  // the lazy-F loop forever; the scalar oracle handles that configuration.
-  SWDUAL_REQUIRE(gap.extend >= 1,
-                 "striped kernel requires gap.extend >= 1");
-  SWDUAL_REQUIRE(gap.open >= 0, "gap penalties are positive magnitudes");
-  StripedResult result;
-  const std::size_t seg_len = profile.segment_length();
-  result.cells =
-      static_cast<std::uint64_t>(profile.query_length()) * db.size();
-  if (db.empty() || profile.query_length() == 0) return result;
-
-  const V16 v_gap_extend = V16::splat(static_cast<std::int16_t>(gap.extend));
-  const V16 v_gap_open_extend =
-      V16::splat(static_cast<std::int16_t>(gap.open + gap.extend));
-  const V16 v_zero = V16::zero();
-
-  // H and E, striped over the query; double-buffered H (load = column j-1,
-  // store = column j). All state starts at 0 — safe for local alignment
-  // because H >= 0 everywhere and E/F chains seeded from 0 never beat the
-  // true recurrence (gap penalties are subtracted from 0 immediately).
-  std::vector<std::int16_t> h_load_buf(seg_len * kLanes16, 0);
-  std::vector<std::int16_t> h_store_buf(seg_len * kLanes16, 0);
-  std::vector<std::int16_t> e_buf(seg_len * kLanes16, 0);
-  std::int16_t* h_load = h_load_buf.data();
-  std::int16_t* h_store = h_store_buf.data();
-  std::int16_t* e_ptr = e_buf.data();
-
-  V16 v_max = V16::zero();
-
-  for (std::size_t j = 0; j < db.size(); ++j) {
-    const std::int16_t* scores = profile.row(db[j]);
-    V16 v_f = V16::zero();
-    // Diagonal seed: H[last segment] of column j-1, lanes shifted up so each
-    // lane reads the previous query position; lane 0 gets the H=0 boundary.
-    V16 v_h = V16::load(h_load + (seg_len - 1) * kLanes16).shift_lanes_up(0);
-
-    for (std::size_t s = 0; s < seg_len; ++s) {
-      v_h = adds(v_h, V16::load(scores + s * kLanes16));
-      const V16 v_e = V16::load(e_ptr + s * kLanes16);
-      v_h = max(v_h, v_e);
-      v_h = max(v_h, v_f);
-      v_h = max(v_h, v_zero);
-      v_max = max(v_max, v_h);
-      v_h.store(h_store + s * kLanes16);
-
-      const V16 v_h_gap = subs(v_h, v_gap_open_extend);
-      max(subs(v_e, v_gap_extend), v_h_gap).store(e_ptr + s * kLanes16);
-      v_f = max(subs(v_f, v_gap_extend), v_h_gap);
-
-      v_h = V16::load(h_load + s * kLanes16);
-    }
-
-    // Lazy F (Farrar): propagate vertical-gap chains that wrap across lanes.
-    // Continue while F strictly beats re-opening a gap from H at the current
-    // segment (once dominated everywhere, every later contribution of this
-    // chain is dominated by an H-seeded chain the main loop already carried).
-    // E is refreshed from corrected H so Eq. (3) sees final column values.
-    // The shifted-in lane must be "minus infinity": a 0 fill would compare
-    // greater than H−(Gs+Ge) whenever H is small and spin this loop forever.
-    constexpr std::int16_t kNoGapChain = -30000;
-    v_f = v_f.shift_lanes_up(kNoGapChain);
-    std::size_t s = 0;
-    while (any_gt(v_f, subs(V16::load(h_store + s * kLanes16),
-                            v_gap_open_extend))) {
-      const V16 v_h_cur = max(V16::load(h_store + s * kLanes16), v_f);
-      v_h_cur.store(h_store + s * kLanes16);
-      v_max = max(v_max, v_h_cur);
-      const V16 v_h_gap = subs(v_h_cur, v_gap_open_extend);
-      max(V16::load(e_ptr + s * kLanes16), v_h_gap)
-          .store(e_ptr + s * kLanes16);
-      v_f = subs(v_f, v_gap_extend);
-      if (++s >= seg_len) {
-        s = 0;
-        v_f = v_f.shift_lanes_up(kNoGapChain);
-      }
-    }
-
-    std::swap(h_load, h_store);
-  }
-
-  const std::int16_t best = v_max.hmax();
-  // Overflow guard band. adds() saturates, so a clamped H is exactly
-  // INT16_MAX — but a *legitimate* score of INT16_MAX is indistinguishable
-  // from a clamp, and any cell within max_score of the ceiling cannot be
-  // proven clamp-free. Conversely, if the maximum stays below
-  // INT16_MAX − max_score, no add can ever have saturated (each add raises H
-  // by at most max_score and every stored H passed through v_max), so the
-  // result is provably exact. Anything inside the band is conservatively
-  // reported as overflow and rescanned by the driver.
-  const std::int16_t guard = static_cast<std::int16_t>(
-      std::numeric_limits<std::int16_t>::max() - profile.max_score());
-  result.overflow = best >= guard;
-  result.score = best;
-  return result;
+  // Narrow fixed-width entry point (8 16-bit lanes: SSE2 on x86, emulated
+  // elsewhere). Wider widths are reached through align::kernel_table(),
+  // with a profile striped for the matching lane count.
+  return striped_score_impl<V16>(profile, db, gap);
 }
 
 StripedResult striped_score(std::span<const std::uint8_t> query,
@@ -114,8 +22,12 @@ StripedResult striped_score(std::span<const std::uint8_t> query,
     StripedResult empty;
     return empty;
   }
-  const StripedProfile profile(query, *scheme.matrix);
-  return striped_score(profile, db, scheme.gap);
+  // Convenience path: one-shot profile, built for (and run on) the best
+  // backend this host offers.
+  const Backend backend = best_backend();
+  const StripedProfile profile(query, *scheme.matrix,
+                               backend_lanes16(backend));
+  return kernel_table(backend).striped(profile, db, scheme.gap);
 }
 
 }  // namespace swdual::align

@@ -1,95 +1,18 @@
 #include "align/kernel_striped8.h"
 
-#include <vector>
-
+#include "align/backend.h"
+#include "align/kernel_striped8_impl.h"
 #include "align/simd8.h"
-#include "util/error.h"
 
 namespace swdual::align {
 
 StripedResult striped8_score(const StripedProfileU8& profile,
                              std::span<const std::uint8_t> db,
                              const GapPenalty& gap) {
-  SWDUAL_REQUIRE(gap.extend >= 1, "byte kernel requires gap.extend >= 1");
-  SWDUAL_REQUIRE(gap.open >= 0 && gap.open + gap.extend <= 255,
-                 "gap penalties out of byte range");
-  StripedResult result;
-  const std::size_t seg_len = profile.segment_length();
-  result.cells =
-      static_cast<std::uint64_t>(profile.query_length()) * db.size();
-  if (db.empty() || profile.query_length() == 0) return result;
-
-  const V8 v_bias = V8::splat(profile.bias());
-  const V8 v_gap_extend = V8::splat(static_cast<std::uint8_t>(gap.extend));
-  const V8 v_gap_open_extend =
-      V8::splat(static_cast<std::uint8_t>(gap.open + gap.extend));
-
-  std::vector<std::uint8_t> h_load_buf(seg_len * kLanes8, 0);
-  std::vector<std::uint8_t> h_store_buf(seg_len * kLanes8, 0);
-  std::vector<std::uint8_t> e_buf(seg_len * kLanes8, 0);
-  std::uint8_t* h_load = h_load_buf.data();
-  std::uint8_t* h_store = h_store_buf.data();
-  std::uint8_t* e_ptr = e_buf.data();
-
-  V8 v_max = V8::zero();
-
-  for (std::size_t j = 0; j < db.size(); ++j) {
-    const std::uint8_t* scores = profile.row(db[j]);
-    V8 v_f = V8::zero();
-    V8 v_h = V8::load(h_load + (seg_len - 1) * kLanes8).shift_lanes_up();
-
-    for (std::size_t s = 0; s < seg_len; ++s) {
-      // H = max(diag + score, E, F, 0): biased add, then bias removal with
-      // saturation at zero (the free max(…,0)).
-      v_h = subs(adds(v_h, V8::load(scores + s * kLanes8)), v_bias);
-      const V8 v_e = V8::load(e_ptr + s * kLanes8);
-      v_h = max(v_h, v_e);
-      v_h = max(v_h, v_f);
-      v_max = max(v_max, v_h);
-      v_h.store(h_store + s * kLanes8);
-
-      const V8 v_h_gap = subs(v_h, v_gap_open_extend);
-      max(subs(v_e, v_gap_extend), v_h_gap).store(e_ptr + s * kLanes8);
-      v_f = max(subs(v_f, v_gap_extend), v_h_gap);
-
-      v_h = V8::load(h_load + s * kLanes8);
-    }
-
-    // Lazy F, byte flavour (same dominance argument as the 16-bit kernel).
-    v_f = v_f.shift_lanes_up();
-    std::size_t s = 0;
-    while (any_gt(v_f, subs(V8::load(h_store + s * kLanes8),
-                            v_gap_open_extend))) {
-      const V8 v_h_cur = max(V8::load(h_store + s * kLanes8), v_f);
-      v_h_cur.store(h_store + s * kLanes8);
-      v_max = max(v_max, v_h_cur);
-      const V8 v_h_gap = subs(v_h_cur, v_gap_open_extend);
-      max(V8::load(e_ptr + s * kLanes8), v_h_gap)
-          .store(e_ptr + s * kLanes8);
-      v_f = subs(v_f, v_gap_extend);
-      if (++s >= seg_len) {
-        s = 0;
-        v_f = v_f.shift_lanes_up();
-      }
-    }
-
-    std::swap(h_load, h_store);
-  }
-
-  const std::uint8_t best = v_max.hmax();
-  // Overflow guard band (same rule as the 16-bit kernel): the biased add
-  // saturates at 255, so a clamp requires a prior H above
-  // 255 − bias − max_score; every stored H passed through v_max, so a
-  // maximum below that band proves no clamping happened anywhere. Scores
-  // inside the band (including a legitimate ceiling score, which is
-  // indistinguishable from a clamp) are conservatively escalated.
-  const int guard = 255 - static_cast<int>(profile.bias()) -
-                    static_cast<int>(profile.max_score());
-  if (best >= guard) {
-    result.overflow = true;
-  }
-  result.score = best;
-  return result;
+  // Narrow fixed-width entry point (16 byte lanes: SSE2 on x86, emulated
+  // elsewhere). Wider widths are reached through align::kernel_table(),
+  // with a profile striped for the matching lane count.
+  return striped8_score_impl<V8>(profile, db, gap);
 }
 
 StripedResult striped8_score(std::span<const std::uint8_t> query,
@@ -98,8 +21,12 @@ StripedResult striped8_score(std::span<const std::uint8_t> query,
   if (query.empty()) {
     return {};
   }
-  const StripedProfileU8 profile(query, *scheme.matrix);
-  return striped8_score(profile, db, scheme.gap);
+  // Convenience path: one-shot profile, built for (and run on) the best
+  // backend this host offers.
+  const Backend backend = best_backend();
+  const StripedProfileU8 profile(query, *scheme.matrix,
+                                 backend_lanes8(backend));
+  return kernel_table(backend).striped8(profile, db, scheme.gap);
 }
 
 }  // namespace swdual::align

@@ -1,0 +1,149 @@
+// Width-generic body of the 16-bit striped kernel.
+//
+// Templated over any vector type V satisfying the simd16.h interface
+// contract; one body serves the scalar, SSE2, AVX2 and AVX-512BW backends
+// (kernel_backend_*.cpp each instantiate it at their width). The striped
+// segment layout is derived from V::kLanes and the profile must have been
+// built with the same lane count; the resulting score and overflow decision
+// are lane-count independent (see DESIGN.md "SIMD backends & dispatch").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "align/kernel_striped.h"
+#include "align/profile.h"
+#include "align/scratch.h"
+#include "util/error.h"
+
+namespace swdual::align {
+
+template <class V>
+StripedResult striped_score_impl(const StripedProfile& profile,
+                                 std::span<const std::uint8_t> db,
+                                 const GapPenalty& gap) {
+  constexpr std::size_t kL = V::kLanes;
+  SWDUAL_REQUIRE(profile.lanes() == kL,
+                 "striped profile lane count does not match the kernel width");
+  // A zero extension penalty would let a dominated-but-constant F chain spin
+  // the lazy-F loop forever; the scalar oracle handles that configuration.
+  SWDUAL_REQUIRE(gap.extend >= 1,
+                 "striped kernel requires gap.extend >= 1");
+  SWDUAL_REQUIRE(gap.open >= 0, "gap penalties are positive magnitudes");
+  StripedResult result;
+  const std::size_t seg_len = profile.segment_length();
+  result.cells =
+      static_cast<std::uint64_t>(profile.query_length()) * db.size();
+  if (db.empty() || profile.query_length() == 0) return result;
+
+  const V v_gap_extend = V::splat(static_cast<std::int16_t>(gap.extend));
+  const V v_gap_open_extend =
+      V::splat(static_cast<std::int16_t>(gap.open + gap.extend));
+  const V v_gap_open = V::splat(static_cast<std::int16_t>(gap.open));
+  const V v_zero = V::zero();
+
+  // H and E, striped over the query; double-buffered H (load = column j-1,
+  // store = column j). All state starts at 0 — safe for local alignment
+  // because H >= 0 everywhere and E/F chains seeded from 0 never beat the
+  // true recurrence (gap penalties are subtracted from 0 immediately).
+  // Rows live in the per-thread workspace, zeroed here, capacity reused.
+  const AlignScratch::RowsI16 rows = thread_scratch().rows_i16(seg_len * kL);
+  std::int16_t* h_load = rows.h_load;
+  std::int16_t* h_store = rows.h_store;
+  std::int16_t* e_ptr = rows.e;
+
+  V v_max = V::zero();
+
+  for (std::size_t j = 0; j < db.size(); ++j) {
+    const std::int16_t* scores = profile.row(db[j]);
+    V v_f = V::zero();
+    // Diagonal seed: H[last segment] of column j-1, lanes shifted up so each
+    // lane reads the previous query position; lane 0 gets the H=0 boundary.
+    V v_h = V::load(h_load + (seg_len - 1) * kL).shift_lanes_up(0);
+
+    for (std::size_t s = 0; s < seg_len; ++s) {
+      v_h = adds(v_h, V::load(scores + s * kL));
+      const V v_e = V::load(e_ptr + s * kL);
+      v_h = max(v_h, v_e);
+      v_h = max(v_h, v_f);
+      v_h = max(v_h, v_zero);
+      v_max = max(v_max, v_h);
+      v_h.store(h_store + s * kL);
+
+      const V v_h_gap = subs(v_h, v_gap_open_extend);
+      max(subs(v_e, v_gap_extend), v_h_gap).store(e_ptr + s * kL);
+      v_f = max(subs(v_f, v_gap_extend), v_h_gap);
+
+      v_h = V::load(h_load + s * kL);
+    }
+
+    // Lazy F (Farrar): propagate vertical-gap chains that wrap across lanes.
+    // Continue while F strictly beats re-opening a gap from H at the current
+    // segment (once dominated everywhere, every later contribution of this
+    // chain is dominated by an H-seeded chain the main loop already carried).
+    // E is refreshed from corrected H so Eq. (3) sees final column values.
+    // The shifted-in lane must be "minus infinity": a 0 fill would compare
+    // greater than H−(Gs+Ge) whenever H is small and spin this loop forever.
+    constexpr std::int16_t kNoGapChain = -30000;
+    v_f = v_f.shift_lanes_up(kNoGapChain);
+    std::size_t s = 0;
+    // Mispredict shield (see the byte kernel for the measurements): the
+    // correction fires on a third to half of all columns but usually runs
+    // ~2 steps, so the first steps run unconditionally — the body only
+    // max-merges F-derived candidates, which are true lower bounds of the
+    // DP cell values, so it is a no-op when no correction was due.
+    constexpr std::size_t kLazyFUnconditional = 2;
+    const std::size_t unchecked =
+        seg_len < kLazyFUnconditional ? seg_len : kLazyFUnconditional;
+    for (; s < unchecked; ++s) {
+      const V v_h_cur = max(V::load(h_store + s * kL), v_f);
+      v_h_cur.store(h_store + s * kL);
+      v_max = max(v_max, v_h_cur);
+      const V v_h_gap = subs(v_h_cur, v_gap_open_extend);
+      max(V::load(e_ptr + s * kL), v_h_gap).store(e_ptr + s * kL);
+      v_f = subs(v_f, v_gap_extend);
+    }
+    if (s >= seg_len) {
+      s = 0;
+      v_f = v_f.shift_lanes_up(kNoGapChain);
+    }
+    // Exit threshold H − open (not H − open − extend) is exact: H(s) moves
+    // only when F > H(s); the stored E(s) is already ≥ H(s) − open − extend
+    // so it moves only when F > E(s) + open + extend ≥ H(s); and once every
+    // lane has F ≤ H(s) − open the carry stays dominated at every later
+    // segment, because F − extend ≤ H(s) − open − extend is a value the
+    // segment loop already folded into F(s+1).
+    while (any_gt(v_f, subs(V::load(h_store + s * kL), v_gap_open))) {
+      const V v_h_cur = max(V::load(h_store + s * kL), v_f);
+      v_h_cur.store(h_store + s * kL);
+      v_max = max(v_max, v_h_cur);
+      const V v_h_gap = subs(v_h_cur, v_gap_open_extend);
+      max(V::load(e_ptr + s * kL), v_h_gap).store(e_ptr + s * kL);
+      v_f = subs(v_f, v_gap_extend);
+      if (++s >= seg_len) {
+        s = 0;
+        v_f = v_f.shift_lanes_up(kNoGapChain);
+      }
+    }
+
+    std::swap(h_load, h_store);
+  }
+
+  const std::int16_t best = v_max.hmax();
+  // Overflow guard band. adds() saturates, so a clamped H is exactly
+  // INT16_MAX — but a *legitimate* score of INT16_MAX is indistinguishable
+  // from a clamp, and any cell within max_score of the ceiling cannot be
+  // proven clamp-free. Conversely, if the maximum stays below
+  // INT16_MAX − max_score, no add can ever have saturated (each add raises H
+  // by at most max_score and every stored H passed through v_max), so the
+  // result is provably exact. Anything inside the band is conservatively
+  // reported as overflow and rescanned by the driver.
+  const std::int16_t guard = static_cast<std::int16_t>(
+      std::numeric_limits<std::int16_t>::max() - profile.max_score());
+  result.overflow = best >= guard;
+  result.score = best;
+  return result;
+}
+
+}  // namespace swdual::align

@@ -111,18 +111,46 @@ ParallelSearchEngine::ChunkOutcome ParallelSearchEngine::run_chunk(
   return outcome;
 }
 
+std::vector<ParallelSearchEngine::Chunk>
+ParallelSearchEngine::batch_aligned_chunks(std::size_t batch) const {
+  if (batch <= 1 || chunks_.size() <= 1) return chunks_;
+  const std::size_t n = db_.size();
+  std::vector<Chunk> out;
+  out.reserve(chunks_.size());
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c + 1 < chunks_.size(); ++c) {
+    // Snap each cut to the nearest batch multiple; a cut swallowed by its
+    // predecessor simply merges the two chunks.
+    const std::size_t end =
+        std::min(n, (chunks_[c].end + batch / 2) / batch * batch);
+    if (end <= begin) continue;
+    out.push_back({begin, end});
+    begin = end;
+  }
+  if (begin < n) out.push_back({begin, n});
+  return out;
+}
+
 RankedSearchResult ParallelSearchEngine::run(
     std::span<const std::uint8_t> query, const ScoringScheme& scheme,
-    KernelKind kernel, std::size_t top_k) const {
+    KernelKind kernel, std::size_t top_k, Backend backend) const {
   WallTimer timer;
-  const SearchProfiles profiles(query, scheme, kernel);
+  const SearchProfiles profiles(query, scheme, kernel, backend);
 
-  std::vector<ChunkOutcome> outcomes(chunks_.size());
+  // The inter-sequence kernel processes the (length-sorted) records in
+  // groups of one SIMD batch; keep chunk boundaries on batch multiples so
+  // no batch is split mid-vector across two chunks.
+  const std::vector<Chunk> chunks =
+      kernel == KernelKind::kInterSeq
+          ? batch_aligned_chunks(backend_lanes16(profiles.backend()))
+          : chunks_;
+
+  std::vector<ChunkOutcome> outcomes(chunks.size());
   if (pool_) {
     std::vector<std::future<ChunkOutcome>> futures;
-    futures.reserve(chunks_.size());
-    for (std::size_t c = 0; c < chunks_.size(); ++c) {
-      const Chunk chunk = chunks_[c];
+    futures.reserve(chunks.size());
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      const Chunk chunk = chunks[c];
       futures.push_back(pool_->submit([this, &profiles, chunk, c, top_k] {
         return run_chunk(profiles, chunk, c, top_k);
       }));
@@ -131,8 +159,8 @@ RankedSearchResult ParallelSearchEngine::run(
       outcomes[c] = futures[c].get();
     }
   } else {
-    for (std::size_t c = 0; c < chunks_.size(); ++c) {
-      outcomes[c] = run_chunk(profiles, chunks_[c], c, top_k);
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      outcomes[c] = run_chunk(profiles, chunks[c], c, top_k);
     }
   }
 
@@ -142,7 +170,7 @@ RankedSearchResult ParallelSearchEngine::run(
   SearchResult& merged = ranked.result;
   merged.scores.assign(db_.size(), 0);
   for (std::size_t c = 0; c < outcomes.size(); ++c) {
-    const Chunk& chunk = chunks_[c];
+    const Chunk& chunk = chunks[c];
     const SearchResult& r = outcomes[c].result;
     for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
       merged.scores[original_index_[i]] = r.scores[i - chunk.begin];
@@ -160,14 +188,15 @@ RankedSearchResult ParallelSearchEngine::run(
 
 SearchResult ParallelSearchEngine::search(std::span<const std::uint8_t> query,
                                           const ScoringScheme& scheme,
-                                          KernelKind kernel) const {
-  return run(query, scheme, kernel, 0).result;
+                                          KernelKind kernel,
+                                          Backend backend) const {
+  return run(query, scheme, kernel, 0, backend).result;
 }
 
 RankedSearchResult ParallelSearchEngine::search_ranked(
     std::span<const std::uint8_t> query, const ScoringScheme& scheme,
-    KernelKind kernel, std::size_t k) const {
-  return run(query, scheme, kernel, k);
+    KernelKind kernel, std::size_t k, Backend backend) const {
+  return run(query, scheme, kernel, k, backend);
 }
 
 }  // namespace swdual::align

@@ -72,16 +72,20 @@ class ParallelSearchEngine {
   ParallelSearchEngine& operator=(const ParallelSearchEngine&) = delete;
 
   /// Score one query against the whole database. Scores are in database
-  /// order and bit-identical to serial search_database.
+  /// order and bit-identical to serial search_database, on every SIMD
+  /// backend (kAuto = widest available, overridable via
+  /// SWDUAL_FORCE_BACKEND).
   SearchResult search(std::span<const std::uint8_t> query,
-                      const ScoringScheme& scheme, KernelKind kernel) const;
+                      const ScoringScheme& scheme, KernelKind kernel,
+                      Backend backend = Backend::kAuto) const;
 
   /// search() plus a bounded top-k merge: each chunk keeps a k-hit heap and
   /// only those heaps are merged, so ranking costs O(n log k) total instead
   /// of sorting all n scores.
   RankedSearchResult search_ranked(std::span<const std::uint8_t> query,
                                    const ScoringScheme& scheme,
-                                   KernelKind kernel, std::size_t k) const;
+                                   KernelKind kernel, std::size_t k,
+                                   Backend backend = Backend::kAuto) const;
 
   std::size_t num_chunks() const { return chunks_.size(); }
   std::size_t threads() const { return pool_ ? pool_->size() : 1; }
@@ -102,7 +106,13 @@ class ParallelSearchEngine {
                          std::size_t chunk_index, std::size_t top_k) const;
   RankedSearchResult run(std::span<const std::uint8_t> query,
                          const ScoringScheme& scheme, KernelKind kernel,
-                         std::size_t top_k) const;
+                         std::size_t top_k, Backend backend) const;
+
+  /// chunks_ with every boundary snapped to a multiple of `batch` records,
+  /// so the inter-sequence kernel never splits a SIMD batch between two
+  /// chunks (a split batch runs twice with mostly-padded lanes). Scores are
+  /// unaffected — lanes are independent — only padding waste is.
+  std::vector<Chunk> batch_aligned_chunks(std::size_t batch) const;
 
   DbView db_;  ///< permuted (or original-order) span copies
   std::vector<std::size_t> original_index_;  ///< permuted pos → db pos

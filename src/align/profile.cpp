@@ -17,19 +17,21 @@ QueryProfile::QueryProfile(std::span<const std::uint8_t> query,
 }
 
 StripedProfile::StripedProfile(std::span<const std::uint8_t> query,
-                               const ScoreMatrix& matrix)
+                               const ScoreMatrix& matrix, std::size_t lanes)
     : length_(query.size()),
       alphabet_size_(matrix.size()),
+      lanes_(lanes),
       max_score_(matrix.max_score()) {
   SWDUAL_REQUIRE(!query.empty(), "striped profile needs a non-empty query");
-  segment_length_ = (length_ + kLanes16 - 1) / kLanes16;
-  data_.assign(alphabet_size_ * segment_length_ * kLanes16, 0);
+  SWDUAL_REQUIRE(lanes_ > 0, "striped profile needs at least one lane");
+  segment_length_ = (length_ + lanes_ - 1) / lanes_;
+  data_.assign(alphabet_size_ * segment_length_ * lanes_, 0);
   for (std::size_t code = 0; code < alphabet_size_; ++code) {
-    std::int16_t* out = data_.data() + code * segment_length_ * kLanes16;
+    std::int16_t* out = data_.data() + code * segment_length_ * lanes_;
     for (std::size_t s = 0; s < segment_length_; ++s) {
-      for (std::size_t lane = 0; lane < kLanes16; ++lane) {
+      for (std::size_t lane = 0; lane < lanes_; ++lane) {
         const std::size_t position = lane * segment_length_ + s;
-        out[s * kLanes16 + lane] =
+        out[s * lanes_ + lane] =
             position < length_
                 ? matrix.score(query[position], static_cast<std::uint8_t>(code))
                 : std::int16_t{0};
@@ -39,21 +41,23 @@ StripedProfile::StripedProfile(std::span<const std::uint8_t> query,
 }
 
 StripedProfileU8::StripedProfileU8(std::span<const std::uint8_t> query,
-                                   const ScoreMatrix& matrix)
-    : length_(query.size()), max_score_(matrix.max_score()) {
+                                   const ScoreMatrix& matrix,
+                                   std::size_t lanes)
+    : length_(query.size()), lanes_(lanes), max_score_(matrix.max_score()) {
   SWDUAL_REQUIRE(!query.empty(), "striped profile needs a non-empty query");
+  SWDUAL_REQUIRE(lanes_ > 0, "striped profile needs at least one lane");
   SWDUAL_REQUIRE(matrix.min_score() <= 0,
                  "byte profile expects a matrix with non-positive minimum");
   bias_ = static_cast<std::uint8_t>(-matrix.min_score());
-  segment_length_ = (length_ + kLanes8 - 1) / kLanes8;
-  data_.assign(matrix.size() * segment_length_ * kLanes8, bias_);
+  segment_length_ = (length_ + lanes_ - 1) / lanes_;
+  data_.assign(matrix.size() * segment_length_ * lanes_, bias_);
   for (std::size_t code = 0; code < matrix.size(); ++code) {
-    std::uint8_t* out = data_.data() + code * segment_length_ * kLanes8;
+    std::uint8_t* out = data_.data() + code * segment_length_ * lanes_;
     for (std::size_t s = 0; s < segment_length_; ++s) {
-      for (std::size_t lane = 0; lane < kLanes8; ++lane) {
+      for (std::size_t lane = 0; lane < lanes_; ++lane) {
         const std::size_t position = lane * segment_length_ + s;
         if (position < length_) {
-          out[s * kLanes8 + lane] = static_cast<std::uint8_t>(
+          out[s * lanes_ + lane] = static_cast<std::uint8_t>(
               matrix.score(query[position], static_cast<std::uint8_t>(code)) +
               bias_);
         }

@@ -5,6 +5,12 @@
 // kernels stream it sequentially. Both SIMD kernels build on this, as do
 // SWIPE, STRIPED and CUDASW++ (the paper's §II-C "techniques being used to
 // optimize each comparison").
+//
+// The striped profiles are *lane-width parameterized*: the striped layout
+// depends on the SIMD backend's lane count (16/32/64 byte lanes, 8/16/32
+// 16-bit lanes), so each profile records the lane count it was built for
+// and the kernels require it to match their vector width. The final scores
+// are layout-independent — see DESIGN.md "SIMD backends & dispatch".
 #pragma once
 
 #include <cstdint>
@@ -12,13 +18,11 @@
 #include <vector>
 
 #include "align/scoring.h"
+#include "align/simd16.h"
 #include "align/simd8.h"
+#include "util/aligned.h"
 
 namespace swdual::align {
-
-/// Number of 16-bit lanes in one SIMD vector (SSE2 __m128i geometry; the
-/// scalar fallback emulates the same shape so results are identical).
-inline constexpr std::size_t kLanes16 = 8;
 
 /// Sequential query profile: row(code)[i] == matrix.score(q[i], code).
 class QueryProfile {
@@ -39,67 +43,75 @@ class QueryProfile {
   std::vector<std::int16_t> data_;
 };
 
-/// Farrar striped profile: the query is split into kLanes16 segments of
+/// Farrar striped profile: the query is split into `lanes` segments of
 /// `segment_length()` positions; vector s holds query positions
 /// { s, s+segLen, ..., s+(lanes-1)·segLen }. Padding positions (>= |q|)
 /// score 0 against everything, which provably cannot raise the maximum.
 class StripedProfile {
  public:
-  StripedProfile(std::span<const std::uint8_t> query,
-                 const ScoreMatrix& matrix);
+  StripedProfile(std::span<const std::uint8_t> query, const ScoreMatrix& matrix,
+                 std::size_t lanes = kLanes16);
 
   std::size_t query_length() const { return length_; }
   std::size_t segment_length() const { return segment_length_; }
   std::size_t alphabet_size() const { return alphabet_size_; }
+  /// SIMD lane count this profile's striping was built for.
+  std::size_t lanes() const { return lanes_; }
   /// Largest substitution score of the source matrix; the kernel's overflow
-  /// guard band (see kernel_striped.cpp) is derived from it.
+  /// guard band (see kernel_striped_impl.h) is derived from it.
   std::int8_t max_score() const { return max_score_; }
 
   /// Striped rows for database residue `code`:
-  /// row(code)[s * kLanes16 + lane] == score of query position
+  /// row(code)[s * lanes() + lane] == score of query position
   /// lane*segLen + s (or 0 if that position is padding).
   const std::int16_t* row(std::uint8_t code) const {
     return data_.data() +
-           static_cast<std::size_t>(code) * segment_length_ * kLanes16;
+           static_cast<std::size_t>(code) * segment_length_ * lanes_;
   }
 
  private:
   std::size_t length_;
   std::size_t segment_length_;
   std::size_t alphabet_size_;
+  std::size_t lanes_;
   std::int8_t max_score_ = 0;
-  std::vector<std::int16_t> data_;
+  /// 64-byte aligned: every striped row starts lane-width aligned.
+  AlignedVector<std::int16_t> data_;
 };
 
 /// Byte-precision striped profile: scores stored *biased* (score − min_score
-/// of the matrix) so every entry is unsigned; kLanes8 = 16 query segments.
+/// of the matrix) so every entry is unsigned; `lanes` query segments.
 /// Padding positions store exactly `bias` (true score 0), which cannot raise
 /// the maximum. Used by the 8-bit kernel tier (see kernel_striped8.h).
 class StripedProfileU8 {
  public:
   StripedProfileU8(std::span<const std::uint8_t> query,
-                   const ScoreMatrix& matrix);
+                   const ScoreMatrix& matrix, std::size_t lanes = kLanes8);
 
   std::size_t query_length() const { return length_; }
   std::size_t segment_length() const { return segment_length_; }
+  /// SIMD lane count this profile's striping was built for.
+  std::size_t lanes() const { return lanes_; }
   /// The bias added to every stored score (= −min matrix score, ≥ 0).
   std::uint8_t bias() const { return bias_; }
   /// Largest substitution score of the source matrix (overflow guard band).
   std::int8_t max_score() const { return max_score_; }
 
-  /// row(code)[s * kLanes8 + lane] == biased score of query position
+  /// row(code)[s * lanes() + lane] == biased score of query position
   /// lane*segLen + s against database residue `code`.
   const std::uint8_t* row(std::uint8_t code) const {
     return data_.data() +
-           static_cast<std::size_t>(code) * segment_length_ * kLanes8;
+           static_cast<std::size_t>(code) * segment_length_ * lanes_;
   }
 
  private:
   std::size_t length_;
   std::size_t segment_length_;
+  std::size_t lanes_;
   std::uint8_t bias_;
   std::int8_t max_score_ = 0;
-  std::vector<std::uint8_t> data_;
+  /// 64-byte aligned: every striped row starts lane-width aligned.
+  AlignedVector<std::uint8_t> data_;
 };
 
 }  // namespace swdual::align

@@ -1,0 +1,10 @@
+#include "align/scratch.h"
+
+namespace swdual::align {
+
+AlignScratch& thread_scratch() {
+  thread_local AlignScratch scratch;
+  return scratch;
+}
+
+}  // namespace swdual::align

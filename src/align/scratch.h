@@ -1,0 +1,78 @@
+// Reusable per-thread DP workspace for the alignment kernels.
+//
+// A database search calls the striped kernels once per record; without a
+// workspace each call allocates (and frees) three DP rows, which on short
+// records costs as much as the scan itself. AlignScratch keeps those rows
+// alive between calls: buffers are zero-filled on acquisition (the kernels
+// rely on all-zero initial state) but their capacity is reused, so a scan
+// over a million records performs a handful of allocations instead of
+// millions. Each kernel thread owns one instance via thread_scratch() —
+// chunked parallel scans therefore never contend on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/aligned.h"
+
+namespace swdual::align {
+
+class AlignScratch {
+ public:
+  /// Zero-filled buffers of `n` elements each, valid until the next
+  /// acquisition of the same group. The three u8 rows back the byte-striped
+  /// kernel (H load / H store / E); the i16 rows back the 16-bit one.
+  struct RowsU8 {
+    std::uint8_t* h_load;
+    std::uint8_t* h_store;
+    std::uint8_t* e;
+  };
+  struct RowsI16 {
+    std::int16_t* h_load;
+    std::int16_t* h_store;
+    std::int16_t* e;
+  };
+
+  RowsU8 rows_u8(std::size_t n) {
+    h8_load_.assign(n, 0);
+    h8_store_.assign(n, 0);
+    e8_.assign(n, 0);
+    return {h8_load_.data(), h8_store_.data(), e8_.data()};
+  }
+
+  RowsI16 rows_i16(std::size_t n) {
+    h16_load_.assign(n, 0);
+    h16_store_.assign(n, 0);
+    e16_.assign(n, 0);
+    return {h16_load_.data(), h16_store_.data(), e16_.data()};
+  }
+
+  /// Inter-sequence kernel state: H and E columns (zeroed), plus a sentinel
+  /// profile row of `pad` repeated `pad_len` times (lanes past the end of
+  /// their sequence gather from it).
+  struct InterSeqState {
+    std::int16_t* h;
+    std::int16_t* e;
+    const std::int16_t* pad_row;
+  };
+
+  InterSeqState interseq_state(std::size_t n, std::size_t pad_len,
+                               std::int16_t pad) {
+    iseq_h_.assign(n, 0);
+    iseq_e_.assign(n, 0);
+    pad_row_.assign(pad_len, pad);
+    return {iseq_h_.data(), iseq_e_.data(), pad_row_.data()};
+  }
+
+ private:
+  // 64-byte-aligned so wide vector loads at lane-multiple offsets never
+  // straddle cache lines (util/aligned.h).
+  AlignedVector<std::uint8_t> h8_load_, h8_store_, e8_;
+  AlignedVector<std::int16_t> h16_load_, h16_store_, e16_;
+  AlignedVector<std::int16_t> iseq_h_, iseq_e_, pad_row_;
+};
+
+/// The calling thread's workspace (thread-local, created on first use).
+AlignScratch& thread_scratch();
+
+}  // namespace swdual::align

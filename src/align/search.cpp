@@ -65,15 +65,22 @@ DbView make_db_view(const std::vector<seq::Sequence>& records) {
 }
 
 SearchProfiles::SearchProfiles(std::span<const std::uint8_t> query,
-                               const ScoringScheme& scheme, KernelKind kernel)
-    : query_(query), scheme_(scheme), kernel_(kernel) {
+                               const ScoringScheme& scheme, KernelKind kernel,
+                               Backend backend)
+    : query_(query),
+      scheme_(scheme),
+      kernel_(kernel),
+      backend_(resolve_backend(backend)),
+      table_(&kernel_table(backend_)) {
   if (query_.empty()) return;
   switch (kernel_) {
     case KernelKind::kStriped:
-      profile16_ = std::make_unique<StripedProfile>(query_, *scheme_.matrix);
+      profile16_ = std::make_unique<StripedProfile>(
+          query_, *scheme_.matrix, backend_lanes16(backend_));
       break;
     case KernelKind::kStriped8:
-      profile8_ = std::make_unique<StripedProfileU8>(query_, *scheme_.matrix);
+      profile8_ = std::make_unique<StripedProfileU8>(
+          query_, *scheme_.matrix, backend_lanes8(backend_));
       break;
     case KernelKind::kScalar:
     case KernelKind::kInterSeq:
@@ -84,7 +91,8 @@ SearchProfiles::SearchProfiles(std::span<const std::uint8_t> query,
 const StripedProfile& SearchProfiles::striped16() const {
   std::call_once(once16_, [this] {
     if (!profile16_) {
-      profile16_ = std::make_unique<StripedProfile>(query_, *scheme_.matrix);
+      profile16_ = std::make_unique<StripedProfile>(
+          query_, *scheme_.matrix, backend_lanes16(backend_));
     }
   });
   return *profile16_;
@@ -110,9 +118,10 @@ SearchResult search_range(const SearchProfiles& profiles, const DbView& db,
     }
     case KernelKind::kStriped: {
       if (query.empty()) break;
+      const KernelTable& table = profiles.table();
       const StripedProfile& profile = profiles.striped16();
       for (std::size_t i = begin; i < end; ++i) {
-        const StripedResult r = striped_score(profile, db[i], scheme.gap);
+        const StripedResult r = table.striped(profile, db[i], scheme.gap);
         result.cells += r.cells;
         if (r.overflow) {
           result.scores[i - begin] = gotoh_score(query, db[i], scheme).score;
@@ -127,9 +136,10 @@ SearchResult search_range(const SearchProfiles& profiles, const DbView& db,
       // Tiered precision: bytes first, escalate saturated pairs to 16 bits,
       // and to the 32-bit oracle if even those saturate.
       if (query.empty()) break;
+      const KernelTable& table = profiles.table();
       const StripedProfileU8& profile8 = profiles.striped8();
       for (std::size_t i = begin; i < end; ++i) {
-        const StripedResult r8 = striped8_score(profile8, db[i], scheme.gap);
+        const StripedResult r8 = table.striped8(profile8, db[i], scheme.gap);
         result.cells += r8.cells;
         if (!r8.overflow) {
           result.scores[i - begin] = r8.score;
@@ -137,7 +147,7 @@ SearchResult search_range(const SearchProfiles& profiles, const DbView& db,
         }
         ++result.overflow_rescans;
         const StripedResult r16 =
-            striped_score(profiles.striped16(), db[i], scheme.gap);
+            table.striped(profiles.striped16(), db[i], scheme.gap);
         result.scores[i - begin] = r16.overflow
                                        ? gotoh_score(query, db[i], scheme).score
                                        : r16.score;
@@ -147,7 +157,7 @@ SearchResult search_range(const SearchProfiles& profiles, const DbView& db,
     case KernelKind::kInterSeq: {
       const SequenceViews slice(db.begin() + static_cast<std::ptrdiff_t>(begin),
                                 db.begin() + static_cast<std::ptrdiff_t>(end));
-      const InterSeqResult r = interseq_scores(query, slice, scheme);
+      const InterSeqResult r = profiles.table().interseq(query, slice, scheme);
       result.cells = r.cells;
       result.scores = r.scores;
       for (std::size_t i = 0; i < slice.size(); ++i) {
@@ -164,9 +174,9 @@ SearchResult search_range(const SearchProfiles& profiles, const DbView& db,
 
 SearchResult search_database(std::span<const std::uint8_t> query,
                              const DbView& db, const ScoringScheme& scheme,
-                             KernelKind kernel) {
+                             KernelKind kernel, Backend backend) {
   WallTimer timer;
-  const SearchProfiles profiles(query, scheme, kernel);
+  const SearchProfiles profiles(query, scheme, kernel, backend);
   SearchResult result = search_range(profiles, db, 0, db.size());
   result.seconds = timer.seconds();
   return result;
@@ -174,12 +184,13 @@ SearchResult search_database(std::span<const std::uint8_t> query,
 
 SearchResult search_database(const seq::Sequence& query,
                              const std::vector<seq::Sequence>& db,
-                             const ScoringScheme& scheme, KernelKind kernel) {
+                             const ScoringScheme& scheme, KernelKind kernel,
+                             Backend backend) {
   const DbView view = make_db_view(db);
   return search_database(
       std::span<const std::uint8_t>(query.residues.data(),
                                     query.residues.size()),
-      view, scheme, kernel);
+      view, scheme, kernel, backend);
 }
 
 }  // namespace swdual::align

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "align/backend.h"
 #include "align/profile.h"
 #include "align/scoring.h"
 #include "seq/sequence.h"
@@ -70,14 +71,17 @@ using DbView = std::vector<std::span<const std::uint8_t>>;
 DbView make_db_view(const std::vector<seq::Sequence>& records);
 
 /// Per-query kernel state, built once and shared read-only by every chunk of
-/// one search (serial or parallel). The 16-bit escalation profile used by
+/// one search (serial or parallel). Profiles are striped for the resolved
+/// SIMD backend's lane counts, so one SearchProfiles caches exactly one
+/// profile set per active backend. The 16-bit escalation profile used by
 /// the striped8 tier is built lazily on the first saturated pair, under a
 /// once-flag, so concurrent chunks share a single build instead of one per
 /// chunk (or, previously, one per search_database call).
 class SearchProfiles {
  public:
   SearchProfiles(std::span<const std::uint8_t> query,
-                 const ScoringScheme& scheme, KernelKind kernel);
+                 const ScoringScheme& scheme, KernelKind kernel,
+                 Backend backend = Backend::kAuto);
 
   SearchProfiles(const SearchProfiles&) = delete;
   SearchProfiles& operator=(const SearchProfiles&) = delete;
@@ -85,6 +89,12 @@ class SearchProfiles {
   std::span<const std::uint8_t> query() const { return query_; }
   const ScoringScheme& scheme() const { return scheme_; }
   KernelKind kernel() const { return kernel_; }
+
+  /// The resolved SIMD backend (never kAuto) the profiles are striped for.
+  Backend backend() const { return backend_; }
+
+  /// Kernel entry points of the resolved backend.
+  const KernelTable& table() const { return *table_; }
 
   /// 16-bit striped profile: eager for kStriped, lazy (first overflow) for
   /// kStriped8. Safe to call concurrently; query must be non-empty.
@@ -97,6 +107,8 @@ class SearchProfiles {
   std::span<const std::uint8_t> query_;
   ScoringScheme scheme_;
   KernelKind kernel_;
+  Backend backend_;
+  const KernelTable* table_;
   std::unique_ptr<StripedProfileU8> profile8_;
   mutable std::once_flag once16_;
   mutable std::unique_ptr<StripedProfile> profile16_;
@@ -109,14 +121,18 @@ class SearchProfiles {
 SearchResult search_range(const SearchProfiles& profiles, const DbView& db,
                           std::size_t begin, std::size_t end);
 
-/// Score `query` against every database sequence with the chosen kernel.
+/// Score `query` against every database sequence with the chosen kernel on
+/// the chosen SIMD backend (kAuto = widest the host supports, overridable
+/// with SWDUAL_FORCE_BACKEND).
 SearchResult search_database(std::span<const std::uint8_t> query,
                              const DbView& db, const ScoringScheme& scheme,
-                             KernelKind kernel);
+                             KernelKind kernel,
+                             Backend backend = Backend::kAuto);
 
 /// Convenience overload for Sequence inputs.
 SearchResult search_database(const seq::Sequence& query,
                              const std::vector<seq::Sequence>& db,
-                             const ScoringScheme& scheme, KernelKind kernel);
+                             const ScoringScheme& scheme, KernelKind kernel,
+                             Backend backend = Backend::kAuto);
 
 }  // namespace swdual::align

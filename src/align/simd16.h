@@ -1,14 +1,26 @@
-// Portable 8-lane 16-bit signed SIMD vector.
+// Portable 8-lane 16-bit signed SIMD vector — the narrowest member of the
+// width-generic 16-bit vector family.
 //
 // One code path for both SIMD kernels: compiled to SSE2 intrinsics on x86
 // and to plain (auto-vectorizable) loops elsewhere, so kernel results are
 // bit-identical across platforms. Arithmetic is *saturating* — kernels
 // detect saturation at INT16_MAX and fall back to the 32-bit scalar oracle.
+//
+// Vector interface contract (shared by V16, VecI16Scalar<N>, V16x16, V16x32
+// — the 16-bit kernels are templated over any type providing it):
+//   static constexpr std::size_t kLanes;   // lane count
+//   using value_type = std::int16_t;
+//   zero() / splat(x) / load(p) / store(p)
+//   adds(a, b) / subs(a, b)                // saturating at ±32767/−32768
+//   max(a, b) / any_gt(a, b)               // lane-wise max, strict any >
+//   shift_lanes_up(fill)                   // lane i <- lane i-1, lane 0 <- fill
+//   lane(i) / hmax() / set_lane(i, x)      // extraction (outside hot loops)
 #pragma once
 
 #include <algorithm>
-#include <array>
 #include <cstdint>
+
+#include "align/simd_scalar.h"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -17,8 +29,13 @@
 
 namespace swdual::align {
 
-struct V16 {
+inline constexpr std::size_t kLanes16 = 8;
+
 #if defined(SWDUAL_SIMD_SSE2)
+struct V16 {
+  static constexpr std::size_t kLanes = 8;
+  using value_type = std::int16_t;
+
   __m128i v;
 
   static V16 zero() { return {_mm_setzero_si128()}; }
@@ -57,70 +74,17 @@ struct V16 {
     for (int i = 1; i < 8; ++i) best = std::max(best, tmp[i]);
     return best;
   }
-#else
-  std::array<std::int16_t, 8> v;
-
-  static std::int16_t sat(int x) {
-    return static_cast<std::int16_t>(std::clamp(x, -32768, 32767));
-  }
-  static V16 zero() { return splat(0); }
-  static V16 splat(std::int16_t x) {
-    V16 out;
-    out.v.fill(x);
-    return out;
-  }
-  static V16 load(const std::int16_t* p) {
-    V16 out;
-    std::copy(p, p + 8, out.v.begin());
-    return out;
-  }
-  void store(std::int16_t* p) const { std::copy(v.begin(), v.end(), p); }
-  friend V16 adds(V16 a, V16 b) {
-    V16 out;
-    for (int i = 0; i < 8; ++i) out.v[i] = sat(int(a.v[i]) + b.v[i]);
-    return out;
-  }
-  friend V16 subs(V16 a, V16 b) {
-    V16 out;
-    for (int i = 0; i < 8; ++i) out.v[i] = sat(int(a.v[i]) - b.v[i]);
-    return out;
-  }
-  friend V16 max(V16 a, V16 b) {
-    V16 out;
-    for (int i = 0; i < 8; ++i) out.v[i] = std::max(a.v[i], b.v[i]);
-    return out;
-  }
-  friend bool any_gt(V16 a, V16 b) {
-    for (int i = 0; i < 8; ++i) {
-      if (a.v[i] > b.v[i]) return true;
-    }
-    return false;
-  }
-  V16 shift_lanes_up(std::int16_t fill) const {
-    V16 out;
-    out.v[0] = fill;
-    for (int i = 1; i < 8; ++i) out.v[i] = v[i - 1];
-    return out;
-  }
-  std::int16_t lane(std::size_t i) const { return v[i]; }
-  std::int16_t hmax() const {
-    std::int16_t best = v[0];
-    for (int i = 1; i < 8; ++i) best = std::max(best, v[i]);
-    return best;
-  }
-#endif
 
   /// Insert a value into one lane (slow path; used for gathers).
   void set_lane(std::size_t i, std::int16_t x) {
-#if defined(SWDUAL_SIMD_SSE2)
     alignas(16) std::int16_t tmp[8];
     _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v);
     tmp[i] = x;
     v = _mm_load_si128(reinterpret_cast<const __m128i*>(tmp));
-#else
-    v[i] = x;
-#endif
   }
 };
+#else
+using V16 = VecI16Scalar<8>;
+#endif
 
 }  // namespace swdual::align

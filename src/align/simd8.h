@@ -1,15 +1,27 @@
-// Portable 16-lane 8-bit unsigned SIMD vector (the byte-precision tier).
+// Portable 16-lane 8-bit unsigned SIMD vector (the byte-precision tier) —
+// the narrowest member of the width-generic vector family.
 //
 // Farrar's implementation (and SWIPE, and CUDASW++) runs most alignments in
 // 8-bit *unsigned* arithmetic with a bias: substitution scores are stored as
 // score+bias >= 0, and saturating-at-zero subtraction provides the local
 // alignment's max(…, 0) for free. Pairs whose score approaches the 8-bit
 // ceiling are redone at 16 bits. SSE2 on x86, plain loops elsewhere.
+//
+// Vector interface contract (shared by V8, VecU8Scalar<N>, V8x32, V8x64 —
+// the striped byte kernel is templated over any type providing it):
+//   static constexpr std::size_t kLanes;   // lane count
+//   using value_type = std::uint8_t;
+//   zero() / splat(x) / load(p) / store(p)
+//   adds(a, b) / subs(a, b)                // saturating at 255 / 0
+//   max(a, b) / any_gt(a, b)               // lane-wise max, strict any >
+//   shift_lanes_up()                       // lane i <- lane i-1, lane 0 <- 0
+//   lane(i) / hmax()                       // extraction (outside hot loops)
 #pragma once
 
 #include <algorithm>
-#include <array>
 #include <cstdint>
+
+#include "align/simd_scalar.h"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -20,8 +32,11 @@ namespace swdual::align {
 
 inline constexpr std::size_t kLanes8 = 16;
 
-struct V8 {
 #if defined(SWDUAL_SIMD8_SSE2)
+struct V8 {
+  static constexpr std::size_t kLanes = 16;
+  using value_type = std::uint8_t;
+
   __m128i v;
 
   static V8 zero() { return {_mm_setzero_si128()}; }
@@ -58,57 +73,9 @@ struct V8 {
     _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v);
     return *std::max_element(tmp, tmp + 16);
   }
-#else
-  std::array<std::uint8_t, 16> v;
-
-  static std::uint8_t sat_add(int a, int b) {
-    return static_cast<std::uint8_t>(std::min(255, a + b));
-  }
-  static std::uint8_t sat_sub(int a, int b) {
-    return static_cast<std::uint8_t>(std::max(0, a - b));
-  }
-  static V8 zero() { return splat(0); }
-  static V8 splat(std::uint8_t x) {
-    V8 out;
-    out.v.fill(x);
-    return out;
-  }
-  static V8 load(const std::uint8_t* p) {
-    V8 out;
-    std::copy(p, p + 16, out.v.begin());
-    return out;
-  }
-  void store(std::uint8_t* p) const { std::copy(v.begin(), v.end(), p); }
-  friend V8 adds(V8 a, V8 b) {
-    V8 out;
-    for (int i = 0; i < 16; ++i) out.v[i] = sat_add(a.v[i], b.v[i]);
-    return out;
-  }
-  friend V8 subs(V8 a, V8 b) {
-    V8 out;
-    for (int i = 0; i < 16; ++i) out.v[i] = sat_sub(a.v[i], b.v[i]);
-    return out;
-  }
-  friend V8 max(V8 a, V8 b) {
-    V8 out;
-    for (int i = 0; i < 16; ++i) out.v[i] = std::max(a.v[i], b.v[i]);
-    return out;
-  }
-  friend bool any_gt(V8 a, V8 b) {
-    for (int i = 0; i < 16; ++i) {
-      if (a.v[i] > b.v[i]) return true;
-    }
-    return false;
-  }
-  V8 shift_lanes_up() const {
-    V8 out;
-    out.v[0] = 0;
-    for (int i = 1; i < 16; ++i) out.v[i] = v[i - 1];
-    return out;
-  }
-  std::uint8_t lane(std::size_t i) const { return v[i]; }
-  std::uint8_t hmax() const { return *std::max_element(v.begin(), v.end()); }
-#endif
 };
+#else
+using V8 = VecU8Scalar<16>;
+#endif
 
 }  // namespace swdual::align

@@ -1,0 +1,123 @@
+// AVX-512BW vector types: 64 unsigned-byte lanes (V8x64) and 32 signed
+// 16-bit lanes (V16x32), implementing the interface contract of simd8.h /
+// simd16.h. Requires AVX-512F + AVX-512BW (byte/word arithmetic and the
+// full-width mask compares); nothing from VL/VBMI/DQ is used.
+//
+// Like simd_avx2.h, this header compiles to nothing unless the including
+// translation unit enables AVX-512BW; only kernel_backend_avx512.cpp and
+// the wide-wrapper test do. Runtime capability is a separate question
+// answered by align::backend_available(Backend::kAVX512).
+//
+// shift_lanes_up crosses the four 128-bit lanes with the same carry idiom
+// as AVX2, one level up: t = [a.2, a.1, a.0, 0] (each 128-bit lane's
+// predecessor, built with maskz_shuffle_i64x2), then a per-lane alignr
+// picks the crossing byte(s) from t.
+#pragma once
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <algorithm>
+#include <cstdint>
+#include <immintrin.h>
+
+#define SWDUAL_SIMD_AVX512 1
+
+namespace swdual::align {
+
+/// 64-lane unsigned byte vector (AVX-512BW).
+struct V8x64 {
+  static constexpr std::size_t kLanes = 64;
+  using value_type = std::uint8_t;
+
+  __m512i v;
+
+  static V8x64 zero() { return {_mm512_setzero_si512()}; }
+  static V8x64 splat(std::uint8_t x) {
+    return {_mm512_set1_epi8(static_cast<char>(x))};
+  }
+  static V8x64 load(const std::uint8_t* p) {
+    return {_mm512_loadu_si512(p)};
+  }
+  void store(std::uint8_t* p) const { _mm512_storeu_si512(p, v); }
+  friend V8x64 adds(V8x64 a, V8x64 b) {
+    return {_mm512_adds_epu8(a.v, b.v)};
+  }
+  friend V8x64 subs(V8x64 a, V8x64 b) {
+    return {_mm512_subs_epu8(a.v, b.v)};
+  }
+  friend V8x64 max(V8x64 a, V8x64 b) { return {_mm512_max_epu8(a.v, b.v)}; }
+  friend bool any_gt(V8x64 a, V8x64 b) {
+    return _mm512_cmpgt_epu8_mask(a.v, b.v) != 0;
+  }
+  V8x64 shift_lanes_up() const {
+    const __m512i t =
+        _mm512_maskz_shuffle_i64x2(0xFC, v, v, 0x90);  // [a.2, a.1, a.0, 0]
+    return {_mm512_alignr_epi8(v, t, 15)};
+  }
+  std::uint8_t lane(std::size_t i) const {
+    alignas(64) std::uint8_t tmp[64];
+    _mm512_store_si512(tmp, v);
+    return tmp[i];
+  }
+  std::uint8_t hmax() const {
+    alignas(64) std::uint8_t tmp[64];
+    _mm512_store_si512(tmp, v);
+    return *std::max_element(tmp, tmp + 64);
+  }
+};
+
+/// 32-lane signed 16-bit vector (AVX-512BW).
+struct V16x32 {
+  static constexpr std::size_t kLanes = 32;
+  using value_type = std::int16_t;
+
+  __m512i v;
+
+  static V16x32 zero() { return {_mm512_setzero_si512()}; }
+  static V16x32 splat(std::int16_t x) { return {_mm512_set1_epi16(x)}; }
+  static V16x32 load(const std::int16_t* p) {
+    return {_mm512_loadu_si512(p)};
+  }
+  void store(std::int16_t* p) const { _mm512_storeu_si512(p, v); }
+  friend V16x32 adds(V16x32 a, V16x32 b) {
+    return {_mm512_adds_epi16(a.v, b.v)};
+  }
+  friend V16x32 subs(V16x32 a, V16x32 b) {
+    return {_mm512_subs_epi16(a.v, b.v)};
+  }
+  friend V16x32 max(V16x32 a, V16x32 b) {
+    return {_mm512_max_epi16(a.v, b.v)};
+  }
+  friend bool any_gt(V16x32 a, V16x32 b) {
+    return _mm512_cmpgt_epi16_mask(a.v, b.v) != 0;
+  }
+  V16x32 shift_lanes_up(std::int16_t fill) const {
+    const __m512i t =
+        _mm512_maskz_shuffle_i64x2(0xFC, v, v, 0x90);  // [a.2, a.1, a.0, 0]
+    const __m512i shifted = _mm512_alignr_epi8(v, t, 14);
+    return {_mm512_mask_blend_epi16(__mmask32{1}, shifted,
+                                    _mm512_set1_epi16(fill))};
+  }
+  std::int16_t lane(std::size_t i) const {
+    alignas(64) std::int16_t tmp[32];
+    _mm512_store_si512(tmp, v);
+    return tmp[i];
+  }
+  std::int16_t hmax() const {
+    alignas(64) std::int16_t tmp[32];
+    _mm512_store_si512(tmp, v);
+    std::int16_t best = tmp[0];
+    for (int i = 1; i < 32; ++i) best = std::max(best, tmp[i]);
+    return best;
+  }
+  void set_lane(std::size_t i, std::int16_t x) {
+    alignas(64) std::int16_t tmp[32];
+    _mm512_store_si512(tmp, v);
+    tmp[i] = x;
+    v = _mm512_load_si512(tmp);
+  }
+};
+
+}  // namespace swdual::align
+
+#endif  // __AVX512F__ && __AVX512BW__

@@ -108,6 +108,11 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
   context.scheme = config.scheme;
   context.model = config.model;
   context.cpu_kernel = config.cpu_kernel;
+  // Resolve the SIMD backend once, here on the caller's thread: a bad
+  // --backend or SWDUAL_FORCE_BACKEND surfaces as a clean configuration
+  // error instead of an exception escaping a worker thread, and every
+  // worker is pinned to the same backend for the whole run.
+  context.cpu_backend = align::resolve_backend(config.cpu_backend);
   context.threads_per_cpu_worker = config.threads_per_cpu_worker;
   context.fault_injector = config.fault_injector;
   context.tracer = config.tracer;

@@ -41,6 +41,11 @@ struct MasterConfig {
   align::KernelKind cpu_kernel = align::KernelKind::kInterSeq;
   std::size_t top_hits = 10;     ///< hits reported per query
 
+  /// SIMD backend for the CPU kernels. kAuto picks the widest the host
+  /// supports (AVX-512BW > AVX2 > SSE2 > scalar); SWDUAL_FORCE_BACKEND
+  /// still overrides. Scores are bit-identical on every backend.
+  align::Backend cpu_backend = align::Backend::kAuto;
+
   /// Intra-task threads per CPU worker (> 1 scans the database in parallel
   /// chunks inside each task; scores are identical to the serial path).
   std::size_t threads_per_cpu_worker = 1;

@@ -81,9 +81,10 @@ TaskReport Worker::execute(const TaskOrder& order) {
   } else {
     const align::SearchResult result =
         engine_ ? engine_->search(query_view, context_.scheme,
-                                  context_.cpu_kernel)
+                                  context_.cpu_kernel, context_.cpu_backend)
                 : align::search_database(query_view, db, context_.scheme,
-                                         context_.cpu_kernel);
+                                         context_.cpu_kernel,
+                                         context_.cpu_backend);
     report.scores = result.scores;
     report.cells = result.cells;
     report.virtual_seconds =

@@ -33,6 +33,10 @@ struct WorkerContext {
   platform::PerfModel model;
   align::KernelKind cpu_kernel = align::KernelKind::kInterSeq;
 
+  /// SIMD backend for the CPU kernels (kAuto = widest available; see
+  /// align/backend.h). Forwarded to every search call a CPU worker makes.
+  align::Backend cpu_backend = align::Backend::kAuto;
+
   /// Intra-task threads for each CPU worker: > 1 makes the worker scan the
   /// database through a chunked ParallelSearchEngine instead of the serial
   /// search_database path (results are bit-identical either way).

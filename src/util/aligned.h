@@ -1,0 +1,45 @@
+// Cache-line-aligned storage for SIMD-streamed buffers.
+//
+// std::vector's default allocator only guarantees alignof(std::max_align_t)
+// (16 bytes); a 256/512-bit vector load from such a buffer straddles a
+// cache line every other access, which measurably slows the wide striped
+// kernels. AlignedVector<T> is a std::vector whose allocations start on a
+// 64-byte boundary, so every load/store at a vector-width-multiple offset
+// is fully inside one line.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace swdual {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal C++17 aligned allocator: every allocation is 64-byte aligned.
+template <class T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+
+  CacheAlignedAllocator() = default;
+  template <class U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+  }
+
+  template <class U>
+  bool operator==(const CacheAlignedAllocator<U>&) const { return true; }
+  template <class U>
+  bool operator!=(const CacheAlignedAllocator<U>&) const { return false; }
+};
+
+template <class T>
+using AlignedVector = std::vector<T, CacheAlignedAllocator<T>>;
+
+}  // namespace swdual

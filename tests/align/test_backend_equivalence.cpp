@@ -1,0 +1,224 @@
+// Cross-backend equivalence: every compiled-and-runnable SIMD backend must
+// produce bit-identical scores AND identical overflow (8→16-bit escalation)
+// decisions to the scalar reference backend, on every kernel, through every
+// driver layer (raw kernels, search_database, the chunked parallel engine).
+// Backends the host cannot execute are skipped, not failed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "align/backend.h"
+#include "align/kernel_interseq.h"
+#include "align/kernel_striped.h"
+#include "align/kernel_striped8.h"
+#include "align/parallel_search.h"
+#include "align/scalar.h"
+#include "align/search.h"
+#include "util/rng.h"
+
+namespace swdual::align {
+namespace {
+
+std::vector<std::uint8_t> random_codes(Rng& rng, std::size_t len,
+                                       std::size_t alphabet = 20) {
+  std::vector<std::uint8_t> out(len);
+  for (auto& c : out) c = static_cast<std::uint8_t>(rng.below(alphabet));
+  return out;
+}
+
+/// A small random protein corpus plus one query, with a few length-extreme
+/// records (empty-ish, lane-multiple, long) to exercise batching edges.
+struct Corpus {
+  std::vector<std::uint8_t> query;
+  std::vector<std::vector<std::uint8_t>> records;
+
+  DbView view() const {
+    DbView v;
+    for (const auto& r : records) v.emplace_back(r.data(), r.size());
+    return v;
+  }
+};
+
+Corpus make_corpus(std::uint64_t seed, std::size_t n, std::size_t query_len,
+                   std::size_t max_len) {
+  Rng rng(seed);
+  Corpus c;
+  c.query = random_codes(rng, query_len);
+  c.records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.records.push_back(random_codes(
+        rng, static_cast<std::size_t>(rng.between(1, static_cast<int>(max_len)))));
+  }
+  if (n >= 3) {
+    c.records[0] = random_codes(rng, 1);
+    c.records[1] = random_codes(rng, 64);    // lane-count multiple
+    c.records[2] = random_codes(rng, max_len);
+  }
+  return c;
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (const char* old = std::getenv("SWDUAL_FORCE_BACKEND")) saved_ = old;
+    if (!backend_available(GetParam())) {
+      GTEST_SKIP() << backend_name(GetParam())
+                   << " backend not available on this host";
+    }
+  }
+  void TearDown() override {
+    if (saved_.empty()) {
+      ::unsetenv("SWDUAL_FORCE_BACKEND");
+    } else {
+      ::setenv("SWDUAL_FORCE_BACKEND", saved_.c_str(), 1);
+    }
+  }
+  /// Route all kAuto dispatch in the code under test to `backend`.
+  static void force(Backend backend) {
+    ::setenv("SWDUAL_FORCE_BACKEND", backend_name(backend), 1);
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST_P(BackendEquivalence, StripedKernelsMatchScalarPairwise) {
+  const Corpus corpus = make_corpus(0x5eed, 40, 180, 300);
+  const ScoringScheme scheme;
+  for (const auto& record : corpus.records) {
+    force(Backend::kScalar);
+    const StripedResult ref16 = striped_score(corpus.query, record, scheme);
+    const StripedResult ref8 = striped8_score(corpus.query, record, scheme);
+    force(GetParam());
+    const StripedResult got16 = striped_score(corpus.query, record, scheme);
+    const StripedResult got8 = striped8_score(corpus.query, record, scheme);
+    ASSERT_EQ(got16.score, ref16.score);
+    ASSERT_EQ(got16.overflow, ref16.overflow);
+    ASSERT_EQ(got8.score, ref8.score);
+    ASSERT_EQ(got8.overflow, ref8.overflow)
+        << "8-bit escalation decision diverged on "
+        << backend_name(GetParam());
+  }
+}
+
+TEST_P(BackendEquivalence, InterSeqMatchesScalarBatch) {
+  const Corpus corpus = make_corpus(0xba7c, 37, 120, 400);
+  const ScoringScheme scheme;
+  SequenceViews views;
+  for (const auto& r : corpus.records) views.emplace_back(r.data(), r.size());
+  force(Backend::kScalar);
+  const InterSeqResult ref = interseq_scores(corpus.query, views, scheme);
+  force(GetParam());
+  const InterSeqResult got = interseq_scores(corpus.query, views, scheme);
+  ASSERT_EQ(got.scores, ref.scores);
+  ASSERT_EQ(got.overflow, ref.overflow);
+  ASSERT_EQ(got.cells, ref.cells) << "padding must not be billed as cells";
+}
+
+TEST_P(BackendEquivalence, SearchDatabaseMatchesScalarOnEveryKernel) {
+  const Corpus corpus = make_corpus(0xdb, 60, 200, 350);
+  const DbView db = corpus.view();
+  const ScoringScheme scheme;
+  for (KernelKind kernel : {KernelKind::kStriped, KernelKind::kStriped8,
+                            KernelKind::kInterSeq}) {
+    force(Backend::kScalar);
+    const SearchResult ref =
+        search_database(corpus.query, db, scheme, kernel);
+    force(GetParam());
+    const SearchResult got =
+        search_database(corpus.query, db, scheme, kernel);
+    ASSERT_EQ(got.scores, ref.scores) << kernel_name(kernel);
+    ASSERT_EQ(got.cells, ref.cells) << kernel_name(kernel);
+    ASSERT_EQ(got.overflow_rescans, ref.overflow_rescans)
+        << kernel_name(kernel) << ": escalation decisions diverged";
+  }
+}
+
+TEST_P(BackendEquivalence, EscalationDecisionsMatchUnderForcedOverflow) {
+  // Half the records are near-copies of a poly-tryptophan query, so the
+  // byte tier saturates on them (score 11/residue ≫ the u8 ceiling) and the
+  // search must escalate those — and only those — pairs identically.
+  Rng rng(0xf00d);
+  std::vector<std::uint8_t> query(600, 17);  // 'W' scores 11 vs itself
+  std::vector<std::vector<std::uint8_t>> records;
+  for (std::size_t i = 0; i < 24; ++i) {
+    if (i % 2 == 0) {
+      std::vector<std::uint8_t> hot = query;
+      hot.resize(300 + 20 * i, 17);
+      records.push_back(std::move(hot));
+    } else {
+      records.push_back(random_codes(rng, 200));
+    }
+  }
+  DbView db;
+  for (const auto& r : records) db.emplace_back(r.data(), r.size());
+  const ScoringScheme scheme;
+  force(Backend::kScalar);
+  const SearchResult ref =
+      search_database(query, db, scheme, KernelKind::kStriped8);
+  EXPECT_GT(ref.overflow_rescans, 0u) << "corpus failed to saturate";
+  force(GetParam());
+  const SearchResult got =
+      search_database(query, db, scheme, KernelKind::kStriped8);
+  EXPECT_EQ(got.scores, ref.scores);
+  EXPECT_EQ(got.overflow_rescans, ref.overflow_rescans);
+}
+
+TEST_P(BackendEquivalence, ExplicitBackendParamMatchesForcedEnv) {
+  // The Backend parameter threaded through the drivers must agree with the
+  // env override route (both end in the same kernel table).
+  const Corpus corpus = make_corpus(0xca11, 30, 150, 250);
+  const DbView db = corpus.view();
+  const ScoringScheme scheme;
+  force(GetParam());
+  const SearchResult via_env =
+      search_database(corpus.query, db, scheme, KernelKind::kInterSeq);
+  ::unsetenv("SWDUAL_FORCE_BACKEND");
+  const SearchResult via_param = search_database(
+      corpus.query, db, scheme, KernelKind::kInterSeq, GetParam());
+  EXPECT_EQ(via_param.scores, via_env.scores);
+  EXPECT_EQ(via_param.cells, via_env.cells);
+}
+
+TEST_P(BackendEquivalence, ParallelEngineMatchesSerialScalarAcrossThreads) {
+  const Corpus corpus = make_corpus(0x9a7, 90, 160, 300);
+  const DbView db = corpus.view();
+  const ScoringScheme scheme;
+  force(Backend::kScalar);
+  const SearchResult ref =
+      search_database(corpus.query, db, scheme, KernelKind::kInterSeq);
+  force(GetParam());
+  for (std::size_t threads : {1u, 4u}) {
+    ParallelSearchOptions options;
+    options.threads = threads;
+    const ParallelSearchEngine engine(db, options);
+    const SearchResult got =
+        engine.search(corpus.query, scheme, KernelKind::kInterSeq);
+    ASSERT_EQ(got.scores, ref.scores) << "threads=" << threads;
+    ASSERT_EQ(got.cells, ref.cells) << "threads=" << threads;
+  }
+}
+
+TEST_P(BackendEquivalence, ScoresAgreeWithGotohOracle) {
+  // Anchor the whole equivalence class to ground truth, not just to the
+  // scalar backend: a handful of random pairs against the 32-bit oracle.
+  const Corpus corpus = make_corpus(0x02ac1e, 12, 140, 220);
+  const ScoringScheme scheme;
+  force(GetParam());
+  for (const auto& record : corpus.records) {
+    const int oracle = gotoh_score(corpus.query, record, scheme).score;
+    EXPECT_EQ(striped_score(corpus.query, record, scheme).score, oracle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendEquivalence,
+                         ::testing::Values(Backend::kScalar, Backend::kSSE2,
+                                           Backend::kAVX2, Backend::kAVX512),
+                         [](const ::testing::TestParamInfo<Backend>& pi) {
+                           return std::string(backend_name(pi.param));
+                         });
+
+}  // namespace
+}  // namespace swdual::align
