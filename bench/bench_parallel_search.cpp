@@ -93,10 +93,10 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> thread_counts;
   std::vector<align::Backend> backends;
   try {
-    records = static_cast<std::size_t>(cli.option_int("records"));
-    len = static_cast<std::size_t>(cli.option_int("len"));
-    query_len = static_cast<std::size_t>(cli.option_int("query-len"));
-    reps = static_cast<std::size_t>(cli.option_int("reps"));
+    records = cli.option_uint("records");
+    len = cli.option_uint("len");
+    query_len = cli.option_uint("query-len");
+    reps = cli.option_uint("reps");
     thread_counts = parse_list(cli.option("threads-list"));
     backends = parse_backends(cli.option("backend-list"));
   } catch (const std::exception& error) {

@@ -1,0 +1,227 @@
+// Closed-loop traffic driver for the concurrent query service (src/serve).
+//
+// Simulates a deployment day-in-the-life: N client threads submit queries
+// drawn Zipf-skewed from a fixed pool (real annotation traffic repeats hot
+// queries), each waiting for its answer before submitting the next (closed
+// loop, so admission backpressure throttles clients instead of dropping
+// work). Reports sustained throughput, end-to-end latency percentiles
+// (p50/p95/p99 from the service's own serve_latency_seconds histogram),
+// result-cache hit rate, batching effectiveness, and a bit-identity check of
+// every response against the direct align::search_database path.
+//
+//   ./bench_serve [--records N] [--len L] [--pool P] [--query-len Q]
+//                 [--requests R] [--clients C] [--zipf-s S]
+//                 [--max-batch B] [--admission A] [--cache K]
+//                 [--cpu-workers M] [--gpu-workers G] [--seed S] [--out CSV]
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "align/search.h"
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "seq/dbgen.h"
+#include "serve/service.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace swdual;
+
+/// Sample an index in [0, weights.size()) from the precomputed Zipf CDF.
+std::size_t sample_cdf(Rng& rng, const std::vector<double>& cdf) {
+  const double u = rng.uniform() * cdf.back();
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    if (u < cdf[i]) return i;
+  }
+  return cdf.size() - 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_serve",
+                "closed-loop Zipf traffic against the query service");
+  cli.add_option("records", "database records", "400");
+  cli.add_option("len", "residues per record", "150");
+  cli.add_option("pool", "distinct queries in the traffic pool", "24");
+  cli.add_option("query-len", "query length", "120");
+  cli.add_option("requests", "total requests across all clients", "600");
+  cli.add_option("clients", "closed-loop client threads", "6");
+  cli.add_option("zipf-s", "Zipf skew exponent (0 = uniform)", "1.1");
+  cli.add_option("max-batch", "service micro-batch limit", "8");
+  cli.add_option("admission", "admission queue capacity", "64");
+  cli.add_option("cache", "result cache capacity", "256");
+  cli.add_option("cpu-workers", "CPU workers", "2");
+  cli.add_option("gpu-workers", "GPU workers", "1");
+  cli.add_option("seed", "traffic RNG seed", "7");
+  cli.add_option("out", "CSV output path", "serve_bench.csv");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+
+  std::size_t records = 0, len = 0, pool_size = 0, query_len = 0;
+  std::size_t requests = 0, clients = 0;
+  double zipf_s = 0.0;
+  serve::ServiceConfig config;
+  std::uint64_t seed = 0;
+  try {
+    records = cli.option_uint("records");
+    len = cli.option_uint("len");
+    pool_size = cli.option_uint("pool");
+    query_len = cli.option_uint("query-len");
+    requests = cli.option_uint("requests");
+    clients = cli.option_uint("clients");
+    zipf_s = cli.option_double("zipf-s");
+    config.max_batch = cli.option_uint("max-batch");
+    config.admission_capacity = cli.option_uint("admission");
+    config.result_cache_capacity = cli.option_uint("cache");
+    config.master.cpu_workers = cli.option_uint("cpu-workers");
+    config.master.gpu_workers = cli.option_uint("gpu-workers");
+    seed = static_cast<std::uint64_t>(cli.option_uint("seed"));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  bench::banner(
+      "query service under closed-loop Zipf traffic",
+      std::to_string(clients) + " clients, " + std::to_string(requests) +
+          " requests, pool " + std::to_string(pool_size) + ", zipf-s " +
+          cli.option("zipf-s"));
+
+  Rng rng(seed);
+  std::vector<seq::Sequence> db;
+  db.reserve(records);
+  for (std::size_t i = 0; i < records; ++i) {
+    const std::size_t jitter = rng.below(len);
+    db.push_back(seq::random_protein(rng, "d" + std::to_string(i),
+                                     len / 2 + jitter));
+  }
+  std::vector<seq::Sequence> pool;
+  pool.reserve(pool_size);
+  for (std::size_t q = 0; q < pool_size; ++q) {
+    pool.push_back(
+        seq::random_protein(rng, "q" + std::to_string(q), query_len));
+  }
+
+  // Zipf CDF over the pool: weight(rank i) = 1 / (i+1)^s.
+  std::vector<double> cdf(pool.size());
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    cumulative += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+    cdf[i] = cumulative;
+  }
+
+  // Ground truth per pool query, for the bit-identity acceptance check.
+  config.db_id = "bench";
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  const std::size_t top = config.master.top_hits;
+  const align::ScoringScheme scheme = config.master.scheme;
+  const align::KernelKind kernel = config.master.cpu_kernel;
+  std::vector<std::vector<align::SearchHit>> expected(pool.size());
+  for (std::size_t q = 0; q < pool.size(); ++q) {
+    expected[q] = align::search_database(pool[q], db, scheme, kernel).top(top);
+  }
+
+  serve::QueryService service(db, std::move(config));
+
+  std::mutex stats_mutex;
+  std::uint64_t mismatches = 0;
+  std::uint64_t backpressure_retries = 0;
+  const std::size_t per_client = requests / clients;
+
+  WallTimer wall;
+  std::vector<std::thread> client_threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      Rng traffic(seed ^ (0x9e3779b97f4a7c15ull * (c + 1)));
+      std::uint64_t local_retries = 0;
+      std::uint64_t local_mismatches = 0;
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const std::size_t pick = sample_cdf(traffic, cdf);
+        serve::Submission ticket;
+        for (;;) {
+          ticket = service.submit(pool[pick]);
+          if (ticket.accepted()) break;
+          ++local_retries;  // closed loop: back off and retry on full queue
+          std::this_thread::yield();
+        }
+        const serve::QueryResponse response = ticket.result.get();
+        if (response.hits.size() != expected[pick].size()) {
+          ++local_mismatches;
+          continue;
+        }
+        for (std::size_t h = 0; h < response.hits.size(); ++h) {
+          if (response.hits[h].db_index != expected[pick][h].db_index ||
+              response.hits[h].score != expected[pick][h].score) {
+            ++local_mismatches;
+            break;
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      backpressure_retries += local_retries;
+      mismatches += local_mismatches;
+    });
+  }
+  for (auto& thread : client_threads) thread.join();
+  const double elapsed = wall.seconds();
+  service.shutdown();
+
+  const std::uint64_t completed = per_client * clients;
+  const auto stats = service.stats();
+  const double hit_rate =
+      stats.results.hits + stats.results.misses > 0
+          ? static_cast<double>(stats.results.hits) /
+                static_cast<double>(stats.results.hits + stats.results.misses)
+          : 0.0;
+  const double throughput =
+      elapsed > 0 ? static_cast<double>(completed) / elapsed : 0.0;
+  const double p50 = metrics.percentile("serve_latency_seconds", 0.50) * 1e3;
+  const double p95 = metrics.percentile("serve_latency_seconds", 0.95) * 1e3;
+  const double p99 = metrics.percentile("serve_latency_seconds", 0.99) * 1e3;
+  const double mean_batch =
+      metrics.histogram("serve_batch_size").mean();
+
+  TextTable table;
+  table.set_header({"metric", "value"});
+  table.add_row({"requests completed", std::to_string(completed)});
+  table.add_row({"wall seconds", TextTable::fmt(elapsed, 3)});
+  table.add_row({"throughput (req/s)", TextTable::fmt(throughput, 1)});
+  table.add_row({"latency p50 (ms)", TextTable::fmt(p50, 3)});
+  table.add_row({"latency p95 (ms)", TextTable::fmt(p95, 3)});
+  table.add_row({"latency p99 (ms)", TextTable::fmt(p99, 3)});
+  table.add_row({"cache hit rate", TextTable::fmt(hit_rate, 3)});
+  table.add_row({"distinct searches", std::to_string(stats.searches)});
+  table.add_row({"batches", std::to_string(stats.batches)});
+  table.add_row({"mean batch size", TextTable::fmt(mean_batch, 2)});
+  table.add_row({"profile-cache hits", std::to_string(stats.profiles.hits)});
+  table.add_row(
+      {"backpressure retries", std::to_string(backpressure_retries)});
+  table.add_row({"scores==direct", mismatches == 0 ? "yes" : "NO"});
+  std::printf("%s", table.render().c_str());
+  bench::emit_csv(table, cli.option("out"));
+
+  if (mismatches != 0) {
+    std::fprintf(stderr, "FAIL: %llu responses differed from direct search\n",
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  return 0;
+}

@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
     if (!cli.option("generate").empty()) {
       seq::DatabaseProfile profile = seq::table3_profile(
           cli.option("generate"),
-          static_cast<std::size_t>(cli.option_int("scale")));
+          cli.option_uint("scale"));
       std::cerr << "generating " << profile.num_sequences
                 << " synthetic sequences for " << profile.name << "...\n";
       db = seq::generate_database(profile);
@@ -110,17 +110,17 @@ int main(int argc, char** argv) {
                                      seq::AlphabetKind::kProtein);
     } else {
       queries = seq::sample_query_set(
-          db, static_cast<std::size_t>(cli.option_int("queries")), 100, 5000,
+          db, cli.option_uint("queries"), 100, 5000,
           42);
     }
 
     master::MasterConfig config;
-    config.cpu_workers = static_cast<std::size_t>(cli.option_int("cpus"));
-    config.gpu_workers = static_cast<std::size_t>(cli.option_int("gpus"));
+    config.cpu_workers = cli.option_uint("cpus");
+    config.gpu_workers = cli.option_uint("gpus");
     config.policy = parse_policy(cli.option("policy"));
-    config.top_hits = static_cast<std::size_t>(cli.option_int("top"));
+    config.top_hits = cli.option_uint("top");
     config.threads_per_cpu_worker =
-        static_cast<std::size_t>(cli.option_int("threads"));
+        cli.option_uint("threads");
     if (!align::parse_backend(cli.option("backend"), config.cpu_backend)) {
       throw InvalidArgument("unknown backend: " + cli.option("backend") +
                             " (want auto|scalar|sse2|avx2|avx512)");

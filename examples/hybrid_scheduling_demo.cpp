@@ -34,11 +34,11 @@ int main(int argc, char** argv) try {
     return 0;
   }
 
-  const auto n = static_cast<std::size_t>(cli.option_int("tasks"));
+  const auto n = cli.option_uint("tasks");
   const HybridPlatform platform{
-      static_cast<std::size_t>(cli.option_int("cpus")),
-      static_cast<std::size_t>(cli.option_int("gpus"))};
-  Rng rng(static_cast<std::uint64_t>(cli.option_int("seed")));
+      cli.option_uint("cpus"),
+      cli.option_uint("gpus")};
+  Rng rng(static_cast<std::uint64_t>(cli.option_uint("seed")));
 
   std::vector<Task> tasks;
   for (std::size_t i = 0; i < n; ++i) {

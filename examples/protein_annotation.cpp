@@ -35,9 +35,9 @@ int main(int argc, char** argv) try {
     return 0;
   }
 
-  Rng rng(static_cast<std::uint64_t>(cli.option_int("seed")));
-  const auto db_size = static_cast<std::size_t>(cli.option_int("db-size"));
-  const auto novel_count = static_cast<std::size_t>(cli.option_int("novel"));
+  Rng rng(static_cast<std::uint64_t>(cli.option_uint("seed")));
+  const auto db_size = cli.option_uint("db-size");
+  const auto novel_count = cli.option_uint("novel");
   const double cutoff = cli.option_double("evalue");
 
   // Reference database: families named fam0.. with member sequences.

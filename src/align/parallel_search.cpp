@@ -131,17 +131,15 @@ ParallelSearchEngine::batch_aligned_chunks(std::size_t batch) const {
   return out;
 }
 
-RankedSearchResult ParallelSearchEngine::run(
-    std::span<const std::uint8_t> query, const ScoringScheme& scheme,
-    KernelKind kernel, std::size_t top_k, Backend backend) const {
+RankedSearchResult ParallelSearchEngine::run(const SearchProfiles& profiles,
+                                             std::size_t top_k) const {
   WallTimer timer;
-  const SearchProfiles profiles(query, scheme, kernel, backend);
 
   // The inter-sequence kernel processes the (length-sorted) records in
   // groups of one SIMD batch; keep chunk boundaries on batch multiples so
   // no batch is split mid-vector across two chunks.
   const std::vector<Chunk> chunks =
-      kernel == KernelKind::kInterSeq
+      profiles.kernel() == KernelKind::kInterSeq
           ? batch_aligned_chunks(backend_lanes16(profiles.backend()))
           : chunks_;
 
@@ -190,13 +188,24 @@ SearchResult ParallelSearchEngine::search(std::span<const std::uint8_t> query,
                                           const ScoringScheme& scheme,
                                           KernelKind kernel,
                                           Backend backend) const {
-  return run(query, scheme, kernel, 0, backend).result;
+  const SearchProfiles profiles(query, scheme, kernel, backend);
+  return run(profiles, 0).result;
 }
 
 RankedSearchResult ParallelSearchEngine::search_ranked(
     std::span<const std::uint8_t> query, const ScoringScheme& scheme,
     KernelKind kernel, std::size_t k, Backend backend) const {
-  return run(query, scheme, kernel, k, backend);
+  const SearchProfiles profiles(query, scheme, kernel, backend);
+  return run(profiles, k);
+}
+
+SearchResult ParallelSearchEngine::search(const SearchProfiles& profiles) const {
+  return run(profiles, 0).result;
+}
+
+RankedSearchResult ParallelSearchEngine::search_ranked(
+    const SearchProfiles& profiles, std::size_t k) const {
+  return run(profiles, k);
 }
 
 }  // namespace swdual::align

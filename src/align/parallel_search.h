@@ -87,6 +87,12 @@ class ParallelSearchEngine {
                                    KernelKind kernel, std::size_t k,
                                    Backend backend = Backend::kAuto) const;
 
+  /// Scan with caller-provided (possibly cached/shared) profiles, skipping
+  /// the per-call profile build. Bit-identical to the building overloads.
+  SearchResult search(const SearchProfiles& profiles) const;
+  RankedSearchResult search_ranked(const SearchProfiles& profiles,
+                                   std::size_t k) const;
+
   std::size_t num_chunks() const { return chunks_.size(); }
   std::size_t threads() const { return pool_ ? pool_->size() : 1; }
   std::size_t db_records() const { return db_.size(); }
@@ -104,9 +110,8 @@ class ParallelSearchEngine {
 
   ChunkOutcome run_chunk(const SearchProfiles& profiles, const Chunk& chunk,
                          std::size_t chunk_index, std::size_t top_k) const;
-  RankedSearchResult run(std::span<const std::uint8_t> query,
-                         const ScoringScheme& scheme, KernelKind kernel,
-                         std::size_t top_k, Backend backend) const;
+  RankedSearchResult run(const SearchProfiles& profiles,
+                         std::size_t top_k) const;
 
   /// chunks_ with every boundary snapped to a multiple of `batch` records,
   /// so the inter-sequence kernel never splits a SIMD batch between two

@@ -1,0 +1,90 @@
+#include "align/profile_cache.h"
+
+#include <algorithm>
+
+#include "util/crc32.h"
+#include "util/error.h"
+
+namespace swdual::align {
+
+std::string scoring_key(const ScoringScheme& scheme) {
+  const ScoreMatrix& matrix = *scheme.matrix;
+  Crc32 crc;
+  for (std::uint8_t a = 0; a < matrix.size(); ++a) {
+    crc.update(matrix.row(a), matrix.size());
+  }
+  return matrix.name() + '/' + std::to_string(matrix.size()) + '/' +
+         std::to_string(crc.value()) + "/o" +
+         std::to_string(scheme.gap.open) + "e" +
+         std::to_string(scheme.gap.extend);
+}
+
+namespace {
+
+std::string make_key(std::span<const std::uint8_t> query,
+                     const ScoringScheme& scheme, KernelKind kernel,
+                     Backend backend) {
+  std::string key;
+  key.reserve(query.size() + 64);
+  key += kernel_name(kernel);
+  key += '/';
+  key += backend_name(backend);
+  key += '/';
+  key += scoring_key(scheme);
+  key += '/';
+  key.append(reinterpret_cast<const char*>(query.data()), query.size());
+  return key;
+}
+
+}  // namespace
+
+ProfileCache::ProfileCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::shared_ptr<const CachedProfiles> ProfileCache::acquire(
+    std::span<const std::uint8_t> query, const ScoringScheme& scheme,
+    KernelKind kernel, Backend backend) {
+  const Backend resolved = resolve_backend(backend);
+  std::string key = make_key(query, scheme, kernel, resolved);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = index_.find(key);
+    if (found != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, found->second);
+      return found->second->second;
+    }
+  }
+
+  // Miss: build outside the lock (profile construction is O(|q|·alphabet)
+  // and must not serialize other workers' lookups).
+  auto entry = std::shared_ptr<CachedProfiles>(new CachedProfiles());
+  entry->residues_.assign(query.begin(), query.end());
+  entry->profiles_.emplace(entry->query(), scheme, kernel, resolved);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto raced = index_.find(key);
+  if (raced != index_.end()) {
+    // Another thread built the same entry first; keep theirs.
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, raced->second);
+    return raced->second->second;
+  }
+  ++misses_;
+  lru_.emplace_front(key, entry);
+  index_.emplace(std::move(key), lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return entry;
+}
+
+ProfileCache::Stats ProfileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {hits_, misses_, evictions_, lru_.size(), capacity_};
+}
+
+}  // namespace swdual::align

@@ -1,0 +1,95 @@
+// Shared LRU cache of ready-to-use query profiles.
+//
+// Building a SearchProfiles (striped profile layout, lazy 16-bit escalation
+// state, kernel-table resolution) is pure per-query work: it depends only on
+// (query residues, scoring scheme, kernel, resolved SIMD backend). A service
+// that sees the same query repeatedly — or the same query fanned out to
+// several workers in one batch — should build that state once and share it,
+// the way SWAPHI keeps one resident query context across a whole multi-pass
+// search. Entries own a copy of the query residues, so the profiles stay
+// valid independent of the submitting caller's buffers, and acquire()
+// returns shared ownership: an entry evicted by the LRU stays alive for as
+// long as any in-flight scan still holds it.
+//
+// Thread-safe. Lookups are served under one mutex; a miss builds the
+// profiles *outside* the lock (construction cost must not serialize
+// unrelated workers), and a racing duplicate build is resolved in favour of
+// the first entry inserted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "align/search.h"
+
+namespace swdual::align {
+
+/// Cache key fragment for a scoring configuration: matrix identity (name,
+/// dimension, CRC-32 of the score table — robust against two matrices that
+/// share a name) plus the affine-gap penalties. Two schemes with equal keys
+/// produce bit-identical scores for every kernel.
+std::string scoring_key(const ScoringScheme& scheme);
+
+/// One cached profile set. Owns the query residues its SearchProfiles views
+/// point into.
+class CachedProfiles {
+ public:
+  const SearchProfiles& profiles() const { return *profiles_; }
+  std::span<const std::uint8_t> query() const {
+    return {residues_.data(), residues_.size()};
+  }
+
+ private:
+  friend class ProfileCache;
+  CachedProfiles() = default;
+
+  std::vector<std::uint8_t> residues_;
+  std::optional<SearchProfiles> profiles_;  ///< views into residues_
+};
+
+class ProfileCache {
+ public:
+  /// `capacity` = maximum retained entries (≥ 1).
+  explicit ProfileCache(std::size_t capacity = 64);
+
+  ProfileCache(const ProfileCache&) = delete;
+  ProfileCache& operator=(const ProfileCache&) = delete;
+
+  /// Get-or-build the profile set for (query, scheme, kernel, backend).
+  /// kAuto resolves to the widest backend the host supports, so every
+  /// caller that lets the dispatcher decide shares one entry.
+  std::shared_ptr<const CachedProfiles> acquire(
+      std::span<const std::uint8_t> query, const ScoringScheme& scheme,
+      KernelKind kernel, Backend backend = Backend::kAuto);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+  Stats stats() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const CachedProfiles>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace swdual::align

@@ -182,6 +182,13 @@ SearchResult search_database(std::span<const std::uint8_t> query,
   return result;
 }
 
+SearchResult search_database(const SearchProfiles& profiles, const DbView& db) {
+  WallTimer timer;
+  SearchResult result = search_range(profiles, db, 0, db.size());
+  result.seconds = timer.seconds();
+  return result;
+}
+
 SearchResult search_database(const seq::Sequence& query,
                              const std::vector<seq::Sequence>& db,
                              const ScoringScheme& scheme, KernelKind kernel,

@@ -129,6 +129,10 @@ SearchResult search_database(std::span<const std::uint8_t> query,
                              KernelKind kernel,
                              Backend backend = Backend::kAuto);
 
+/// Same scan with caller-provided (possibly cached/shared) profiles: the
+/// per-query build step is skipped, results are bit-identical.
+SearchResult search_database(const SearchProfiles& profiles, const DbView& db);
+
 /// Convenience overload for Sequence inputs.
 SearchResult search_database(const seq::Sequence& query,
                              const std::vector<seq::Sequence>& db,

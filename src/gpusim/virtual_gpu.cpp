@@ -15,6 +15,16 @@ VirtualGpu::VirtualGpu(DeviceSpec spec) : spec_(std::move(spec)) {
 BatchResult VirtualGpu::run_batch(std::span<const std::uint8_t> query,
                                   const align::DbView& db,
                                   const align::ScoringScheme& scheme) {
+  const align::SearchProfiles profiles(query, scheme,
+                                       align::KernelKind::kInterSeq);
+  return run_batch(profiles, db);
+}
+
+BatchResult VirtualGpu::run_batch(const align::SearchProfiles& profiles,
+                                  const align::DbView& db) {
+  SWDUAL_REQUIRE(profiles.kernel() == align::KernelKind::kInterSeq,
+                 "virtual GPU batches run the inter-sequence kernel");
+  const std::span<const std::uint8_t> query = profiles.query();
   BatchResult result;
   result.scores.assign(db.size(), 0);
   if (db.empty() || query.empty()) {
@@ -37,10 +47,8 @@ BatchResult VirtualGpu::run_batch(std::span<const std::uint8_t> query,
       ++end;
     }
 
-    align::DbView chunk(db.begin() + static_cast<std::ptrdiff_t>(begin),
-                        db.begin() + static_cast<std::ptrdiff_t>(end));
-    const align::SearchResult chunk_result = align::search_database(
-        query, chunk, scheme, align::KernelKind::kInterSeq);
+    const align::SearchResult chunk_result =
+        align::search_range(profiles, db, begin, end);
     std::copy(chunk_result.scores.begin(), chunk_result.scores.end(),
               result.scores.begin() + static_cast<std::ptrdiff_t>(begin));
     result.cells += chunk_result.cells;

@@ -70,6 +70,14 @@ class VirtualGpu {
                         const align::DbView& db,
                         const align::ScoringScheme& scheme);
 
+  /// Same execution with caller-provided (possibly cached/shared) query
+  /// profiles — the resident-query-context reuse CUDASW++-class tools apply
+  /// across batches. The profiles must target KernelKind::kInterSeq (the
+  /// device's inter-task SIMT model). Scores are bit-identical to the
+  /// building overload.
+  BatchResult run_batch(const align::SearchProfiles& profiles,
+                        const align::DbView& db);
+
   /// Total virtual busy time accumulated by this device.
   double total_virtual_seconds() const { return total_virtual_seconds_; }
 

@@ -114,6 +114,7 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
   // worker is pinned to the same backend for the whole run.
   context.cpu_backend = align::resolve_backend(config.cpu_backend);
   context.threads_per_cpu_worker = config.threads_per_cpu_worker;
+  context.profile_cache = config.profile_cache;
   context.fault_injector = config.fault_injector;
   context.tracer = config.tracer;
   context.metrics = config.metrics;
@@ -177,7 +178,8 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
     for (auto& worker : workers) {
       if (next_task >= tasks.size()) break;
       note_dispatch(worker->id(), next_task);
-      worker->assign({next_task, next_task});
+      SWDUAL_CHECK(worker->assign({next_task, next_task}),
+                   "worker rejected initial task assignment");
       ++next_task;
     }
     obs::Span collect_span;
@@ -191,7 +193,8 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
       SWDUAL_CHECK(r.has_value(), "result stream ended early");
       if (next_task < tasks.size()) {
         note_dispatch(r->worker_id, next_task);
-        workers[r->worker_id]->assign({next_task, next_task});
+        SWDUAL_CHECK(workers[r->worker_id]->assign({next_task, next_task}),
+                     "worker rejected self-scheduled task");
         ++next_task;
       }
       if (r->failed) {
@@ -244,7 +247,8 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
       for (const sched::Assignment& a : ordered) {
         const std::size_t worker = worker_for(a.pe, config.gpu_workers);
         note_dispatch(worker, a.task_id);
-        workers[worker]->assign({a.task_id, a.task_id});
+        SWDUAL_CHECK(workers[worker]->assign({a.task_id, a.task_id}),
+                     "worker rejected planned task assignment");
         plan.add(a);
       }
       obs::Span collect_span;

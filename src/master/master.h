@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "align/profile_cache.h"
 #include "align/search.h"
 #include "master/protocol.h"
 #include "platform/perf_model.h"
@@ -49,6 +50,13 @@ struct MasterConfig {
   /// Intra-task threads per CPU worker (> 1 scans the database in parallel
   /// chunks inside each task; scores are identical to the serial path).
   std::size_t threads_per_cpu_worker = 1;
+
+  /// Optional shared query-profile cache, borrowed for the run and forwarded
+  /// to every worker: repeated queries (and one query fanned out across
+  /// batches/retries) reuse one resident SearchProfiles instead of
+  /// rebuilding per task. The serve layer passes its cache here so profile
+  /// reuse spans requests. Scores are bit-identical with or without it.
+  align::ProfileCache* profile_cache = nullptr;
 
   /// Allocation rounds (Fig. 6: the master may allocate "only once at the
   /// beginning of the execution or iteratively until all tasks are

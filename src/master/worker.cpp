@@ -1,5 +1,8 @@
 #include "master/worker.h"
 
+#include <string>
+#include <utility>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
@@ -35,7 +38,12 @@ Worker::~Worker() {
 
 void Worker::run() {
   while (auto order = commands_.pop()) {
-    results_.push(execute(*order));
+    // The master keeps the result queue open until every worker joined, so
+    // a rejected push means a task report (and a waiting collect loop) would
+    // be lost — that invariant breaking is unrecoverable here.
+    SWDUAL_CHECK(results_.push(execute(*order)),
+                 "result queue closed while worker " + std::to_string(id_) +
+                     " was executing");
   }
 }
 
@@ -73,19 +81,34 @@ TaskReport Worker::execute(const TaskOrder& order) {
 
   WallTimer timer;
   if (pe_.type == sched::PeType::kGpu) {
-    const gpusim::BatchResult batch =
-        gpu_->run_batch(query_view, db, context_.scheme);
-    report.scores = batch.scores;
+    gpusim::BatchResult batch;
+    if (context_.profile_cache) {
+      const auto cached = context_.profile_cache->acquire(
+          query_view, context_.scheme, align::KernelKind::kInterSeq);
+      batch = gpu_->run_batch(cached->profiles(), db);
+    } else {
+      batch = gpu_->run_batch(query_view, db, context_.scheme);
+    }
+    report.scores = std::move(batch.scores);
     report.cells = batch.cells;
     report.virtual_seconds = batch.virtual_seconds;
   } else {
-    const align::SearchResult result =
-        engine_ ? engine_->search(query_view, context_.scheme,
-                                  context_.cpu_kernel, context_.cpu_backend)
-                : align::search_database(query_view, db, context_.scheme,
-                                         context_.cpu_kernel,
-                                         context_.cpu_backend);
-    report.scores = result.scores;
+    align::SearchResult result;
+    if (context_.profile_cache) {
+      const auto cached = context_.profile_cache->acquire(
+          query_view, context_.scheme, context_.cpu_kernel,
+          context_.cpu_backend);
+      result = engine_ ? engine_->search(cached->profiles())
+                       : align::search_database(cached->profiles(), db);
+    } else {
+      result =
+          engine_ ? engine_->search(query_view, context_.scheme,
+                                    context_.cpu_kernel, context_.cpu_backend)
+                  : align::search_database(query_view, db, context_.scheme,
+                                           context_.cpu_kernel,
+                                           context_.cpu_backend);
+    }
+    report.scores = std::move(result.scores);
     report.cells = result.cells;
     report.virtual_seconds =
         context_.model.cpu_worker().seconds_for(result.cells);

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "align/parallel_search.h"
+#include "align/profile_cache.h"
 #include "align/search.h"
 #include "gpusim/virtual_gpu.h"
 #include "master/protocol.h"
@@ -42,6 +43,13 @@ struct WorkerContext {
   /// search_database path (results are bit-identical either way).
   std::size_t threads_per_cpu_worker = 1;
 
+  /// Optional shared query-profile cache (align/profile_cache.h). When set,
+  /// workers acquire per-query profiles from it instead of rebuilding them
+  /// per task, so repeated queries — the service layer's batches — reuse one
+  /// resident profile context. Must be thread-safe (it is) and outlive the
+  /// workers. Scores are bit-identical with or without it.
+  align::ProfileCache* profile_cache = nullptr;
+
   /// Fault injection hook for robustness testing: called before a task
   /// executes; returning true makes the worker report failure instead of
   /// results (simulating a crashed kernel / lost slave). Must be
@@ -69,8 +77,12 @@ class Worker {
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;
 
-  /// Enqueue one task order. Returns false after shutdown() was called.
-  bool assign(const TaskOrder& order) { return commands_.push(order); }
+  /// Enqueue one task order. Returns false after shutdown() was called;
+  /// the master must check (an unexecuted order would hang its collect
+  /// loop waiting for the missing report).
+  [[nodiscard]] bool assign(const TaskOrder& order) {
+    return commands_.push(order);
+  }
 
   /// Close the command queue; the thread drains outstanding orders and exits.
   void shutdown() { commands_.close(); }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <vector>
+
+#include "util/stats.h"
 
 namespace swdual::obs {
 
@@ -18,6 +21,7 @@ void MetricsRegistry::observe(const std::string& name, double value) {
   h.max = h.count == 0 ? value : std::max(h.max, value);
   h.sum += value;
   ++h.count;
+  samples_[name].push_back(value);
 }
 
 double MetricsRegistry::counter(const std::string& name) const {
@@ -31,6 +35,18 @@ MetricsRegistry::HistogramSummary MetricsRegistry::histogram(
   std::lock_guard<std::mutex> lock(mutex_);
   const auto found = histograms_.find(name);
   return found != histograms_.end() ? found->second : HistogramSummary{};
+}
+
+double MetricsRegistry::percentile(const std::string& name, double q) const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = samples_.find(name);
+    if (found == samples_.end()) return 0.0;
+    sorted = found->second;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
 }
 
 namespace {

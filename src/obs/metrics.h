@@ -12,6 +12,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace swdual::obs {
 
@@ -45,6 +46,12 @@ class MetricsRegistry {
   /// Current histogram summary; all-zero for a name never touched.
   HistogramSummary histogram(const std::string& name) const;
 
+  /// Linear-interpolated percentile of the named histogram's samples,
+  /// q in [0,1] (0.5 = p50, 0.99 = p99); 0.0 for a name never touched.
+  /// Histograms retain every sample (8 bytes each) to make order statistics
+  /// exact — latency-style metrics at service scale, not per-cell rates.
+  double percentile(const std::string& name, double q) const;
+
   /// Flat text dump, deterministic: one `counter <name> <value>` line per
   /// counter then one `histogram <name> count=... sum=... min=... max=...
   /// mean=...` line per histogram, each block sorted by name.
@@ -54,6 +61,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, double> counters_;
   std::map<std::string, HistogramSummary> histograms_;
+  std::map<std::string, std::vector<double>> samples_;
 };
 
 }  // namespace swdual::obs

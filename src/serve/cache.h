@@ -1,0 +1,79 @@
+// LRU cache of finished query results for the serve layer.
+//
+// A service that replays real traffic sees heavy repetition (annotation
+// pipelines re-submit the same marker genes, interactive users retry), so a
+// completed search's ranked hits are worth keeping. The key is everything
+// that determines the answer: the query residues, the database identity, the
+// scoring parameters, and the kernel. The resolved SIMD backend is
+// deliberately *not* part of the key — every backend produces bit-identical
+// scores (tests/align/test_backend_equivalence.cpp), so a hit computed on
+// AVX2 is the right answer for an SSE2 host too.
+//
+// Thread-safe; values are shared_ptr so a hit handed to a caller stays
+// valid after the entry is evicted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "align/scoring.h"
+#include "align/search.h"
+
+namespace swdual::serve {
+
+/// Canonical cache key for one query's result: db identity + scoring
+/// parameters (align::scoring_key) + kernel + raw query residues.
+std::string result_key(std::span<const std::uint8_t> query,
+                       const std::string& db_id,
+                       const align::ScoringScheme& scheme,
+                       align::KernelKind kernel);
+
+class ResultCache {
+ public:
+  using Hits = std::vector<align::SearchHit>;
+
+  /// `capacity` = maximum retained entries (≥ 1).
+  explicit ResultCache(std::size_t capacity = 1024);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Ranked hits for `key`, or nullptr on a miss. A hit refreshes LRU order.
+  std::shared_ptr<const Hits> lookup(const std::string& key);
+
+  /// Insert (or refresh) `key` → `hits`, evicting the LRU tail past
+  /// capacity. Returns the resident value (the existing one if another
+  /// thread raced the insert — first writer wins, answers are identical by
+  /// key construction).
+  std::shared_ptr<const Hits> insert(const std::string& key, Hits hits);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+  Stats stats() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const Hits>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace swdual::serve

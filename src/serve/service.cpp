@@ -1,0 +1,251 @@
+#include "serve/service.h"
+
+#include <exception>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace swdual::serve {
+
+const char* submit_status_name(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kQueueFull: return "queue-full";
+    case SubmitStatus::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+QueryService::QueryService(std::vector<seq::Sequence> db, ServiceConfig config)
+    : db_(std::move(db)),
+      config_(std::move(config)),
+      results_(config_.result_cache_capacity),
+      profiles_(config_.profile_cache_capacity) {
+  SWDUAL_REQUIRE(config_.max_batch > 0, "max_batch must be positive");
+  SWDUAL_REQUIRE(config_.admission_capacity > 0,
+                 "admission_capacity must be positive");
+  batcher_ = std::thread([this] { run(); });
+}
+
+QueryService::~QueryService() {
+  shutdown();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+Submission QueryService::submit(const seq::Sequence& query) {
+  SWDUAL_REQUIRE(!query.empty(), "cannot search with an empty query");
+  Request request;
+  request.query = query;
+  request.key = result_key({query.residues.data(), query.residues.size()},
+                           config_.db_id, config_.master.scheme,
+                           config_.master.cpu_kernel);
+  request.enqueue_wall = config_.tracer ? config_.tracer->now() : 0.0;
+
+  Submission ticket;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      ++rejected_shutdown_;
+      if (config_.metrics) config_.metrics->add("serve_rejected_shutdown");
+      ticket.status = SubmitStatus::kShutdown;
+      ticket.reason = "service is shut down";
+      return ticket;
+    }
+    if (admission_.size() >= config_.admission_capacity) {
+      ++rejected_queue_full_;
+      if (config_.metrics) config_.metrics->add("serve_rejected_queue_full");
+      ticket.status = SubmitStatus::kQueueFull;
+      ticket.reason = "admission queue full (capacity " +
+                      std::to_string(config_.admission_capacity) + ")";
+      return ticket;
+    }
+    request.id = next_id_++;
+    request.promise = std::make_shared<std::promise<QueryResponse>>();
+    ticket.status = SubmitStatus::kAccepted;
+    ticket.result = request.promise->get_future().share();
+    ++accepted_;
+    if (config_.tracer) {
+      config_.tracer->instant(
+          "submit", "serve", obs::kMasterTrack,
+          {{"request", static_cast<double>(request.id)},
+           {"queued", static_cast<double>(admission_.size())}});
+    }
+    admission_.push_back(std::move(request));
+  }
+  if (config_.metrics) config_.metrics->add("serve_accepted");
+  wake_.notify_one();
+  return ticket;
+}
+
+void QueryService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+  }
+  wake_.notify_all();
+}
+
+void QueryService::run() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return !admission_.empty() || !accepting_; });
+      if (admission_.empty()) return;  // shut down and fully drained
+      while (!admission_.empty() && batch.size() < config_.max_batch) {
+        batch.push_back(std::move(admission_.front()));
+        admission_.pop_front();
+      }
+    }
+    execute_batch(std::move(batch));
+  }
+}
+
+void QueryService::admit(Request& request) {
+  request.admit_seconds = request.timer.seconds();
+  if (config_.tracer) {
+    request.admit_wall = config_.tracer->now();
+    obs::TraceEvent queued;
+    queued.phase = obs::TraceEvent::Phase::kComplete;
+    queued.clock = obs::Clock::kWall;
+    queued.name = "queued";
+    queued.category = "serve";
+    queued.track = obs::kMasterTrack;
+    queued.start = request.enqueue_wall;
+    queued.end = request.admit_wall;
+    queued.args = {{"request", static_cast<double>(request.id)}};
+    config_.tracer->record(std::move(queued));
+  }
+  if (config_.metrics) {
+    config_.metrics->observe("serve_queue_seconds", request.admit_seconds);
+  }
+}
+
+void QueryService::fulfill(Request& request,
+                           std::vector<align::SearchHit> hits,
+                           bool cache_hit) {
+  QueryResponse response;
+  response.hits = std::move(hits);
+  response.cache_hit = cache_hit;
+  response.queue_seconds = request.admit_seconds;
+  response.total_seconds = request.timer.seconds();
+  response.execute_seconds = response.total_seconds - response.queue_seconds;
+  if (config_.tracer) {
+    obs::TraceEvent executed;
+    executed.phase = obs::TraceEvent::Phase::kComplete;
+    executed.clock = obs::Clock::kWall;
+    executed.name = cache_hit ? "cache-hit" : "execute";
+    executed.category = "serve";
+    executed.track = obs::kMasterTrack;
+    executed.start = request.admit_wall;
+    executed.end = config_.tracer->now();
+    executed.args = {{"request", static_cast<double>(request.id)}};
+    config_.tracer->record(std::move(executed));
+  }
+  if (config_.metrics) {
+    config_.metrics->add(cache_hit ? "serve_cache_hits"
+                                   : "serve_cache_misses");
+    config_.metrics->observe("serve_execute_seconds",
+                             response.execute_seconds);
+    config_.metrics->observe("serve_latency_seconds",
+                             response.total_seconds);
+  }
+  request.promise->set_value(std::move(response));
+}
+
+void QueryService::execute_batch(std::vector<Request> batch) {
+  if (config_.before_batch) config_.before_batch(batch.size());
+  obs::Span span;
+  if (config_.tracer) {
+    span = config_.tracer->span("batch", "serve", obs::kMasterTrack);
+    span.arg("requests", static_cast<double>(batch.size()));
+  }
+  if (config_.metrics) {
+    config_.metrics->observe("serve_batch_size",
+                             static_cast<double>(batch.size()));
+  }
+
+  // Admit every request, answer cache hits immediately, and collapse the
+  // remaining misses by key: duplicates within one batch execute once.
+  std::unordered_map<std::string, std::vector<std::size_t>> groups;
+  std::vector<std::size_t> leaders;  // first request of each distinct key
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Request& request = batch[i];
+    admit(request);
+    if (const auto cached = results_.lookup(request.key)) {
+      fulfill(request, *cached, /*cache_hit=*/true);
+      continue;
+    }
+    auto& group = groups[request.key];
+    if (group.empty()) leaders.push_back(i);
+    group.push_back(i);
+  }
+  if (leaders.empty()) return;
+
+  std::vector<seq::Sequence> queries;
+  queries.reserve(leaders.size());
+  for (const std::size_t leader : leaders) {
+    queries.push_back(batch[leader].query);
+  }
+
+  master::MasterConfig engine = config_.master;
+  engine.tracer = config_.tracer;
+  engine.metrics = config_.metrics;
+  engine.profile_cache = &profiles_;
+
+  master::SearchReport report;
+  try {
+    report = master::run_search(queries, db_, engine);
+  } catch (...) {
+    // Execution failed (e.g. a task exhausted its retries): fail exactly the
+    // requests of this batch and keep serving — the batcher must survive.
+    const std::exception_ptr error = std::current_exception();
+    for (const std::size_t leader : leaders) {
+      for (const std::size_t i : groups[batch[leader].key]) {
+        batch[i].promise->set_exception(error);
+      }
+    }
+    return;
+  }
+
+  // Count the batch before fulfilling any promise: a caller that waits on
+  // its future and immediately reads stats() must see this work included.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batches_;
+    searches_ += leaders.size();
+  }
+  if (config_.metrics) {
+    config_.metrics->add("serve_batches");
+    config_.metrics->add("serve_searches",
+                         static_cast<double>(leaders.size()));
+  }
+
+  for (std::size_t q = 0; q < leaders.size(); ++q) {
+    const std::string& key = batch[leaders[q]].key;
+    const auto value = results_.insert(key, report.results[q].hits);
+    for (const std::size_t i : groups[key]) {
+      fulfill(batch[i], *value, /*cache_hit=*/false);
+    }
+  }
+}
+
+QueryService::Stats QueryService::stats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.accepted = accepted_;
+    stats.rejected_queue_full = rejected_queue_full_;
+    stats.rejected_shutdown = rejected_shutdown_;
+    stats.batches = batches_;
+    stats.searches = searches_;
+  }
+  stats.results = results_.stats();
+  stats.profiles = profiles_.stats();
+  return stats;
+}
+
+}  // namespace swdual::serve

@@ -1,0 +1,185 @@
+// Long-running concurrent query service over the master–slave runtime.
+//
+// The paper's runtime answers one batch and exits; a deployment sits behind
+// an API and fields overlapping requests all day. This layer adds the three
+// pieces that turn the batch engine into a service:
+//
+//   - Admission control: a bounded queue between submitters and the
+//     execution loop. When it is full, submit() rejects immediately with a
+//     machine-readable reason — it never blocks a caller indefinitely, so
+//     backpressure propagates to clients instead of accumulating as hidden
+//     memory growth.
+//   - Micro-batching: one batcher thread drains up to `max_batch` admitted
+//     requests at a time, collapses duplicates, and dispatches the distinct
+//     queries through master::run_search as ONE workload — the
+//     dual-approximation scheduler sees the whole batch and splits it across
+//     CPU and GPU workers, exactly as the paper's Fig. 6 flow intends.
+//     Per-query profiles come from a shared align::ProfileCache, so repeat
+//     queries skip profile construction entirely.
+//   - Result caching: finished answers go into an LRU ResultCache keyed by
+//     (query residues, db id, scoring params, kernel); a hit at admission
+//     time is answered without touching a worker.
+//
+// Every request is tracked end to end: enqueue→admit→execute→complete
+// timestamps become spans on the obs::Tracer and latency histograms
+// (`serve_*`) in the obs::MetricsRegistry, whose percentile() gives
+// p50/p95/p99 directly.
+//
+// Thread-safety: submit(), shutdown(), and stats() may be called from any
+// thread concurrently. Results arrive through shared_futures, so several
+// consumers can wait on one answer.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "align/profile_cache.h"
+#include "master/master.h"
+#include "seq/sequence.h"
+#include "serve/cache.h"
+#include "util/timer.h"
+
+namespace swdual::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace swdual::obs
+
+namespace swdual::serve {
+
+struct ServiceConfig {
+  /// Execution engine configuration (workers, policy, scoring, kernel). The
+  /// service installs its own profile cache and observability sinks into
+  /// this before each dispatch; leave those fields alone here.
+  master::MasterConfig master;
+
+  /// Bounded admission queue: submissions beyond this many waiting requests
+  /// are rejected with SubmitStatus::kQueueFull (never blocked).
+  std::size_t admission_capacity = 256;
+
+  /// Most requests coalesced into one scheduler workload.
+  std::size_t max_batch = 16;
+
+  std::size_t result_cache_capacity = 1024;
+  std::size_t profile_cache_capacity = 64;
+
+  /// Identity of the database this service fronts; part of every result
+  /// cache key (two services over different databases must not share hits).
+  std::string db_id = "db";
+
+  /// Optional observability sinks, borrowed for the service's lifetime and
+  /// forwarded into every master::run_search dispatch.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Test hook: invoked by the batcher thread with the batch size right
+  /// before a batch executes. Lets tests hold the batcher at a known point
+  /// (e.g. to fill the admission queue deterministically). nullptr in
+  /// production.
+  std::function<void(std::size_t batch_size)> before_batch;
+};
+
+/// Outcome of one submit() call.
+enum class SubmitStatus {
+  kAccepted,   ///< queued; `result` will be fulfilled
+  kQueueFull,  ///< admission queue at capacity — retry later
+  kShutdown,   ///< service no longer accepts work
+};
+
+const char* submit_status_name(SubmitStatus status);
+
+/// One fulfilled request.
+struct QueryResponse {
+  std::vector<align::SearchHit> hits;  ///< top hits, rank order
+  bool cache_hit = false;              ///< answered from the result cache
+  double queue_seconds = 0.0;          ///< enqueue → admitted by the batcher
+  double execute_seconds = 0.0;        ///< admitted → answer ready
+  double total_seconds = 0.0;          ///< enqueue → answer ready
+};
+
+/// Ticket returned by submit(). `result` is only valid when accepted().
+struct Submission {
+  SubmitStatus status = SubmitStatus::kShutdown;
+  std::string reason;  ///< human-readable rejection reason; empty on accept
+  std::shared_future<QueryResponse> result;
+
+  bool accepted() const { return status == SubmitStatus::kAccepted; }
+};
+
+class QueryService {
+ public:
+  /// Takes ownership of the database records (a long-running service must
+  /// not depend on a caller's buffers) and starts the batcher thread.
+  QueryService(std::vector<seq::Sequence> db, ServiceConfig config);
+
+  /// Graceful: stops admissions, drains already-admitted requests, joins.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submit one query. Never blocks on the execution pipeline: the call
+  /// either enqueues and returns a future, or rejects with a reason.
+  Submission submit(const seq::Sequence& query);
+
+  /// Stop accepting new work. Already-admitted requests still complete
+  /// (their futures are fulfilled) before the batcher exits. Idempotent.
+  void shutdown();
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t batches = 0;    ///< workloads dispatched to the master
+    std::uint64_t searches = 0;   ///< distinct queries actually executed
+    ResultCache::Stats results;
+    align::ProfileCache::Stats profiles;
+  };
+  Stats stats() const;
+
+ private:
+  struct Request {
+    seq::Sequence query;
+    std::string key;  ///< result-cache key
+    std::shared_ptr<std::promise<QueryResponse>> promise;
+    WallTimer timer;           ///< started at enqueue
+    double enqueue_wall = 0;   ///< tracer-epoch timestamp (0 if no tracer)
+    double admit_wall = 0;     ///< tracer-epoch timestamp at admission
+    double admit_seconds = 0;  ///< enqueue → admission (filled at admission)
+    std::uint64_t id = 0;      ///< monotonic request id, for trace args
+  };
+
+  void run();
+  void execute_batch(std::vector<Request> batch);
+  void admit(Request& request);
+  void fulfill(Request& request, std::vector<align::SearchHit> hits,
+               bool cache_hit);
+
+  std::vector<seq::Sequence> db_;
+  ServiceConfig config_;
+  ResultCache results_;
+  align::ProfileCache profiles_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Request> admission_;
+  bool accepting_ = true;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_shutdown_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t searches_ = 0;
+
+  std::thread batcher_;  ///< must be last: joins before members destruct
+};
+
+}  // namespace swdual::serve

@@ -1,6 +1,9 @@
 #include "util/cli.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "util/error.h"
@@ -78,19 +81,48 @@ const std::string& CliParser::option(const std::string& name) const {
 long CliParser::option_int(const std::string& name) const {
   const std::string& text = option(name);
   char* end = nullptr;
+  errno = 0;
   const long value = std::strtol(text.c_str(), &end, 10);
   SWDUAL_REQUIRE(end != nullptr && *end == '\0' && !text.empty(),
                  "option --" + name + " is not an integer: " + text);
+  // strtol clamps to LONG_MIN/LONG_MAX on overflow and only reports it via
+  // ERANGE; accepting the clamped value would silently turn
+  // "--threads 99999999999999999999" into LONG_MAX.
+  SWDUAL_REQUIRE(errno != ERANGE,
+                 "option --" + name + " is out of range: " + text);
   return value;
 }
 
 double CliParser::option_double(const std::string& name) const {
   const std::string& text = option(name);
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(text.c_str(), &end);
   SWDUAL_REQUIRE(end != nullptr && *end == '\0' && !text.empty(),
                  "option --" + name + " is not a number: " + text);
+  // Overflow clamps to ±HUGE_VAL with ERANGE; underflow (a denormal-or-zero
+  // result, also ERANGE) is representable and accepted.
+  SWDUAL_REQUIRE(errno != ERANGE || std::abs(value) < HUGE_VAL,
+                 "option --" + name + " is out of range: " + text);
   return value;
+}
+
+std::size_t CliParser::option_uint(const std::string& name) const {
+  const std::string& text = option(name);
+  // strtoull accepts "-5" and wraps it to a huge positive value; a count
+  // must reject any sign character up front.
+  SWDUAL_REQUIRE(!text.empty() && text.find_first_of("+-") == std::string::npos,
+                 "option --" + name + " must be a non-negative integer: " +
+                     text);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  SWDUAL_REQUIRE(end != nullptr && *end == '\0',
+                 "option --" + name + " is not an integer: " + text);
+  SWDUAL_REQUIRE(errno != ERANGE &&
+                     value <= std::numeric_limits<std::size_t>::max(),
+                 "option --" + name + " is out of range: " + text);
+  return static_cast<std::size_t>(value);
 }
 
 std::string CliParser::usage() const {

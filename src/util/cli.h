@@ -11,6 +11,7 @@
 // an error; `--help` prints usage and sets help_requested().
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,8 +34,20 @@ class CliParser {
 
   bool flag(const std::string& name) const;
   const std::string& option(const std::string& name) const;
+
+  /// Parse the option as a long. Throws InvalidArgument for non-numeric
+  /// input and for values outside [LONG_MIN, LONG_MAX] (strtol's ERANGE),
+  /// which would otherwise silently clamp.
   long option_int(const std::string& name) const;
+
+  /// Parse the option as a double. Throws InvalidArgument for non-numeric
+  /// input and for magnitudes that overflow to ±HUGE_VAL.
   double option_double(const std::string& name) const;
+
+  /// Parse a count-like option (threads, workers, top-k, ...): a
+  /// non-negative integer that fits std::size_t. Rejects negatives ("-1"
+  /// never wraps to 18446744073709551615) and out-of-range magnitudes.
+  std::size_t option_uint(const std::string& name) const;
 
   /// Positional arguments left after option parsing.
   const std::vector<std::string>& positional() const { return positional_; }

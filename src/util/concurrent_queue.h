@@ -20,8 +20,11 @@ class ConcurrentQueue {
   ConcurrentQueue(const ConcurrentQueue&) = delete;
   ConcurrentQueue& operator=(const ConcurrentQueue&) = delete;
 
-  /// Enqueue an item. Returns false if the queue is already closed.
-  bool push(T item) {
+  /// Enqueue an item. Returns false if the queue is already closed — a
+  /// dropped item, which a caller waiting on a matching result would never
+  /// notice. [[nodiscard]] so every call site must decide (check, or
+  /// explicitly void-cast where close() racing a push is benign).
+  [[nodiscard]] bool push(T item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return false;

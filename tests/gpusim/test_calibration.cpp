@@ -1,0 +1,51 @@
+// Pins the GCUPS calibration so the performance model, the virtual GPU
+// default, and DESIGN.md's documented numbers cannot drift apart again
+// (they once disagreed: DESIGN.md quoted the ~17 GCUPS CUDASW++ headline
+// while the model used Table II's implied 24.9).
+#include <gtest/gtest.h>
+
+#include "gpusim/virtual_gpu.h"
+#include "platform/perf_model.h"
+
+namespace swdual {
+namespace {
+
+// The paper's single-worker workload: 40 queries averaging ≈2550 aa
+// against UniProt's ≈1.92e8 residues ⇒ ≈1.96e13 DP cells.
+constexpr double kTableIICells = 1.96e13;
+
+TEST(Calibration, PerfModelMatchesTableIIDerivation) {
+  const platform::PerfModel model;
+  EXPECT_DOUBLE_EQ(model.swps3_cpu.gcups, 0.28);
+  EXPECT_DOUBLE_EQ(model.striped_cpu.gcups, 2.7);
+  EXPECT_DOUBLE_EQ(model.swipe_cpu.gcups, 8.3);
+  EXPECT_DOUBLE_EQ(model.cudasw_gpu.gcups, 24.9);
+}
+
+TEST(Calibration, VirtualGpuDefaultMatchesPerfModel) {
+  const gpusim::DeviceSpec spec;
+  const platform::PerfModel model;
+  EXPECT_DOUBLE_EQ(spec.gcups, model.cudasw_gpu.gcups);
+}
+
+TEST(Calibration, ClassesReproduceTableIISingleWorkerColumn) {
+  const platform::PerfModel model;
+  // Within 1%: the derivation rounds GCUPS to 2-3 significant digits.
+  EXPECT_NEAR(model.swps3_cpu.gcups * 1e9 * 69208.2, kTableIICells,
+              0.02 * kTableIICells);
+  EXPECT_NEAR(model.striped_cpu.gcups * 1e9 * 7190.0, kTableIICells,
+              0.02 * kTableIICells);
+  EXPECT_NEAR(model.swipe_cpu.gcups * 1e9 * 2367.2, kTableIICells,
+              0.02 * kTableIICells);
+  EXPECT_NEAR(model.cudasw_gpu.gcups * 1e9 * 785.3, kTableIICells,
+              0.02 * kTableIICells);
+}
+
+TEST(Calibration, SwdualWorkerClassesAreSwipeAndCudasw) {
+  const platform::PerfModel model;
+  EXPECT_DOUBLE_EQ(model.cpu_worker().gcups, model.swipe_cpu.gcups);
+  EXPECT_DOUBLE_EQ(model.gpu_worker().gcups, model.cudasw_gpu.gcups);
+}
+
+}  // namespace
+}  // namespace swdual

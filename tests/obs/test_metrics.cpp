@@ -48,6 +48,31 @@ TEST(Metrics, NegativeSamplesKeepMinMax) {
   EXPECT_DOUBLE_EQ(h.max, 1.0);
 }
 
+TEST(Metrics, PercentilesInterpolateRetainedSamples) {
+  MetricsRegistry registry;
+  for (int i = 1; i <= 100; ++i) {
+    registry.observe("latency", static_cast<double>(i));
+  }
+  EXPECT_NEAR(registry.percentile("latency", 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(registry.percentile("latency", 0.5), 50.5, 1e-9);
+  EXPECT_NEAR(registry.percentile("latency", 0.95), 95.05, 1e-9);
+  EXPECT_NEAR(registry.percentile("latency", 0.99), 99.01, 1e-9);
+  EXPECT_NEAR(registry.percentile("latency", 1.0), 100.0, 1e-12);
+}
+
+TEST(Metrics, PercentileOfAbsentHistogramIsZero) {
+  MetricsRegistry registry;
+  EXPECT_DOUBLE_EQ(registry.percentile("absent", 0.5), 0.0);
+}
+
+TEST(Metrics, PercentileIgnoresInsertionOrder) {
+  MetricsRegistry registry;
+  registry.observe("h", 3.0);
+  registry.observe("h", 1.0);
+  registry.observe("h", 2.0);
+  EXPECT_DOUBLE_EQ(registry.percentile("h", 0.5), 2.0);
+}
+
 TEST(Metrics, DumpIsSortedAndComplete) {
   MetricsRegistry registry;
   registry.add("zebra", 2.0);

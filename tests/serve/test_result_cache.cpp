@@ -1,0 +1,82 @@
+// Unit tests for the serve-layer LRU result cache.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/scoring.h"
+#include "serve/cache.h"
+
+namespace swdual::serve {
+namespace {
+
+ResultCache::Hits hits_of(int score) { return {{0, score}}; }
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  cache.insert("a", hits_of(7));
+  const auto found = cache.lookup("a");
+  ASSERT_NE(found, nullptr);
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ((*found)[0].score, 7);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.capacity, 4u);
+}
+
+TEST(ResultCache, InsertRaceKeepsFirstValue) {
+  ResultCache cache(4);
+  const auto first = cache.insert("k", hits_of(1));
+  const auto second = cache.insert("k", hits_of(2));
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ((*cache.lookup("k"))[0].score, 1);
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.insert("a", hits_of(1));
+  cache.insert("b", hits_of(2));
+  ASSERT_NE(cache.lookup("a"), nullptr);  // refresh "a": "b" becomes LRU
+  cache.insert("c", hits_of(3));
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, EvictedValueSurvivesThroughSharedPtr) {
+  ResultCache cache(1);
+  const auto held = cache.insert("a", hits_of(5));
+  cache.insert("b", hits_of(6));
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  ASSERT_EQ(held->size(), 1u);
+  EXPECT_EQ((*held)[0].score, 5);
+}
+
+TEST(ResultCache, KeySeparatesEveryDimension) {
+  const std::vector<std::uint8_t> query{1, 2, 3};
+  const std::vector<std::uint8_t> other{1, 2, 4};
+  align::ScoringScheme scheme;
+  align::ScoringScheme different_gaps = scheme;
+  different_gaps.gap.open += 1;
+  const std::span<const std::uint8_t> q{query.data(), query.size()};
+  const std::string base =
+      result_key(q, "db1", scheme, align::KernelKind::kInterSeq);
+  EXPECT_NE(base, result_key({other.data(), other.size()}, "db1", scheme,
+                             align::KernelKind::kInterSeq));
+  EXPECT_NE(base,
+            result_key(q, "db2", scheme, align::KernelKind::kInterSeq));
+  EXPECT_NE(base, result_key(q, "db1", different_gaps,
+                             align::KernelKind::kInterSeq));
+  EXPECT_NE(base,
+            result_key(q, "db1", scheme, align::KernelKind::kStriped));
+  EXPECT_EQ(base, result_key(q, "db1", scheme, align::KernelKind::kInterSeq));
+}
+
+}  // namespace
+}  // namespace swdual::serve

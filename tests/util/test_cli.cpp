@@ -1,6 +1,9 @@
 // Unit tests for the CLI parser.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "util/cli.h"
 #include "util/error.h"
 
@@ -73,6 +76,76 @@ TEST(Cli, NonNumericIntThrows) {
   const char* argv[] = {"tool", "--workers", "many"};
   cli.parse(3, argv);
   EXPECT_THROW(cli.option_int("workers"), InvalidArgument);
+}
+
+TEST(Cli, OverflowingIntThrowsInsteadOfClamping) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--workers", "99999999999999999999"};
+  cli.parse(3, argv);
+  EXPECT_THROW(cli.option_int("workers"), InvalidArgument);
+}
+
+TEST(Cli, UnderflowingIntThrowsInsteadOfClamping) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--workers", "-99999999999999999999"};
+  cli.parse(3, argv);
+  EXPECT_THROW(cli.option_int("workers"), InvalidArgument);
+}
+
+TEST(Cli, LongMaxStillParses) {
+  auto cli = make();
+  const std::string max = std::to_string(std::numeric_limits<long>::max());
+  const std::string arg = "--workers=" + max;
+  const char* argv[] = {"tool", arg.c_str()};
+  cli.parse(2, argv);
+  EXPECT_EQ(cli.option_int("workers"), std::numeric_limits<long>::max());
+}
+
+TEST(Cli, OverflowingDoubleThrows) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--scale", "1e999"};
+  cli.parse(3, argv);
+  EXPECT_THROW(cli.option_double("scale"), InvalidArgument);
+}
+
+TEST(Cli, UnderflowingDoubleIsAcceptedAsTiny) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--scale", "1e-999"};
+  cli.parse(3, argv);
+  EXPECT_GE(cli.option_double("scale"), 0.0);
+  EXPECT_LT(cli.option_double("scale"), 1e-300);
+}
+
+TEST(Cli, UintParsesCounts) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--workers", "8"};
+  cli.parse(3, argv);
+  EXPECT_EQ(cli.option_uint("workers"), 8u);
+}
+
+TEST(Cli, UintRejectsNegative) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--workers", "-1"};
+  cli.parse(3, argv);
+  EXPECT_THROW(cli.option_uint("workers"), InvalidArgument);
+}
+
+TEST(Cli, UintRejectsExplicitPlusSignAndJunk) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--workers", "+4"};
+  cli.parse(3, argv);
+  EXPECT_THROW(cli.option_uint("workers"), InvalidArgument);
+  const char* argv2[] = {"tool", "--workers", "4x"};
+  auto cli2 = make();
+  cli2.parse(3, argv2);
+  EXPECT_THROW(cli2.option_uint("workers"), InvalidArgument);
+}
+
+TEST(Cli, UintRejectsOverflow) {
+  auto cli = make();
+  const char* argv[] = {"tool", "--workers", "99999999999999999999999"};
+  cli.parse(3, argv);
+  EXPECT_THROW(cli.option_uint("workers"), InvalidArgument);
 }
 
 TEST(Cli, HelpRequested) {

@@ -12,9 +12,9 @@ namespace {
 
 TEST(ConcurrentQueue, FifoOrderSingleThread) {
   ConcurrentQueue<int> q;
-  q.push(1);
-  q.push(2);
-  q.push(3);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
   EXPECT_EQ(q.pop(), 1);
   EXPECT_EQ(q.pop(), 2);
   EXPECT_EQ(q.pop(), 3);
@@ -23,13 +23,13 @@ TEST(ConcurrentQueue, FifoOrderSingleThread) {
 TEST(ConcurrentQueue, TryPopOnEmptyReturnsNullopt) {
   ConcurrentQueue<int> q;
   EXPECT_FALSE(q.try_pop().has_value());
-  q.push(9);
+  EXPECT_TRUE(q.push(9));
   EXPECT_EQ(q.try_pop(), 9);
 }
 
 TEST(ConcurrentQueue, CloseDrainsThenEndsStream) {
   ConcurrentQueue<int> q;
-  q.push(1);
+  EXPECT_TRUE(q.push(1));
   q.close();
   EXPECT_EQ(q.pop(), 1);           // items before close still delivered
   EXPECT_FALSE(q.pop().has_value());  // then end-of-stream
@@ -59,7 +59,9 @@ TEST(ConcurrentQueue, ManyProducersManyConsumersDeliverEverything) {
   std::vector<std::thread> threads;
   for (int p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
-      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
     });
   }
   for (int c = 0; c < kConsumers; ++c) {
@@ -81,7 +83,7 @@ TEST(ConcurrentQueue, ManyProducersManyConsumersDeliverEverything) {
 
 TEST(ConcurrentQueue, MoveOnlyPayload) {
   ConcurrentQueue<std::unique_ptr<int>> q;
-  q.push(std::make_unique<int>(5));
+  EXPECT_TRUE(q.push(std::make_unique<int>(5)));
   auto item = q.pop();
   ASSERT_TRUE(item.has_value());
   EXPECT_EQ(**item, 5);

@@ -168,12 +168,12 @@ int main(int argc, char** argv) {
     }
 
     const auto tasks = make_workload(
-        static_cast<std::size_t>(cli.option_int("tasks")),
-        static_cast<std::uint64_t>(cli.option_int("seed")),
+        cli.option_uint("tasks"),
+        static_cast<std::uint64_t>(cli.option_uint("seed")),
         cli.option_double("accel-lo"), cli.option_double("accel-hi"));
     const sched::HybridPlatform platform{
-        static_cast<std::size_t>(cli.option_int("cpus")),
-        static_cast<std::size_t>(cli.option_int("gpus"))};
+        cli.option_uint("cpus"),
+        cli.option_uint("gpus")};
     const double epsilon = cli.option_double("epsilon");
     const std::string tamper = cli.option("tamper");
 
