@@ -1,8 +1,12 @@
 // swdb_convert: FASTA <-> SWDB conversion utility (paper §IV's format step).
 //
-//   ./swdb_convert db.fasta db.swdb          # FASTA -> binary
-//   ./swdb_convert db.swdb db.fasta          # binary -> FASTA
-//   ./swdb_convert --stats db.swdb           # print database statistics
+//   ./swdb_convert db.fasta db.swdb            # FASTA -> binary (v2)
+//   ./swdb_convert --db-version 1 a.fa b.swdb  # emit the legacy v1 layout
+//   ./swdb_convert db.swdb db.fasta            # binary -> FASTA
+//   ./swdb_convert --stats db.swdb             # print database statistics
+//
+// --stats on an .swdb input reads only the header and index sections —
+// statistics for a multi-gigabyte database cost a few kilobytes of I/O.
 #include <iostream>
 
 #include "seq/dbstats.h"
@@ -13,18 +17,41 @@
 #include "util/table.h"
 #include "util/timer.h"
 
+namespace {
+
+void print_stats(const swdual::seq::DatabaseStats& stats,
+                 const std::string& format) {
+  using swdual::TextTable;
+  TextTable table;
+  table.set_header({"metric", "value"});
+  table.add_row({"format", format});
+  table.add_row({"sequences", std::to_string(stats.num_sequences)});
+  table.add_row({"residues", std::to_string(stats.total_residues)});
+  table.add_row({"min length", std::to_string(stats.min_length)});
+  table.add_row({"max length", std::to_string(stats.max_length)});
+  table.add_row({"mean length", TextTable::fmt(stats.mean_length, 1)});
+  std::cout << table.render();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace swdual;
 
   CliParser cli("swdb_convert", "convert between FASTA and SWDB");
   cli.add_flag("stats", "print statistics of the input instead of converting");
   cli.add_option("alphabet", "protein | dna | rna", "protein");
+  cli.add_option("db-version",
+                 "SWDB container version to write: 2 (pre-encoded, default) "
+                 "| 1 (legacy)",
+                 "2");
 
   try {
     cli.parse(argc, argv);
     if (cli.help_requested() || cli.positional().empty()) {
       std::cout << cli.usage()
-                << "\nusage: swdb_convert [--stats] <input> [output]\n";
+                << "\nusage: swdb_convert [--stats] [--db-version 1|2] "
+                   "<input> [output]\n";
       return cli.help_requested() ? 0 : 2;
     }
 
@@ -32,27 +59,44 @@ int main(int argc, char** argv) {
     if (cli.option("alphabet") == "dna") alphabet = seq::AlphabetKind::kDna;
     if (cli.option("alphabet") == "rna") alphabet = seq::AlphabetKind::kRna;
 
+    std::uint32_t version = seq::kSwdbVersionLatest;
+    if (cli.option("db-version") == "1") {
+      version = seq::kSwdbVersion1;
+    } else if (cli.option("db-version") != "2") {
+      std::cerr << "unknown --db-version (use 1 or 2)\n";
+      return 2;
+    }
+
     const std::string& input = cli.positional()[0];
-    WallTimer timer;
-    const std::vector<seq::Sequence> records =
-        ends_with(input, ".swdb")
-            ? seq::SwdbReader(input).read_all()
-            : seq::read_fasta_file(input, alphabet);
-    std::cerr << "read " << records.size() << " records in "
-              << TextTable::fmt(timer.millis(), 1) << " ms\n";
+    const bool input_is_swdb = ends_with(input, ".swdb");
 
     if (cli.flag("stats")) {
-      const seq::DatabaseStats stats = seq::compute_stats(records);
-      TextTable table;
-      table.set_header({"metric", "value"});
-      table.add_row({"sequences", std::to_string(stats.num_sequences)});
-      table.add_row({"residues", std::to_string(stats.total_residues)});
-      table.add_row({"min length", std::to_string(stats.min_length)});
-      table.add_row({"max length", std::to_string(stats.max_length)});
-      table.add_row({"mean length", TextTable::fmt(stats.mean_length, 1)});
-      std::cout << table.render();
+      WallTimer timer;
+      seq::DatabaseStats stats;
+      std::string format;
+      if (input_is_swdb) {
+        // Index-only path: lengths come straight from the SWDB index
+        // section, no record is decoded.
+        const seq::SwdbReader reader(input);
+        stats = seq::compute_stats(reader);
+        format = "swdb v" + std::to_string(reader.version()) +
+                 (reader.pre_encoded() ? " (pre-encoded)" : "");
+      } else {
+        stats = seq::compute_stats(seq::read_fasta_file(input, alphabet));
+        format = "fasta";
+      }
+      std::cerr << "collected stats in " << TextTable::fmt(timer.millis(), 1)
+                << " ms\n";
+      print_stats(stats, format);
       return 0;
     }
+
+    WallTimer timer;
+    const std::vector<seq::Sequence> records =
+        input_is_swdb ? seq::SwdbReader(input).read_all()
+                      : seq::read_fasta_file(input, alphabet);
+    std::cerr << "read " << records.size() << " records in "
+              << TextTable::fmt(timer.millis(), 1) << " ms\n";
 
     if (cli.positional().size() < 2) {
       std::cerr << "need an output path (or --stats)\n";
@@ -61,7 +105,7 @@ int main(int argc, char** argv) {
     const std::string& output = cli.positional()[1];
     timer.reset();
     if (ends_with(output, ".swdb")) {
-      seq::write_swdb(output, records, alphabet);
+      seq::write_swdb(output, records, alphabet, version);
     } else {
       seq::write_fasta_file(output, records);
     }

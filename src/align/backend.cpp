@@ -1,6 +1,7 @@
 #include "align/backend.h"
 
 #include <cstdlib>
+#include <string_view>
 
 #include "align/kernel_dispatch.h"
 #include "util/error.h"
@@ -54,7 +55,64 @@ const KernelTable* table_for(Backend backend) {
   return nullptr;
 }
 
+/// SWDUAL_DISABLE_AVX512: any non-empty value other than "0" disables
+/// automatic selection of the 512-bit tier. Read per call, like the force
+/// override, so tests and long-lived services can re-point it.
+bool avx512_disabled() {
+  const char* value = std::getenv("SWDUAL_DISABLE_AVX512");
+  return value != nullptr && *value != '\0' &&
+         std::string_view(value) != "0";
+}
+
+/// The backend named by SWDUAL_FORCE_BACKEND, or kAuto when the variable is
+/// unset/empty. Throws on unknown names, unavailable backends, and the
+/// force-avx512-while-disabled contradiction.
+Backend forced_backend() {
+  const char* forced = std::getenv("SWDUAL_FORCE_BACKEND");
+  if (forced == nullptr || *forced == '\0') return Backend::kAuto;
+  Backend backend = Backend::kAuto;
+  if (!parse_backend(forced, backend)) {
+    throw InvalidArgument(std::string("SWDUAL_FORCE_BACKEND names an "
+                                      "unknown backend: ") +
+                          forced);
+  }
+  if (backend == Backend::kAuto) return Backend::kAuto;
+  if (!backend_available(backend)) {
+    throw InvalidArgument(
+        std::string("SWDUAL_FORCE_BACKEND=") + forced +
+        " is not available on this host (compiled: " +
+        (backend_compiled(backend) ? "yes" : "no") + ")");
+  }
+  if (backend == Backend::kAVX512 && avx512_disabled()) {
+    throw InvalidArgument(
+        "SWDUAL_FORCE_BACKEND=avx512 contradicts SWDUAL_DISABLE_AVX512");
+  }
+  return backend;
+}
+
+/// Widest available backend honoring the disable switch (no force, no
+/// per-kernel gate).
+Backend widest_auto_backend() {
+  Backend best = Backend::kScalar;
+  for (Backend backend :
+       {Backend::kSSE2, Backend::kAVX2, Backend::kAVX512}) {
+    if (backend == Backend::kAVX512 && avx512_disabled()) continue;
+    if (backend_available(backend)) best = backend;
+  }
+  return best;
+}
+
 }  // namespace
+
+const char* kernel_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar: return "scalar";
+    case KernelKind::kStriped: return "striped";
+    case KernelKind::kStriped8: return "striped8";
+    case KernelKind::kInterSeq: return "interseq";
+  }
+  return "unknown";
+}
 
 const char* backend_name(Backend backend) {
   switch (backend) {
@@ -94,31 +152,27 @@ std::vector<Backend> available_backends() {
 }
 
 Backend best_backend() {
-  // The environment override is consulted on every call (it is only read at
-  // dispatch-table granularity — once per search, not per record) so test
-  // harnesses and the CI forced-backend jobs can re-point it at will.
-  if (const char* forced = std::getenv("SWDUAL_FORCE_BACKEND");
-      forced != nullptr && *forced != '\0') {
-    Backend backend = Backend::kAuto;
-    if (!parse_backend(forced, backend)) {
-      throw InvalidArgument(std::string("SWDUAL_FORCE_BACKEND names an "
-                                        "unknown backend: ") +
-                            forced);
-    }
-    if (backend != Backend::kAuto) {
-      if (!backend_available(backend)) {
-        throw InvalidArgument(
-            std::string("SWDUAL_FORCE_BACKEND=") + forced +
-            " is not available on this host (compiled: " +
-            (backend_compiled(backend) ? "yes" : "no") + ")");
-      }
-      return backend;
-    }
+  // The environment overrides are consulted on every call (they are only
+  // read at dispatch-table granularity — once per search, not per record)
+  // so test harnesses and the CI forced-backend jobs can re-point them.
+  if (const Backend forced = forced_backend(); forced != Backend::kAuto) {
+    return forced;
   }
-  Backend best = Backend::kScalar;
-  for (Backend backend :
-       {Backend::kSSE2, Backend::kAVX2, Backend::kAVX512}) {
-    if (backend_available(backend)) best = backend;
+  return widest_auto_backend();
+}
+
+Backend best_backend(KernelKind kernel) {
+  if (const Backend forced = forced_backend(); forced != Backend::kAuto) {
+    return forced;  // an explicit request always wins over the gate
+  }
+  Backend best = widest_auto_backend();
+  if (kernel == KernelKind::kStriped8 && best == Backend::kAVX512 &&
+      backend_available(Backend::kAVX2)) {
+    // Measured on the recorded bench host: striped8 runs 11.6 GCUPS on
+    // avx512 vs 13.5 on avx2 (DESIGN.md "AVX-512 striped8 regression").
+    // The 16-bit striped and interseq kernels win at 512 bits, so only the
+    // byte tier is gated.
+    best = Backend::kAVX2;
   }
   return best;
 }
@@ -131,6 +185,11 @@ Backend resolve_backend(Backend backend) {
                           backend_name(backend));
   }
   return backend;
+}
+
+Backend resolve_backend(Backend backend, KernelKind kernel) {
+  if (backend == Backend::kAuto) return best_backend(kernel);
+  return resolve_backend(backend);
 }
 
 std::size_t backend_lanes8(Backend backend) {

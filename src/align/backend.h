@@ -28,6 +28,19 @@
 
 namespace swdual::align {
 
+/// Kernel selection for one database search. Lives here (not search.h)
+/// because backend selection is kernel-aware: the best SIMD tier differs
+/// per kernel (see best_backend(KernelKind)).
+enum class KernelKind {
+  kScalar,    ///< 32-bit Gotoh oracle (reference, no SIMD)
+  kStriped,   ///< Farrar striped SIMD, 16-bit (STRIPED/SWPS3 class)
+  kStriped8,  ///< Farrar striped SIMD, 8-bit tier with 16-bit/32-bit rescan
+  kInterSeq,  ///< Rognes inter-sequence SIMD (SWIPE class)
+};
+
+/// Printable kernel name.
+const char* kernel_name(KernelKind kind);
+
 /// SIMD instruction-set tier used by the striped/interseq kernels.
 enum class Backend {
   kAuto,    ///< resolve to best_backend() at use
@@ -58,12 +71,29 @@ std::vector<Backend> available_backends();
 /// The widest available backend — unless the SWDUAL_FORCE_BACKEND
 /// environment variable names one, in which case that backend is returned
 /// (InvalidArgument if it is unknown or unavailable on this host). The
-/// environment is consulted on every call so tests can re-point it.
+/// SWDUAL_DISABLE_AVX512 environment variable (any non-empty value other
+/// than "0") removes kAVX512 from automatic selection — deployments can opt
+/// out of downclock-prone 512-bit paths fleet-wide; setting it together
+/// with SWDUAL_FORCE_BACKEND=avx512 is a contradiction and throws
+/// InvalidArgument. The environment is consulted on every call so tests can
+/// re-point it.
 Backend best_backend();
+
+/// Kernel-aware auto selection: like best_backend(), but applies measured
+/// per-kernel gates. Currently one gate exists: kStriped8 auto-selection
+/// caps at kAVX2 because the byte kernel measurably regresses at 512 bits
+/// on current hardware (lazy-F fixups over a too-short striped segment plus
+/// 512-bit license downclocking — DESIGN.md "AVX-512 striped8 regression"
+/// has the numbers). A forced backend always wins: the gate only shapes
+/// *automatic* choice, never an explicit request.
+Backend best_backend(KernelKind kernel);
 
 /// kAuto → best_backend(); anything else is validated as available
 /// (InvalidArgument otherwise) and returned unchanged.
 Backend resolve_backend(Backend backend);
+
+/// kAuto → best_backend(kernel); explicit backends validate as above.
+Backend resolve_backend(Backend backend, KernelKind kernel);
 
 /// Byte-kernel lane count of a resolved backend (16 / 16 / 32 / 64).
 std::size_t backend_lanes8(Backend backend);

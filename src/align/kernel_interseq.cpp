@@ -10,7 +10,8 @@ InterSeqResult interseq_scores(std::span<const std::uint8_t> query,
   // Batch width tracks the active backend's 16-bit lane count (8/16/32);
   // per-sequence scores are independent of the batch a sequence lands in,
   // so results are bit-identical across backends.
-  return kernel_table(best_backend()).interseq(query, db, scheme);
+  return kernel_table(best_backend(KernelKind::kInterSeq))
+      .interseq(query, db, scheme);
 }
 
 }  // namespace swdual::align

@@ -1,4 +1,4 @@
-// Width-generic body of the Rognes inter-sequence kernel.
+// Width-generic body of the Rognes inter-sequence kernel (round 2).
 //
 // Templated over any 16-bit vector type V satisfying the simd16.h interface
 // contract: V::kLanes database sequences are aligned against the query
@@ -6,6 +6,24 @@
 // per-sequence scores and overflow flags do not depend on the batch width —
 // only throughput does. kernel_backend_*.cpp instantiate this at each
 // compiled width.
+//
+// The inner loop is the SWIPE "database profile" formulation: instead of
+// gathering one score per lane per cell (kLanes scalar loads for every DP
+// cell — the round-1 bottleneck that left interseq 6-10x behind striped8),
+// each database column j first materializes a dprofile of
+// alphabet_size x kLanes scores, and the query loop then issues ONE vector
+// load per cell: dprofile + q[i]*kLanes. The dprofile build costs
+// O(alphabet x lanes) per column; the loop it feeds runs m iterations with
+// m >> alphabet (360 vs 24 in the bench), so per-cell cost drops from
+// kLanes scalar loads to one vector load.
+//
+// Lane batching: sequences are processed longest-first so all lanes of a
+// group retire together (the occupancy fix from Rognes' SWIPE and Rucci et
+// al.'s KNL study). When the caller already supplies length-sorted views —
+// the SWDB v2 lane-batch index path, or chunks from a sorting
+// ParallelSearchEngine — the kernel detects the order with one O(n) scan
+// and skips its own sort entirely: the steady-state refill path performs no
+// allocation and no sorting.
 #pragma once
 
 #include <algorithm>
@@ -13,10 +31,8 @@
 #include <limits>
 #include <numeric>
 #include <span>
-#include <vector>
 
 #include "align/kernel_interseq.h"
-#include "align/profile.h"
 #include "align/scratch.h"
 
 namespace swdual::align {
@@ -36,18 +52,47 @@ InterSeqResult interseq_scores_impl(std::span<const std::uint8_t> query,
   }
   if (query.empty() || db.empty()) return result;
 
-  const QueryProfile profile(query, *scheme.matrix);
+  const ScoreMatrix& matrix = *scheme.matrix;
   const std::size_t m = query.size();
+  const std::size_t asize = matrix.size();
+  // Sequence positions past a lane's end use one synthetic residue code
+  // (== asize): an extra column in every substitution row holding the pad
+  // score, so padding needs no branch in the dprofile build.
+  const std::uint8_t pad_code = static_cast<std::uint8_t>(asize);
+
+  AlignScratch& scratch = thread_scratch();
+
+  // Substitution rows widened to int16 with the pad column appended:
+  // ext_rows[a * (asize+1) + c] == S(a, c), and the pad score at c == asize.
+  std::int16_t* ext_rows = scratch.interseq_ext_rows(asize * (asize + 1));
+  for (std::size_t a = 0; a < asize; ++a) {
+    const std::int8_t* row = matrix.row(static_cast<std::uint8_t>(a));
+    std::int16_t* dst = ext_rows + a * (asize + 1);
+    for (std::size_t c = 0; c < asize; ++c) dst[c] = row[c];
+    dst[asize] = kInterSeqPadScore;
+  }
 
   // Process longest-first so lanes in a group have similar lengths and the
   // padded tail (pure overhead) stays short — the batching strategy of
-  // CUDASW++ and SWIPE.
-  std::vector<std::size_t> order(db.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return db[a].size() > db[b].size();
-                   });
+  // CUDASW++ and SWIPE. Callers that deliver pre-sorted batches (the SWDB
+  // v2 lane-batch index) skip the sort: the order buffer is thread-local
+  // and the identity fill is O(n).
+  AlignedVector<std::uint32_t>& order = scratch.interseq_order();
+  order.resize(db.size());
+  std::iota(order.begin(), order.end(), 0u);
+  bool presorted = true;
+  for (std::size_t i = 1; i < db.size(); ++i) {
+    if (db[i - 1].size() < db[i].size()) {
+      presorted = false;
+      break;
+    }
+  }
+  if (!presorted) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return db[a].size() > db[b].size();
+                     });
+  }
 
   const V v_gap_extend =
       V::splat(static_cast<std::int16_t>(scheme.gap.extend));
@@ -55,38 +100,51 @@ InterSeqResult interseq_scores_impl(std::span<const std::uint8_t> query,
       static_cast<std::int16_t>(scheme.gap.open + scheme.gap.extend));
   const V v_zero = V::zero();
 
+  // Per-column database profile: dprofile[a * kL + lane] is the score of
+  // query residue a against lane's current database residue.
+  std::int16_t* dprofile = scratch.interseq_dprofile(asize * kL);
+
   for (std::size_t group_start = 0; group_start < order.size();
        group_start += kL) {
     const std::size_t lanes_used = std::min(kL, order.size() - group_start);
+    const std::uint8_t* lane_seq[kL];
+    std::size_t lane_len[kL];
     std::size_t max_len = 0;
-    for (std::size_t l = 0; l < lanes_used; ++l) {
-      max_len = std::max(max_len, db[order[group_start + l]].size());
+    for (std::size_t l = 0; l < kL; ++l) {
+      if (l < lanes_used) {
+        const auto& seq = db[order[group_start + l]];
+        lane_seq[l] = seq.data();
+        lane_len[l] = seq.size();
+        max_len = std::max(max_len, seq.size());
+      } else {
+        lane_seq[l] = nullptr;
+        lane_len[l] = 0;
+      }
     }
     if (max_len == 0) continue;
 
-    // H/E columns and the sentinel row (padding lanes gather from it once
-    // their sequence ends) live in the per-thread workspace.
-    const AlignScratch::InterSeqState state = thread_scratch().interseq_state(
-        m * kL, m, kInterSeqPadScore);
+    // H/E columns live in the per-thread workspace.
+    const AlignScratch::InterSeqState state =
+        scratch.interseq_state(m * kL);
     V v_max = V::zero();
 
     for (std::size_t j = 0; j < max_len; ++j) {
-      // Per-lane profile rows for this database column.
-      const std::int16_t* lane_rows[kL];
+      // This column's database residue per lane (pad once a lane's
+      // sequence has ended), then the dprofile for the whole column.
+      std::uint8_t codes[kL];
       for (std::size_t l = 0; l < kL; ++l) {
-        if (l < lanes_used && j < db[order[group_start + l]].size()) {
-          lane_rows[l] = profile.row(db[order[group_start + l]][j]);
-        } else {
-          lane_rows[l] = state.pad_row;
-        }
+        codes[l] = j < lane_len[l] ? lane_seq[l][j] : pad_code;
+      }
+      for (std::size_t a = 0; a < asize; ++a) {
+        const std::int16_t* ext = ext_rows + a * (asize + 1);
+        std::int16_t* dst = dprofile + a * kL;
+        for (std::size_t l = 0; l < kL; ++l) dst[l] = ext[codes[l]];
       }
 
       V v_diag = V::zero();  // H[i-1][j-1]; boundary row is 0
       V v_f = V::zero();     // F[i][j], carried down the column
       for (std::size_t i = 0; i < m; ++i) {
-        alignas(64) std::int16_t gathered[kL];
-        for (std::size_t l = 0; l < kL; ++l) gathered[l] = lane_rows[l][i];
-        const V v_score = V::load(gathered);
+        const V v_score = V::load(dprofile + query[i] * kL);
         const V v_h_prev = V::load(state.h + i * kL);
         const V v_e_prev = V::load(state.e + i * kL);
 

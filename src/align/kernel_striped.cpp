@@ -24,7 +24,7 @@ StripedResult striped_score(std::span<const std::uint8_t> query,
   }
   // Convenience path: one-shot profile, built for (and run on) the best
   // backend this host offers.
-  const Backend backend = best_backend();
+  const Backend backend = best_backend(KernelKind::kStriped);
   const StripedProfile profile(query, *scheme.matrix,
                                backend_lanes16(backend));
   return kernel_table(backend).striped(profile, db, scheme.gap);

@@ -23,7 +23,7 @@ StripedResult striped8_score(std::span<const std::uint8_t> query,
   }
   // Convenience path: one-shot profile, built for (and run on) the best
   // backend this host offers.
-  const Backend backend = best_backend();
+  const Backend backend = best_backend(KernelKind::kStriped8);
   const StripedProfileU8 profile(query, *scheme.matrix,
                                  backend_lanes8(backend));
   return kernel_table(backend).striped8(profile, db, scheme.gap);

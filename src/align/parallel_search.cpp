@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "seq/swdb.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -61,7 +62,35 @@ ParallelSearchEngine::ParallelSearchEngine(const DbView& db,
       db_[p] = db[original_index_[p]];
     }
   }
+  init_partition(options);
+}
 
+ParallelSearchEngine::ParallelSearchEngine(const seq::MappedSwdb& db,
+                                           const ParallelSearchOptions& options)
+    : tracer_(options.tracer),
+      metrics_(options.metrics),
+      trace_track_(options.trace_track) {
+  // Same longest-first permutation the DbView ctor computes, but read from
+  // the database's lane-batch index (identical tie-breaking by record id),
+  // and every span points into the shared mapping — no copies, no sort.
+  original_index_.reserve(db.size());
+  db_.reserve(db.size());
+  if (options.sort_by_length) {
+    for (const std::uint32_t id : db.lane_order()) {
+      original_index_.push_back(id);
+      db_.push_back(db.residues(id));
+    }
+  } else {
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      original_index_.push_back(i);
+      db_.push_back(db.residues(i));
+    }
+  }
+  init_partition(options);
+}
+
+void ParallelSearchEngine::init_partition(
+    const ParallelSearchOptions& options) {
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   std::size_t num_chunks;
   if (options.chunk_records > 0) {

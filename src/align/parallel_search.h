@@ -25,6 +25,10 @@ class MetricsRegistry;
 class Tracer;
 }  // namespace swdual::obs
 
+namespace swdual::seq {
+class MappedSwdb;
+}  // namespace swdual::seq
+
 namespace swdual::align {
 
 struct ParallelSearchOptions {
@@ -67,6 +71,15 @@ class ParallelSearchEngine {
   /// once; the underlying records must outlive the engine.
   explicit ParallelSearchEngine(const DbView& db,
                                 const ParallelSearchOptions& options = {});
+
+  /// Zero-copy engine over an mmap-backed SWDB: chunk scans read residues
+  /// straight out of the shared mapping (no per-engine or per-thread copy),
+  /// and when options.sort_by_length is set the longest-first permutation
+  /// comes from the database's precomputed lane-batch index instead of a
+  /// per-engine sort — the heap-free refill path of the interseq kernel.
+  /// The mapping must outlive the engine (see MappedSwdb lifetime rules).
+  ParallelSearchEngine(const seq::MappedSwdb& db,
+                       const ParallelSearchOptions& options = {});
 
   ParallelSearchEngine(const ParallelSearchEngine&) = delete;
   ParallelSearchEngine& operator=(const ParallelSearchEngine&) = delete;
@@ -112,6 +125,10 @@ class ParallelSearchEngine {
                          std::size_t chunk_index, std::size_t top_k) const;
   RankedSearchResult run(const SearchProfiles& profiles,
                          std::size_t top_k) const;
+
+  /// Partition db_ into chunks and spin up the pool (shared ctor tail;
+  /// db_ and original_index_ must already be populated).
+  void init_partition(const ParallelSearchOptions& options);
 
   /// chunks_ with every boundary snapped to a multiple of `batch` records,
   /// so the inter-sequence kernel never splits a SIMD batch between two

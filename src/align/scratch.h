@@ -47,29 +47,47 @@ class AlignScratch {
     return {h16_load_.data(), h16_store_.data(), e16_.data()};
   }
 
-  /// Inter-sequence kernel state: H and E columns (zeroed), plus a sentinel
-  /// profile row of `pad` repeated `pad_len` times (lanes past the end of
-  /// their sequence gather from it).
+  /// Inter-sequence kernel state: H and E columns (zeroed), `n` elements
+  /// each (query length x lane count).
   struct InterSeqState {
     std::int16_t* h;
     std::int16_t* e;
-    const std::int16_t* pad_row;
   };
 
-  InterSeqState interseq_state(std::size_t n, std::size_t pad_len,
-                               std::int16_t pad) {
+  InterSeqState interseq_state(std::size_t n) {
     iseq_h_.assign(n, 0);
     iseq_e_.assign(n, 0);
-    pad_row_.assign(pad_len, pad);
-    return {iseq_h_.data(), iseq_e_.data(), pad_row_.data()};
+    return {iseq_h_.data(), iseq_e_.data()};
   }
+
+  /// SWIPE-style per-column database profile: (alphabet size) x (lane
+  /// count) int16 scores rebuilt for every database column. Contents are
+  /// NOT zeroed — the kernel overwrites every slot before reading.
+  std::int16_t* interseq_dprofile(std::size_t n) {
+    if (dprofile_.size() < n) dprofile_.resize(n);
+    return dprofile_.data();
+  }
+
+  /// Extended substitution rows (one extra padding column per row), built
+  /// once per interseq call. Contents are NOT zeroed.
+  std::int16_t* interseq_ext_rows(std::size_t n) {
+    if (ext_rows_.size() < n) ext_rows_.resize(n);
+    return ext_rows_.data();
+  }
+
+  /// Reusable lane-batch order buffer — keeps the interseq refill path
+  /// heap-free when the caller's batch is already length-sorted (the SWDB
+  /// v2 lane-batch index path).
+  AlignedVector<std::uint32_t>& interseq_order() { return iseq_order_; }
 
  private:
   // 64-byte-aligned so wide vector loads at lane-multiple offsets never
   // straddle cache lines (util/aligned.h).
   AlignedVector<std::uint8_t> h8_load_, h8_store_, e8_;
   AlignedVector<std::int16_t> h16_load_, h16_store_, e16_;
-  AlignedVector<std::int16_t> iseq_h_, iseq_e_, pad_row_;
+  AlignedVector<std::int16_t> iseq_h_, iseq_e_;
+  AlignedVector<std::int16_t> dprofile_, ext_rows_;
+  AlignedVector<std::uint32_t> iseq_order_;
 };
 
 /// The calling thread's workspace (thread-local, created on first use).

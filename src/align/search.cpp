@@ -12,16 +12,6 @@
 
 namespace swdual::align {
 
-const char* kernel_name(KernelKind kind) {
-  switch (kind) {
-    case KernelKind::kScalar: return "scalar";
-    case KernelKind::kStriped: return "striped";
-    case KernelKind::kStriped8: return "striped8";
-    case KernelKind::kInterSeq: return "interseq";
-  }
-  return "unknown";
-}
-
 bool hit_better(const SearchHit& a, const SearchHit& b) {
   return a.score != b.score ? a.score > b.score : a.db_index < b.db_index;
 }
@@ -70,7 +60,7 @@ SearchProfiles::SearchProfiles(std::span<const std::uint8_t> query,
     : query_(query),
       scheme_(scheme),
       kernel_(kernel),
-      backend_(resolve_backend(backend)),
+      backend_(resolve_backend(backend, kernel)),
       table_(&kernel_table(backend_)) {
   if (query_.empty()) return;
   switch (kernel_) {

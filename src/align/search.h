@@ -21,16 +21,8 @@
 
 namespace swdual::align {
 
-/// Kernel selection for one database search.
-enum class KernelKind {
-  kScalar,    ///< 32-bit Gotoh oracle (reference, no SIMD)
-  kStriped,   ///< Farrar striped SIMD, 16-bit (STRIPED/SWPS3 class)
-  kStriped8,  ///< Farrar striped SIMD, 8-bit tier with 16-bit/32-bit rescan
-  kInterSeq,  ///< Rognes inter-sequence SIMD (SWIPE class)
-};
-
-/// Printable kernel name.
-const char* kernel_name(KernelKind kind);
+// KernelKind and kernel_name live in align/backend.h (selection is
+// kernel-aware); search.h re-exports them via that include.
 
 /// One scored database record.
 struct SearchHit {

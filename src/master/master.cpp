@@ -42,6 +42,14 @@ std::size_t worker_for(const sched::PeId& pe, std::size_t gpu_workers) {
 SearchReport run_search(const std::vector<seq::Sequence>& queries,
                         const std::vector<seq::Sequence>& db,
                         const MasterConfig& config) {
+  // The engine only ever needs residue views; materialized records just
+  // borrow through them (Fig. 6 "acquire sequences").
+  return run_search(queries, align::make_db_view(db), config);
+}
+
+SearchReport run_search(const std::vector<seq::Sequence>& queries,
+                        const align::DbView& db_view,
+                        const MasterConfig& config) {
   SWDUAL_REQUIRE(config.cpu_workers + config.gpu_workers > 0,
                  "need at least one worker");
   SearchReport report;
@@ -49,8 +57,6 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
 
   WallTimer wall;
 
-  // --- Acquire sequences (Fig. 6): build views and task list. ---
-  const align::DbView db_view = align::make_db_view(db);
   std::uint64_t db_residues = 0;
   for (const auto& view : db_view) db_residues += view.size();
 
@@ -112,7 +118,8 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
   // --backend or SWDUAL_FORCE_BACKEND surfaces as a clean configuration
   // error instead of an exception escaping a worker thread, and every
   // worker is pinned to the same backend for the whole run.
-  context.cpu_backend = align::resolve_backend(config.cpu_backend);
+  context.cpu_backend =
+      align::resolve_backend(config.cpu_backend, config.cpu_kernel);
   context.threads_per_cpu_worker = config.threads_per_cpu_worker;
   context.profile_cache = config.profile_cache;
   context.fault_injector = config.fault_injector;

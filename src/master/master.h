@@ -117,4 +117,13 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
                         const std::vector<seq::Sequence>& db,
                         const MasterConfig& config);
 
+/// View-based core: the database is borrowed as residue views, so callers
+/// holding an mmap-backed seq::MappedSwdb (or any other zero-copy source)
+/// search without ever materializing records. The viewed bytes must stay
+/// alive for the duration of the call. The record overload above delegates
+/// here.
+SearchReport run_search(const std::vector<seq::Sequence>& queries,
+                        const align::DbView& db,
+                        const MasterConfig& config);
+
 }  // namespace swdual::master

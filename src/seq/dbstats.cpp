@@ -24,4 +24,17 @@ DatabaseStats compute_stats(const std::vector<Sequence>& records) {
   return compute_stats_from_lengths(lengths);
 }
 
+DatabaseStats compute_stats(const SwdbReader& db) {
+  DatabaseStats stats;
+  stats.num_sequences = db.size();
+  if (db.size() == 0) return stats;
+  const std::span<const std::uint32_t> lengths = db.lengths();
+  stats.min_length = *std::min_element(lengths.begin(), lengths.end());
+  stats.max_length = *std::max_element(lengths.begin(), lengths.end());
+  stats.total_residues = db.total_residues();
+  stats.mean_length = static_cast<double>(stats.total_residues) /
+                      static_cast<double>(stats.num_sequences);
+  return stats;
+}
+
 }  // namespace swdual::seq

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "seq/sequence.h"
+#include "seq/swdb.h"
 
 namespace swdual::seq {
 
@@ -24,5 +25,10 @@ DatabaseStats compute_stats(const std::vector<Sequence>& records);
 /// Compute stats from length data only (e.g. from an SWDB index, without
 /// reading residues).
 DatabaseStats compute_stats_from_lengths(const std::vector<std::size_t>& lengths);
+
+/// Compute stats for an open SWDB straight from its index section — no
+/// record is decoded and no data-section byte is touched, so this is O(n)
+/// in the record count regardless of database size.
+DatabaseStats compute_stats(const SwdbReader& db);
 
 }  // namespace swdual::seq

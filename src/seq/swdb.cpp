@@ -1,18 +1,39 @@
 #include "seq/swdb.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <limits>
+#include <numeric>
 
+#include "seq/alphabet.h"
 #include "seq/fasta.h"
 #include "util/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define SWDUAL_HAVE_MMAP 1
+#endif
 
 namespace swdual::seq {
 
 namespace {
 
 constexpr std::array<char, 4> kMagic = {'S', 'W', 'D', 'B'};
-constexpr std::uint64_t kHeaderBytes = 4 + 4 + 4 + 8 + 8;
+constexpr std::array<char, 4> kV2Magic = {'S', 'W', 'V', '2'};
+/// v1 header: magic + version + alphabet(+pad) + count + index offset.
+constexpr std::uint64_t kHeaderBytesV1 = 4 + 4 + 4 + 8 + 8;
+/// v2 header: v1 header + pre-encoded section offset.
+constexpr std::uint64_t kHeaderBytesV2 = kHeaderBytesV1 + 8;
+constexpr std::uint64_t kIndexEntryBytes = 8 + 4 + 2 + 2;
+/// v2 section: magic + block + data offset + data size ...
+constexpr std::uint64_t kV2SectionHeaderBytes = 4 + 4 + 8 + 8;
+/// ... then per record a blocked offset + padded length, then the order.
+constexpr std::uint64_t kV2EntryBytes = 8 + 4;
+constexpr std::uint64_t kV2OrderEntryBytes = 4;
 
 template <typename T>
 void write_le(std::ostream& out, T value) {
@@ -38,10 +59,212 @@ T read_le(std::istream& in) {
   return value;
 }
 
+/// Bounds-checked little-endian cursor over in-memory bytes; both readers
+/// parse header/index/v2 tables through it so their validation is identical.
+class ByteCursor {
+ public:
+  ByteCursor(const std::uint8_t* begin, std::size_t size,
+             const std::string& path)
+      : p_(begin), end_(begin + size), path_(path) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_unsigned_v<T>);
+    if (static_cast<std::size_t>(end_ - p_) < sizeof(T)) {
+      throw IoError("truncated SWDB structure: " + path_);
+    }
+    T value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      value = static_cast<T>(value | static_cast<T>(p_[i]) << (8 * i));
+    }
+    p_ += sizeof(T);
+    return value;
+  }
+
+  bool match(const std::array<char, 4>& magic) {
+    if (static_cast<std::size_t>(end_ - p_) < magic.size()) return false;
+    const bool ok = std::memcmp(p_, magic.data(), magic.size()) == 0;
+    p_ += magic.size();
+    return ok;
+  }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  const std::string& path_;
+};
+
+struct ParsedHeader {
+  std::uint32_t version = 0;
+  AlphabetKind alphabet = AlphabetKind::kProtein;
+  std::uint64_t count = 0;
+  std::uint64_t index_offset = 0;
+  std::uint64_t v2_offset = 0;     ///< meaningful for version >= 2
+  std::uint64_t header_bytes = 0;  ///< 28 (v1) or 36 (v2)
+};
+
+ParsedHeader parse_header(const std::uint8_t* bytes, std::uint64_t avail,
+                          std::uint64_t file_size, const std::string& path) {
+  ByteCursor cur(bytes, static_cast<std::size_t>(avail), path);
+  if (avail < kHeaderBytesV1 || !cur.match(kMagic)) {
+    throw IoError("not an SWDB file (bad magic): " + path);
+  }
+  ParsedHeader h;
+  h.version = cur.get<std::uint32_t>();
+  if (h.version != kSwdbVersion1 && h.version != kSwdbVersion2) {
+    throw IoError("unsupported SWDB version " + std::to_string(h.version) +
+                  " in " + path);
+  }
+  const auto alphabet_byte = cur.get<std::uint8_t>();
+  if (alphabet_byte > 2) {
+    throw IoError("corrupt SWDB alphabet field in " + path);
+  }
+  h.alphabet = static_cast<AlphabetKind>(alphabet_byte);
+  cur.get<std::uint8_t>();
+  cur.get<std::uint8_t>();
+  cur.get<std::uint8_t>();
+  h.count = cur.get<std::uint64_t>();
+  h.index_offset = cur.get<std::uint64_t>();
+  h.header_bytes = kHeaderBytesV1;
+  if (h.version >= kSwdbVersion2) {
+    if (avail < kHeaderBytesV2) {
+      throw IoError("truncated SWDB header: " + path);
+    }
+    h.v2_offset = cur.get<std::uint64_t>();
+    h.header_bytes = kHeaderBytesV2;
+  }
+  // Validate against the actual file size before allocating anything —
+  // corrupt counts/offsets must fail cleanly, not OOM.
+  if (h.index_offset > file_size ||
+      h.count > (file_size - h.index_offset) / kIndexEntryBytes) {
+    throw IoError("corrupt SWDB header (index out of bounds): " + path);
+  }
+  return h;
+}
+
+struct RawEntry {
+  std::uint64_t offset = 0;
+  std::uint32_t seq_length = 0;
+  std::uint16_t id_length = 0;
+  std::uint16_t desc_length = 0;
+};
+
+/// Parse + validate the index section (count entries starting at `bytes`).
+/// `data_end` is the first byte past the record section (== index offset).
+std::vector<RawEntry> parse_index(const std::uint8_t* bytes,
+                                  std::uint64_t count,
+                                  std::uint64_t header_bytes,
+                                  std::uint64_t data_end,
+                                  const std::string& path) {
+  ByteCursor cur(bytes, static_cast<std::size_t>(count * kIndexEntryBytes),
+                 path);
+  std::vector<RawEntry> entries(static_cast<std::size_t>(count));
+  for (RawEntry& entry : entries) {
+    entry.offset = cur.get<std::uint64_t>();
+    entry.seq_length = cur.get<std::uint32_t>();
+    entry.id_length = cur.get<std::uint16_t>();
+    entry.desc_length = cur.get<std::uint16_t>();
+    const std::uint64_t record_end =
+        entry.offset + entry.seq_length + entry.id_length + entry.desc_length;
+    if (entry.offset < header_bytes || record_end > data_end) {
+      throw IoError("corrupt SWDB index entry: " + path);
+    }
+  }
+  return entries;
+}
+
+struct ParsedV2 {
+  std::uint32_t block = 0;
+  std::uint64_t data_offset = 0;  ///< absolute, block-aligned
+  std::uint64_t data_bytes = 0;
+  std::vector<std::uint64_t> rel_offsets;  ///< per record, into the data blob
+  std::vector<std::uint32_t> padded_lengths;
+  std::vector<std::uint32_t> order;  ///< lane-batch index (longest first)
+};
+
+/// Parse + validate the v2 pre-encoded section tables. `bytes` holds at
+/// least the section header + entry/order tables (checked by the caller).
+ParsedV2 parse_v2_tables(const std::uint8_t* bytes, std::uint64_t avail,
+                         std::uint64_t v2_offset, std::uint64_t file_size,
+                         std::span<const std::uint32_t> lengths,
+                         const std::string& path) {
+  const std::uint64_t count = lengths.size();
+  ByteCursor cur(bytes, static_cast<std::size_t>(avail), path);
+  if (!cur.match(kV2Magic)) {
+    throw IoError("corrupt SWDB v2 section (bad magic): " + path);
+  }
+  ParsedV2 v2;
+  v2.block = cur.get<std::uint32_t>();
+  if (v2.block == 0 || (v2.block & (v2.block - 1)) != 0 || v2.block > 4096) {
+    throw IoError("corrupt SWDB v2 section (bad block size): " + path);
+  }
+  v2.data_offset = cur.get<std::uint64_t>();
+  v2.data_bytes = cur.get<std::uint64_t>();
+  const std::uint64_t tables_end = v2_offset + kV2SectionHeaderBytes +
+                                   count * (kV2EntryBytes + kV2OrderEntryBytes);
+  if (v2.data_offset < tables_end || v2.data_offset % v2.block != 0 ||
+      v2.data_offset > file_size || v2.data_bytes > file_size - v2.data_offset) {
+    throw IoError("corrupt SWDB v2 section (data out of bounds): " + path);
+  }
+
+  v2.rel_offsets.resize(static_cast<std::size_t>(count));
+  v2.padded_lengths.resize(static_cast<std::size_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    v2.rel_offsets[i] = cur.get<std::uint64_t>();
+    v2.padded_lengths[i] = cur.get<std::uint32_t>();
+    const std::uint64_t padded = v2.padded_lengths[i];
+    const bool aligned =
+        v2.rel_offsets[i] % v2.block == 0 && padded % v2.block == 0;
+    const bool sized = padded >= lengths[i] &&
+                       padded - lengths[i] < v2.block &&
+                       v2.rel_offsets[i] <= v2.data_bytes &&
+                       padded <= v2.data_bytes - v2.rel_offsets[i];
+    if (!aligned || !sized) {
+      throw IoError("corrupt SWDB v2 entry: " + path);
+    }
+  }
+
+  // The lane order must be a permutation visiting records longest-first —
+  // kernels trust it blindly, so a corrupt one is a structural error.
+  v2.order.resize(static_cast<std::size_t>(count));
+  std::vector<bool> seen(static_cast<std::size_t>(count), false);
+  std::uint32_t prev_length = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto id = cur.get<std::uint32_t>();
+    if (id >= count || seen[id] || (k > 0 && lengths[id] > prev_length)) {
+      throw IoError("corrupt SWDB v2 lane order: " + path);
+    }
+    seen[id] = true;
+    prev_length = lengths[id];
+    v2.order[k] = id;
+  }
+  return v2;
+}
+
+/// The lane-batch order for files without a v2 section: record ids sorted
+/// longest-first, ties broken by id (stable sort) — the same rule the
+/// writer uses, so v1 and v2 databases batch identically.
+std::vector<std::uint32_t> lane_order_from_lengths(
+    std::span<const std::uint32_t> lengths) {
+  std::vector<std::uint32_t> order(lengths.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return lengths[a] > lengths[b];
+                   });
+  return order;
+}
+
+std::uint64_t align_up(std::uint64_t value, std::uint64_t block) {
+  return (value + block - 1) / block * block;
+}
+
 }  // namespace
 
 void write_swdb(const std::string& path, const std::vector<Sequence>& records,
-                AlphabetKind alphabet) {
+                AlphabetKind alphabet, std::uint32_t version) {
+  SWDUAL_REQUIRE(version == kSwdbVersion1 || version == kSwdbVersion2,
+                 "unknown SWDB version " + std::to_string(version));
   for (const Sequence& record : records) {
     SWDUAL_REQUIRE(record.alphabet == alphabet,
                    "record '" + record.id + "' has a different alphabet");
@@ -58,9 +281,9 @@ void write_swdb(const std::string& path, const std::vector<Sequence>& records,
   std::ofstream out(path, std::ios::binary);
   if (!out) throw IoError("cannot open SWDB for writing: " + path);
 
-  // Header (index offset back-patched after the data section is written).
+  // Header (index and v2 offsets back-patched once known).
   out.write(kMagic.data(), kMagic.size());
-  write_le<std::uint32_t>(out, kSwdbVersion);
+  write_le<std::uint32_t>(out, version);
   write_le<std::uint8_t>(out, static_cast<std::uint8_t>(alphabet));
   write_le<std::uint8_t>(out, 0);
   write_le<std::uint8_t>(out, 0);
@@ -68,6 +291,11 @@ void write_swdb(const std::string& path, const std::vector<Sequence>& records,
   write_le<std::uint64_t>(out, records.size());
   const std::streampos index_offset_pos = out.tellp();
   write_le<std::uint64_t>(out, 0);  // placeholder
+  std::streampos v2_offset_pos{};
+  if (version >= kSwdbVersion2) {
+    v2_offset_pos = out.tellp();
+    write_le<std::uint64_t>(out, 0);  // placeholder
+  }
 
   std::vector<std::uint64_t> offsets;
   offsets.reserve(records.size());
@@ -92,17 +320,75 @@ void write_swdb(const std::string& path, const std::vector<Sequence>& records,
         out, static_cast<std::uint16_t>(records[i].description.size()));
   }
 
+  std::uint64_t v2_offset = 0;
+  if (version >= kSwdbVersion2) {
+    // Pre-encoded section: every record's residues again, but padded with
+    // the wildcard code to a block multiple and starting block-aligned, so
+    // a mapped reader hands the bytes straight to the SIMD kernels.
+    v2_offset = static_cast<std::uint64_t>(out.tellp());
+    const std::uint64_t tables_end =
+        v2_offset + kV2SectionHeaderBytes +
+        records.size() * (kV2EntryBytes + kV2OrderEntryBytes);
+    const std::uint64_t data_offset = align_up(tables_end, kSwdbV2Block);
+    std::uint64_t data_bytes = 0;
+    for (const Sequence& record : records) {
+      data_bytes += align_up(record.length(), kSwdbV2Block);
+    }
+
+    out.write(kV2Magic.data(), kV2Magic.size());
+    write_le<std::uint32_t>(out, static_cast<std::uint32_t>(kSwdbV2Block));
+    write_le<std::uint64_t>(out, data_offset);
+    write_le<std::uint64_t>(out, data_bytes);
+
+    std::uint64_t rel = 0;
+    for (const Sequence& record : records) {
+      const std::uint64_t padded = align_up(record.length(), kSwdbV2Block);
+      write_le<std::uint64_t>(out, rel);
+      write_le<std::uint32_t>(out, static_cast<std::uint32_t>(padded));
+      rel += padded;
+    }
+
+    std::vector<std::uint32_t> lengths;
+    lengths.reserve(records.size());
+    for (const Sequence& record : records) {
+      lengths.push_back(static_cast<std::uint32_t>(record.length()));
+    }
+    for (const std::uint32_t id : lane_order_from_lengths(lengths)) {
+      write_le<std::uint32_t>(out, id);
+    }
+
+    const std::string gap(static_cast<std::size_t>(data_offset - tables_end),
+                          '\0');
+    out.write(gap.data(), static_cast<std::streamsize>(gap.size()));
+
+    const std::uint8_t wildcard = Alphabet::get(alphabet).wildcard_code();
+    for (const Sequence& record : records) {
+      out.write(reinterpret_cast<const char*>(record.residues.data()),
+                static_cast<std::streamsize>(record.residues.size()));
+      const std::uint64_t padded = align_up(record.length(), kSwdbV2Block);
+      const std::string pad(
+          static_cast<std::size_t>(padded - record.length()),
+          static_cast<char>(wildcard));
+      out.write(pad.data(), static_cast<std::streamsize>(pad.size()));
+    }
+  }
+
   out.seekp(index_offset_pos);
   write_le<std::uint64_t>(out, index_offset);
+  if (version >= kSwdbVersion2) {
+    out.seekp(v2_offset_pos);
+    write_le<std::uint64_t>(out, v2_offset);
+  }
   out.flush();
   if (!out) throw IoError("SWDB write failed: " + path);
 }
 
 std::size_t convert_fasta_to_swdb(const std::string& fasta_path,
                                   const std::string& swdb_path,
-                                  AlphabetKind alphabet) {
+                                  AlphabetKind alphabet,
+                                  std::uint32_t version) {
   const std::vector<Sequence> records = read_fasta_file(fasta_path, alphabet);
-  write_swdb(swdb_path, records, alphabet);
+  write_swdb(swdb_path, records, alphabet, version);
   return records.size();
 }
 
@@ -110,54 +396,65 @@ SwdbReader::SwdbReader(const std::string& path)
     : path_(path), file_(path, std::ios::binary) {
   if (!file_) throw IoError("cannot open SWDB file: " + path);
 
-  std::array<char, 4> magic;
-  file_.read(magic.data(), magic.size());
-  if (!file_ || magic != kMagic) {
-    throw IoError("not an SWDB file (bad magic): " + path);
-  }
-  const auto version = read_le<std::uint32_t>(file_);
-  if (version != kSwdbVersion) {
-    throw IoError("unsupported SWDB version " + std::to_string(version) +
-                  " in " + path);
-  }
-  const auto alphabet_byte = read_le<std::uint8_t>(file_);
-  if (alphabet_byte > 2) {
-    throw IoError("corrupt SWDB alphabet field in " + path);
-  }
-  alphabet_ = static_cast<AlphabetKind>(alphabet_byte);
-  read_le<std::uint8_t>(file_);
-  read_le<std::uint8_t>(file_);
-  read_le<std::uint8_t>(file_);
-  const auto count = read_le<std::uint64_t>(file_);
-  const auto index_offset = read_le<std::uint64_t>(file_);
-  if (!file_) throw IoError("truncated SWDB header: " + path);
-
-  // Validate the header against the actual file size before allocating
-  // anything — corrupt counts/offsets must fail cleanly, not OOM.
   file_.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(file_.tellg());
-  constexpr std::uint64_t kEntrySize = 8 + 4 + 2 + 2;
-  if (index_offset > file_size ||
-      count > (file_size - index_offset) / kEntrySize) {
-    throw IoError("corrupt SWDB header (index out of bounds): " + path);
-  }
-  data_end_ = index_offset;
+  file_.seekg(0);
 
-  file_.seekg(static_cast<std::streamoff>(index_offset));
-  entries_.resize(count);
-  for (Entry& entry : entries_) {
-    entry.offset = read_le<std::uint64_t>(file_);
-    entry.seq_length = read_le<std::uint32_t>(file_);
-    entry.id_length = read_le<std::uint16_t>(file_);
-    entry.desc_length = read_le<std::uint16_t>(file_);
-    const std::uint64_t record_end =
-        entry.offset + entry.seq_length + entry.id_length + entry.desc_length;
-    if (entry.offset < kHeaderBytes || record_end > data_end_) {
-      throw IoError("corrupt SWDB index entry: " + path);
-    }
+  std::array<std::uint8_t, kHeaderBytesV2> header_bytes{};
+  const std::uint64_t header_avail = std::min<std::uint64_t>(
+      file_size, header_bytes.size());
+  file_.read(reinterpret_cast<char*>(header_bytes.data()),
+             static_cast<std::streamsize>(header_avail));
+  if (!file_ && header_avail > 0) {
+    throw IoError("truncated SWDB header: " + path);
+  }
+  const ParsedHeader header =
+      parse_header(header_bytes.data(), header_avail, file_size, path);
+  version_ = header.version;
+  alphabet_ = header.alphabet;
+  data_end_ = header.index_offset;
+
+  std::vector<std::uint8_t> index_bytes(
+      static_cast<std::size_t>(header.count * kIndexEntryBytes));
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(header.index_offset));
+  file_.read(reinterpret_cast<char*>(index_bytes.data()),
+             static_cast<std::streamsize>(index_bytes.size()));
+  if (!file_ && !index_bytes.empty()) {
+    throw IoError("truncated SWDB index: " + path);
+  }
+  const std::vector<RawEntry> raw = parse_index(
+      index_bytes.data(), header.count, header.header_bytes, data_end_, path);
+  entries_.reserve(raw.size());
+  lengths_.reserve(raw.size());
+  for (const RawEntry& entry : raw) {
+    entries_.push_back(
+        {entry.offset, entry.seq_length, entry.id_length, entry.desc_length});
+    lengths_.push_back(entry.seq_length);
     total_residues_ += entry.seq_length;
   }
-  if (!file_) throw IoError("truncated SWDB index: " + path);
+
+  if (version_ >= kSwdbVersion2) {
+    const std::uint64_t tables_size =
+        kV2SectionHeaderBytes +
+        header.count * (kV2EntryBytes + kV2OrderEntryBytes);
+    if (header.v2_offset < header.index_offset ||
+        header.v2_offset > file_size ||
+        tables_size > file_size - header.v2_offset) {
+      throw IoError("corrupt SWDB v2 section (out of bounds): " + path);
+    }
+    std::vector<std::uint8_t> v2_bytes(static_cast<std::size_t>(tables_size));
+    file_.clear();
+    file_.seekg(static_cast<std::streamoff>(header.v2_offset));
+    file_.read(reinterpret_cast<char*>(v2_bytes.data()),
+               static_cast<std::streamsize>(v2_bytes.size()));
+    if (!file_) throw IoError("truncated SWDB v2 section: " + path);
+    ParsedV2 v2 = parse_v2_tables(v2_bytes.data(), tables_size,
+                                  header.v2_offset, file_size, lengths_, path);
+    lane_order_ = std::move(v2.order);
+  } else {
+    lane_order_ = lane_order_from_lengths(lengths_);
+  }
 }
 
 std::size_t SwdbReader::length(std::size_t i) const {
@@ -190,6 +487,147 @@ std::vector<Sequence> SwdbReader::read_all() const {
     records.push_back(read(i));
   }
   return records;
+}
+
+MappedSwdb::MappedSwdb(const std::string& path) : path_(path) {
+#if SWDUAL_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError("cannot open SWDB file: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw IoError("cannot stat SWDB file: " + path);
+  }
+  file_size_ = static_cast<std::size_t>(st.st_size);
+  if (file_size_ > 0) {
+    void* map = ::mmap(nullptr, file_size_, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) throw IoError("cannot mmap SWDB file: " + path);
+    data_ = static_cast<const std::uint8_t*>(map);
+    mmapped_ = true;
+  } else {
+    ::close(fd);
+  }
+#else
+  // No mmap on this platform: fall back to reading the file into one
+  // buffer. Still a single shared copy per MappedSwdb, just not lazily
+  // paged by the OS.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open SWDB file: " + path);
+  in.seekg(0, std::ios::end);
+  fallback_.resize(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(fallback_.data()),
+          static_cast<std::streamsize>(fallback_.size()));
+  if (!in && !fallback_.empty()) {
+    throw IoError("cannot read SWDB file: " + path);
+  }
+  data_ = fallback_.data();
+  file_size_ = fallback_.size();
+#endif
+
+  try {
+    const ParsedHeader header =
+        parse_header(data_, file_size_, file_size_, path);
+    version_ = header.version;
+    alphabet_ = header.alphabet;
+    count_ = static_cast<std::size_t>(header.count);
+
+    const std::vector<RawEntry> raw =
+        parse_index(base() + header.index_offset, header.count,
+                    header.header_bytes, header.index_offset, path);
+    entries_.reserve(raw.size());
+    lengths_.reserve(raw.size());
+    for (const RawEntry& entry : raw) {
+      Entry e;
+      e.offset = entry.offset;
+      e.seq_length = entry.seq_length;
+      e.id_length = entry.id_length;
+      e.desc_length = entry.desc_length;
+      entries_.push_back(e);
+      lengths_.push_back(entry.seq_length);
+      total_residues_ += entry.seq_length;
+    }
+
+    if (version_ >= kSwdbVersion2) {
+      const std::uint64_t tables_size =
+          kV2SectionHeaderBytes +
+          header.count * (kV2EntryBytes + kV2OrderEntryBytes);
+      if (header.v2_offset < header.index_offset ||
+          header.v2_offset > file_size_ ||
+          tables_size > file_size_ - header.v2_offset) {
+        throw IoError("corrupt SWDB v2 section (out of bounds): " + path);
+      }
+      ParsedV2 v2 =
+          parse_v2_tables(base() + header.v2_offset, tables_size,
+                          header.v2_offset, file_size_, lengths_, path);
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        entries_[i].v2_offset = v2.data_offset + v2.rel_offsets[i];
+      }
+      lane_order_ = std::move(v2.order);
+    } else {
+      lane_order_ = lane_order_from_lengths(lengths_);
+    }
+  } catch (...) {
+#if SWDUAL_HAVE_MMAP
+    if (mmapped_) ::munmap(const_cast<std::uint8_t*>(data_), file_size_);
+#endif
+    throw;
+  }
+}
+
+MappedSwdb::~MappedSwdb() {
+#if SWDUAL_HAVE_MMAP
+  if (mmapped_) ::munmap(const_cast<std::uint8_t*>(data_), file_size_);
+#endif
+}
+
+std::size_t MappedSwdb::length(std::size_t i) const {
+  SWDUAL_REQUIRE(i < entries_.size(), "SWDB record index out of range");
+  return entries_[i].seq_length;
+}
+
+std::span<const std::uint8_t> MappedSwdb::residues(std::size_t i) const {
+  SWDUAL_REQUIRE(i < entries_.size(), "SWDB record index out of range");
+  const Entry& entry = entries_[i];
+  const std::uint64_t at =
+      version_ >= kSwdbVersion2 ? entry.v2_offset : entry.offset;
+  return {base() + at, entry.seq_length};
+}
+
+std::string_view MappedSwdb::id(std::size_t i) const {
+  SWDUAL_REQUIRE(i < entries_.size(), "SWDB record index out of range");
+  const Entry& entry = entries_[i];
+  return {reinterpret_cast<const char*>(base() + entry.offset +
+                                        entry.seq_length),
+          entry.id_length};
+}
+
+std::string_view MappedSwdb::description(std::size_t i) const {
+  SWDUAL_REQUIRE(i < entries_.size(), "SWDB record index out of range");
+  const Entry& entry = entries_[i];
+  return {reinterpret_cast<const char*>(base() + entry.offset +
+                                        entry.seq_length + entry.id_length),
+          entry.desc_length};
+}
+
+Sequence MappedSwdb::record(std::size_t i) const {
+  const std::span<const std::uint8_t> res = residues(i);
+  Sequence record;
+  record.alphabet = alphabet_;
+  record.residues.assign(res.begin(), res.end());
+  record.id = std::string(id(i));
+  record.description = std::string(description(i));
+  return record;
+}
+
+std::vector<std::span<const std::uint8_t>> MappedSwdb::residue_views() const {
+  std::vector<std::span<const std::uint8_t>> views;
+  views.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    views.push_back(residues(i));
+  }
+  return views;
 }
 
 }  // namespace swdual::seq

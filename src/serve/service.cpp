@@ -21,9 +21,25 @@ const char* submit_status_name(SubmitStatus status) {
 
 QueryService::QueryService(std::vector<seq::Sequence> db, ServiceConfig config)
     : db_(std::move(db)),
+      view_(align::make_db_view(db_)),
       config_(std::move(config)),
       results_(config_.result_cache_capacity),
       profiles_(config_.profile_cache_capacity) {
+  start();
+}
+
+QueryService::QueryService(std::shared_ptr<const seq::MappedSwdb> db,
+                           ServiceConfig config)
+    : mapped_(std::move(db)),
+      config_(std::move(config)),
+      results_(config_.result_cache_capacity),
+      profiles_(config_.profile_cache_capacity) {
+  SWDUAL_REQUIRE(mapped_ != nullptr, "mapped database must not be null");
+  view_ = mapped_->residue_views();
+  start();
+}
+
+void QueryService::start() {
   SWDUAL_REQUIRE(config_.max_batch > 0, "max_batch must be positive");
   SWDUAL_REQUIRE(config_.admission_capacity > 0,
                  "admission_capacity must be positive");
@@ -198,7 +214,7 @@ void QueryService::execute_batch(std::vector<Request> batch) {
 
   master::SearchReport report;
   try {
-    report = master::run_search(queries, db_, engine);
+    report = master::run_search(queries, view_, engine);
   } catch (...) {
     // Execution failed (e.g. a task exhausted its retries): fail exactly the
     // requests of this batch and keep serving — the batcher must survive.

@@ -45,6 +45,7 @@
 #include "align/profile_cache.h"
 #include "master/master.h"
 #include "seq/sequence.h"
+#include "seq/swdb.h"
 #include "serve/cache.h"
 #include "util/timer.h"
 
@@ -120,6 +121,14 @@ class QueryService {
   /// not depend on a caller's buffers) and starts the batcher thread.
   QueryService(std::vector<seq::Sequence> db, ServiceConfig config);
 
+  /// Zero-copy variant: the service shares an mmap-backed SWDB instead of
+  /// owning record copies. The shared_ptr keeps the mapping alive for the
+  /// service's lifetime (MappedSwdb lifetime rule), so any number of
+  /// services/engines/shards over the same file share one physical copy of
+  /// the database via the page cache.
+  QueryService(std::shared_ptr<const seq::MappedSwdb> db,
+               ServiceConfig config);
+
   /// Graceful: stops admissions, drains already-admitted requests, joins.
   ~QueryService();
 
@@ -162,8 +171,12 @@ class QueryService {
   void admit(Request& request);
   void fulfill(Request& request, std::vector<align::SearchHit> hits,
                bool cache_hit);
+  /// Shared ctor tail: validate config, start the batcher.
+  void start();
 
-  std::vector<seq::Sequence> db_;
+  std::vector<seq::Sequence> db_;  ///< owned records (record ctor only)
+  std::shared_ptr<const seq::MappedSwdb> mapped_;  ///< mmap ctor only
+  align::DbView view_;  ///< residue views into db_ or mapped_
   ServiceConfig config_;
   ResultCache results_;
   align::ProfileCache profiles_;

@@ -201,6 +201,45 @@ TEST_P(BackendEquivalence, ParallelEngineMatchesSerialScalarAcrossThreads) {
   }
 }
 
+TEST_P(BackendEquivalence, InterSeqRaggedLengthsMatchScalarAcrossThreads) {
+  // Worst case for lane batching: one 5000-residue outlier among short
+  // records. The longest-first order puts the giant in the first batch with
+  // the next-longest records; every backend and thread count must still
+  // score bit-identically to the serial scalar reference.
+  Rng rng(0xaaa9);
+  std::vector<std::vector<std::uint8_t>> records;
+  for (std::size_t i = 0; i < 50; ++i) {
+    records.push_back(random_codes(rng, 50));
+  }
+  records.push_back(random_codes(rng, 5000));
+  DbView db;
+  for (const auto& r : records) db.emplace_back(r.data(), r.size());
+  const std::vector<std::uint8_t> query = random_codes(rng, 200);
+  const ScoringScheme scheme;
+  force(Backend::kScalar);
+  const SearchResult ref =
+      search_database(query, db, scheme, KernelKind::kInterSeq);
+  force(GetParam());
+  const SearchResult serial =
+      search_database(query, db, scheme, KernelKind::kInterSeq);
+  ASSERT_EQ(serial.scores, ref.scores);
+  ASSERT_EQ(serial.cells, ref.cells);
+  for (std::size_t threads : {1u, 4u}) {
+    for (const bool sorted : {false, true}) {
+      ParallelSearchOptions options;
+      options.threads = threads;
+      options.sort_by_length = sorted;
+      const ParallelSearchEngine engine(db, options);
+      const SearchResult got =
+          engine.search(query, scheme, KernelKind::kInterSeq);
+      ASSERT_EQ(got.scores, ref.scores)
+          << "threads=" << threads << " sorted=" << sorted;
+      ASSERT_EQ(got.cells, ref.cells)
+          << "threads=" << threads << " sorted=" << sorted;
+    }
+  }
+}
+
 TEST_P(BackendEquivalence, ScoresAgreeWithGotohOracle) {
   // Anchor the whole equivalence class to ground truth, not just to the
   // scalar backend: a handful of random pairs against the 32-bit oracle.

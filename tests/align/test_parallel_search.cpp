@@ -3,11 +3,14 @@
 // counts and chunk geometries, plus byte-level determinism across runs.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "align/parallel_search.h"
 #include "align/search.h"
 #include "seq/dbgen.h"
+#include "seq/swdb.h"
 #include "util/rng.h"
 
 namespace swdual::align {
@@ -191,6 +194,40 @@ TEST(ParallelSearch, EmptyDatabaseAndEmptyQuery) {
     const SearchResult serial = search_database({}, views, scheme, kernel);
     expect_identical(full.search({}, scheme, kernel), serial);
   }
+}
+
+TEST(ParallelSearch, MappedDatabaseMatchesRecordViews) {
+  // The zero-copy path: an engine built over a MappedSwdb (v1 or v2 file)
+  // must score bit-identically to one built over in-memory record views —
+  // for every kernel, with and without the lane-batch ordering.
+  const std::string path =
+      ::testing::TempDir() + "/swdual_parallel_mapped.swdb";
+  const auto db = random_database(48, 31);
+  const DbView views = make_db_view(db);
+  Rng rng(32);
+  const seq::Sequence query = seq::random_protein(rng, "q", 110);
+  const std::span<const std::uint8_t> query_view(query.residues.data(),
+                                                 query.residues.size());
+  ScoringScheme scheme;
+  for (const std::uint32_t version :
+       {seq::kSwdbVersion1, seq::kSwdbVersion2}) {
+    seq::write_swdb(path, db, seq::AlphabetKind::kProtein, version);
+    const seq::MappedSwdb mapped(path);
+    for (const bool sorted : {false, true}) {
+      ParallelSearchOptions options;
+      options.threads = 3;
+      options.sort_by_length = sorted;
+      const ParallelSearchEngine from_views(views, options);
+      const ParallelSearchEngine from_mapped(mapped, options);
+      for (KernelKind kernel : {KernelKind::kScalar, KernelKind::kStriped,
+                                KernelKind::kStriped8,
+                                KernelKind::kInterSeq}) {
+        expect_identical(from_mapped.search(query_view, scheme, kernel),
+                         from_views.search(query_view, scheme, kernel));
+      }
+    }
+  }
+  std::remove(path.c_str());
 }
 
 TEST(ParallelSearch, ResidueBalancedPartitionCoversAndBalances) {

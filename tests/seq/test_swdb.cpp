@@ -15,7 +15,13 @@ namespace {
 
 class SwdbTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "/swdual_swdb_test.swdb";
+  // One file per test case: ctest runs cases as concurrent processes, and
+  // some cases mmap the file (a concurrent truncate of a mapped file is a
+  // SIGBUS, not a clean failure).
+  std::string path_ =
+      ::testing::TempDir() + "/swdual_swdb_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".swdb";
   void TearDown() override { std::remove(path_.c_str()); }
 
   std::vector<Sequence> sample_records() {
@@ -120,6 +126,136 @@ TEST_F(SwdbTest, FastaConversionPreservesContent) {
   for (std::size_t i = 0; i < records.size(); ++i) {
     EXPECT_EQ(reader.read(i), records[i]);
   }
+  std::remove(fasta_path.c_str());
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(SwdbTest, DefaultWriteIsVersion2) {
+  write_swdb(path_, sample_records(), AlphabetKind::kProtein);
+  const SwdbReader reader(path_);
+  EXPECT_EQ(reader.version(), kSwdbVersion2);
+  EXPECT_TRUE(reader.pre_encoded());
+}
+
+TEST_F(SwdbTest, ExplicitVersion1RoundTrips) {
+  const auto records = sample_records();
+  write_swdb(path_, records, AlphabetKind::kProtein, kSwdbVersion1);
+  const SwdbReader reader(path_);
+  EXPECT_EQ(reader.version(), kSwdbVersion1);
+  EXPECT_FALSE(reader.pre_encoded());
+  ASSERT_EQ(reader.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(reader.read(i), records[i]) << "record " << i;
+  }
+}
+
+TEST_F(SwdbTest, UnknownVersionRejected) {
+  EXPECT_THROW(
+      write_swdb(path_, sample_records(), AlphabetKind::kProtein, 3),
+      InvalidArgument);
+}
+
+TEST_F(SwdbTest, LengthsSpanMatchesIndex) {
+  write_swdb(path_, sample_records(), AlphabetKind::kProtein);
+  const SwdbReader reader(path_);
+  const auto lengths = reader.lengths();
+  ASSERT_EQ(lengths.size(), reader.size());
+  for (std::size_t i = 0; i < reader.size(); ++i) {
+    EXPECT_EQ(lengths[i], reader.length(i)) << "record " << i;
+  }
+}
+
+TEST_F(SwdbTest, LaneOrderIsLongestFirstForBothVersions) {
+  const auto records = sample_records();  // lengths 6, 1, 1000
+  for (std::uint32_t version : {kSwdbVersion1, kSwdbVersion2}) {
+    write_swdb(path_, records, AlphabetKind::kProtein, version);
+    const SwdbReader reader(path_);
+    const auto order = reader.lane_order();
+    ASSERT_EQ(order.size(), records.size()) << "version " << version;
+    // A permutation, lengths non-increasing along it.
+    std::vector<bool> seen(records.size(), false);
+    for (const std::uint32_t id : order) {
+      ASSERT_LT(id, records.size());
+      EXPECT_FALSE(seen[id]) << "duplicate id " << id;
+      seen[id] = true;
+    }
+    for (std::size_t k = 1; k < order.size(); ++k) {
+      EXPECT_GE(reader.length(order[k - 1]), reader.length(order[k]))
+          << "version " << version << " position " << k;
+    }
+    EXPECT_EQ(order[0], 2u);  // the 1000-residue record leads
+  }
+}
+
+TEST_F(SwdbTest, LaneOrderBreaksLengthTiesById) {
+  std::vector<Sequence> records;
+  for (int i = 0; i < 6; ++i) {
+    records.push_back(Sequence::from_text("t" + std::to_string(i), "",
+                                          AlphabetKind::kProtein, "MKVLAW"));
+  }
+  write_swdb(path_, records, AlphabetKind::kProtein);
+  const SwdbReader reader(path_);
+  const auto order = reader.lane_order();
+  ASSERT_EQ(order.size(), records.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    EXPECT_EQ(order[k], k);  // equal lengths keep file order
+  }
+}
+
+TEST_F(SwdbTest, TruncatedV2SectionRejected) {
+  write_swdb(path_, sample_records(), AlphabetKind::kProtein);
+  const std::string bytes = read_file_bytes(path_);
+  // The v2 section is the file tail; chopping a few bytes off must be a
+  // structured failure, never a silently ignored pre-encoded section.
+  write_file_bytes(path_, bytes.substr(0, bytes.size() - 7));
+  EXPECT_THROW(SwdbReader reader(path_), IoError);
+  EXPECT_THROW(MappedSwdb mapped(path_), IoError);
+}
+
+TEST_F(SwdbTest, CorruptV2MagicRejected) {
+  write_swdb(path_, sample_records(), AlphabetKind::kProtein);
+  std::string bytes = read_file_bytes(path_);
+  // v2_offset lives at bytes [28, 36) of the v2 header (little-endian).
+  std::uint64_t v2_offset = 0;
+  for (int b = 7; b >= 0; --b) {
+    v2_offset = (v2_offset << 8) |
+                static_cast<std::uint8_t>(bytes[28 + static_cast<size_t>(b)]);
+  }
+  ASSERT_LT(v2_offset + 4, bytes.size());
+  bytes[v2_offset] = 'X';  // smash the "SWV2" magic
+  write_file_bytes(path_, bytes);
+  EXPECT_THROW(SwdbReader reader(path_), IoError);
+  EXPECT_THROW(MappedSwdb mapped(path_), IoError);
+}
+
+TEST_F(SwdbTest, EmptyVersion2DatabaseRoundTrips) {
+  write_swdb(path_, {}, AlphabetKind::kProtein);
+  const SwdbReader reader(path_);
+  EXPECT_EQ(reader.version(), kSwdbVersion2);
+  EXPECT_EQ(reader.size(), 0u);
+  EXPECT_TRUE(reader.lane_order().empty());
+  const MappedSwdb mapped(path_);
+  EXPECT_EQ(mapped.size(), 0u);
+}
+
+TEST_F(SwdbTest, ConvertFastaHonorsRequestedVersion) {
+  const std::string fasta_path = ::testing::TempDir() + "/swdual_conv_v1.fa";
+  write_fasta_file(fasta_path, sample_records());
+  convert_fasta_to_swdb(fasta_path, path_, AlphabetKind::kProtein,
+                        kSwdbVersion1);
+  EXPECT_EQ(SwdbReader(path_).version(), kSwdbVersion1);
+  convert_fasta_to_swdb(fasta_path, path_, AlphabetKind::kProtein);
+  EXPECT_EQ(SwdbReader(path_).version(), kSwdbVersion2);
   std::remove(fasta_path.c_str());
 }
 

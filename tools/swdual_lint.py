@@ -10,6 +10,9 @@ Enforces conventions clang-tidy cannot express:
     must stay deterministic and reproducible)
   * no unordered-container iteration in the observability exporters
     (trace/metrics output order must be deterministic for golden tests)
+  * no raw stream/stdio reads of SWDB record payloads outside seq/swdb.cpp
+    (every consumer goes through SwdbReader or the zero-copy MappedSwdb so
+    format evolution stays in one translation unit)
   * optionally (--cxx), every header under src/ compiles standalone
 
 Exit status 0 when clean, 1 with one ``file:line: message`` per violation
@@ -42,6 +45,12 @@ WALL_CLOCK_HEADERS = re.compile(r'#include\s+"util/timer\.h"')
 
 # Exporters whose output order golden tests depend on.
 DETERMINISTIC_DIRS = ("obs",)
+
+# Raw byte-level input: .read(...) on a stream or C stdio fread. Database
+# payload parsing is SwdbReader/MappedSwdb's job; any other TU doing its own
+# reads would fork the format knowledge (and silently miss v2 sections).
+RAW_PAYLOAD_READ = re.compile(r"(?:\.read\s*\(|(?<![\w:])fread\s*\()")
+RAW_READ_ALLOWED = ("src/seq/swdb.cpp",)
 
 
 def strip_comments(text: str) -> str:
@@ -128,6 +137,15 @@ def lint_file(path: pathlib.Path) -> list[str]:
                 lineno = code.count("\n", 0, match.start()) + 1
                 report(lineno, f"{message} — the DES and schedulers must be "
                                "deterministic in virtual time")
+
+    if rel.as_posix() not in RAW_READ_ALLOWED:
+        for match in RAW_PAYLOAD_READ.finditer(code):
+            lineno = code.count("\n", 0, match.start()) + 1
+            report(
+                lineno,
+                "raw stream/fread outside seq/swdb.cpp — read database "
+                "records via SwdbReader or MappedSwdb",
+            )
 
     if top_dir in DETERMINISTIC_DIRS:
         for match in UNORDERED.finditer(code):
