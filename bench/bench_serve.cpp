@@ -9,10 +9,22 @@
 // result-cache hit rate, batching effectiveness, and a bit-identity check of
 // every response against the direct align::search_database path.
 //
-//   ./bench_serve [--records N] [--len L] [--pool P] [--query-len Q]
-//                 [--requests R] [--clients C] [--zipf-s S]
+// With --shards N the service runs the sharded scatter-gather engine
+// (src/align/sharded_search.h): N residue-balanced shards, each batch's
+// distinct queries sharing ONE pass over every shard chunk. The JSON output
+// (--json) records the amortized per-query DB scan cost
+// (db_passes_per_query = shard group passes / distinct searches — below 1.0
+// whenever micro-batching collapses concurrent queries into shared passes)
+// plus the planner's residue imbalance, which --db-zipf-s stresses with a
+// Zipf-skewed record-length distribution (the hot-shard scenario).
+//
+//   ./bench_serve [--records N] [--len L] [--db-zipf-s S] [--pool P]
+//                 [--query-len Q] [--requests R] [--clients C] [--zipf-s S]
 //                 [--max-batch B] [--admission A] [--cache K]
-//                 [--cpu-workers M] [--gpu-workers G] [--seed S] [--out CSV]
+//                 [--cpu-workers M] [--gpu-workers G] [--shards N]
+//                 [--threads-per-shard T] [--seed S] [--out CSV]
+//                 [--json PATH] [--scenario NAME]
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -23,6 +35,7 @@
 #include <vector>
 
 #include "align/search.h"
+#include "align/sharded_search.h"
 #include "bench_common.h"
 #include "obs/metrics.h"
 #include "seq/dbgen.h"
@@ -44,6 +57,18 @@ std::size_t sample_cdf(Rng& rng, const std::vector<double>& cdf) {
   return cdf.size() - 1;
 }
 
+/// Minimal JSON string escaping (quotes and backslashes; bench strings
+/// contain nothing fancier).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,6 +76,8 @@ int main(int argc, char** argv) {
                 "closed-loop Zipf traffic against the query service");
   cli.add_option("records", "database records", "400");
   cli.add_option("len", "residues per record", "150");
+  cli.add_option("db-zipf-s",
+                 "Zipf skew of DB record lengths (0 = uniform jitter)", "0");
   cli.add_option("pool", "distinct queries in the traffic pool", "24");
   cli.add_option("query-len", "query length", "120");
   cli.add_option("requests", "total requests across all clients", "600");
@@ -61,8 +88,12 @@ int main(int argc, char** argv) {
   cli.add_option("cache", "result cache capacity", "256");
   cli.add_option("cpu-workers", "CPU workers", "2");
   cli.add_option("gpu-workers", "GPU workers", "1");
+  cli.add_option("shards", "scatter-gather shards (0 = master path)", "0");
+  cli.add_option("threads-per-shard", "scan threads inside each shard", "1");
   cli.add_option("seed", "traffic RNG seed", "7");
   cli.add_option("out", "CSV output path", "serve_bench.csv");
+  cli.add_option("json", "JSON scenario output path (empty = none)", "");
+  cli.add_option("scenario", "scenario label for the JSON record", "default");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& error) {
@@ -76,12 +107,13 @@ int main(int argc, char** argv) {
 
   std::size_t records = 0, len = 0, pool_size = 0, query_len = 0;
   std::size_t requests = 0, clients = 0;
-  double zipf_s = 0.0;
+  double zipf_s = 0.0, db_zipf_s = 0.0;
   serve::ServiceConfig config;
   std::uint64_t seed = 0;
   try {
     records = cli.option_uint("records");
     len = cli.option_uint("len");
+    db_zipf_s = cli.option_double("db-zipf-s");
     pool_size = cli.option_uint("pool");
     query_len = cli.option_uint("query-len");
     requests = cli.option_uint("requests");
@@ -92,6 +124,9 @@ int main(int argc, char** argv) {
     config.result_cache_capacity = cli.option_uint("cache");
     config.master.cpu_workers = cli.option_uint("cpu-workers");
     config.master.gpu_workers = cli.option_uint("gpu-workers");
+    config.shards = cli.option_uint("shards");
+    config.threads_per_shard =
+        std::max<std::size_t>(1, cli.option_uint("threads-per-shard"));
     seed = static_cast<std::uint64_t>(cli.option_uint("seed"));
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
@@ -108,9 +143,38 @@ int main(int argc, char** argv) {
   std::vector<seq::Sequence> db;
   db.reserve(records);
   for (std::size_t i = 0; i < records; ++i) {
-    const std::size_t jitter = rng.below(len);
-    db.push_back(seq::random_protein(rng, "d" + std::to_string(i),
-                                     len / 2 + jitter));
+    std::size_t record_len;
+    if (db_zipf_s > 0.0) {
+      // Hot-shard skew: record lengths follow a Zipf rank distribution (a
+      // few giant records, a long tail of short ones), the worst case for a
+      // residue-balancing shard planner. Ranks are assigned by shuffled
+      // index so the giants land at arbitrary database positions.
+      const std::size_t rank = (i * 0x9e3779b9u) % records;
+      record_len = std::max<std::size_t>(
+          24, static_cast<std::size_t>(
+                  3.0 * static_cast<double>(len) /
+                  std::pow(static_cast<double>(rank + 1), db_zipf_s)));
+    } else {
+      record_len = len / 2 + rng.below(len);
+    }
+    db.push_back(
+        seq::random_protein(rng, "d" + std::to_string(i), record_len));
+  }
+
+  // Shard plan diagnostics (the service builds the same plan internally —
+  // align::plan_shards is deterministic on the record lengths).
+  double plan_imbalance = 0.0;
+  std::uint64_t plan_residues = 0;
+  if (config.shards > 0) {
+    std::vector<std::uint32_t> lengths;
+    lengths.reserve(db.size());
+    for (const seq::Sequence& record : db) {
+      lengths.push_back(static_cast<std::uint32_t>(record.residues.size()));
+    }
+    const align::ShardPlan plan = align::plan_shards(
+        std::span<const std::uint32_t>(lengths), config.shards);
+    plan_imbalance = plan.imbalance();
+    plan_residues = plan.total_residues;
   }
   std::vector<seq::Sequence> pool;
   pool.reserve(pool_size);
@@ -139,6 +203,8 @@ int main(int argc, char** argv) {
     expected[q] = align::search_database(pool[q], db, scheme, kernel).top(top);
   }
 
+  const std::size_t shards = config.shards;
+  const std::size_t threads_per_shard = config.threads_per_shard;
   serve::QueryService service(db, std::move(config));
 
   std::mutex stats_mutex;
@@ -214,9 +280,79 @@ int main(int argc, char** argv) {
   table.add_row({"profile-cache hits", std::to_string(stats.profiles.hits)});
   table.add_row(
       {"backpressure retries", std::to_string(backpressure_retries)});
+  // Amortized DB scan cost per distinct query: on the sharded path every
+  // group pass scans the whole database once for ALL of a batch's distinct
+  // queries, so this falls below 1.0 exactly when micro-batching collapses
+  // concurrent traffic into shared passes.
+  const double db_passes_per_query =
+      stats.searches > 0
+          ? static_cast<double>(stats.shards.group_passes) /
+                static_cast<double>(stats.searches)
+          : 0.0;
+  if (shards > 0) {
+    table.add_row({"shards", std::to_string(shards)});
+    table.add_row({"plan imbalance", TextTable::fmt(plan_imbalance, 4)});
+    table.add_row({"group passes",
+                   std::to_string(stats.shards.group_passes)});
+    table.add_row({"db passes / query", TextTable::fmt(db_passes_per_query,
+                                                       3)});
+    table.add_row({"shard scans", std::to_string(stats.shards.scans)});
+    table.add_row({"shard retries", std::to_string(stats.shards.retries)});
+    table.add_row(
+        {"shard recoveries", std::to_string(stats.shard_recoveries)});
+  }
   table.add_row({"scores==direct", mismatches == 0 ? "yes" : "NO"});
   std::printf("%s", table.render().c_str());
   bench::emit_csv(table, cli.option("out"));
+
+  const std::string json_path = cli.option("json");
+  if (!json_path.empty()) {
+    std::FILE* json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"scenario\": \"%s\",\n",
+                 json_escape(cli.option("scenario")).c_str());
+    std::fprintf(json,
+                 "  \"config\": {\"records\": %zu, \"len\": %zu, "
+                 "\"db_zipf_s\": %g, \"pool\": %zu, \"query_len\": %zu, "
+                 "\"requests\": %llu, \"clients\": %zu, \"zipf_s\": %g, "
+                 "\"max_batch\": %s, \"shards\": %zu, "
+                 "\"threads_per_shard\": %zu},\n",
+                 records, len, db_zipf_s, pool_size, query_len,
+                 static_cast<unsigned long long>(completed), clients, zipf_s,
+                 cli.option("max-batch").c_str(), shards, threads_per_shard);
+    std::fprintf(json,
+                 "  \"plan\": {\"shards\": %zu, \"imbalance\": %.4f, "
+                 "\"total_residues\": %llu},\n",
+                 shards, plan_imbalance,
+                 static_cast<unsigned long long>(plan_residues));
+    std::fprintf(
+        json,
+        "  \"results\": {\"wall_seconds\": %.4f, \"throughput_rps\": %.1f, "
+        "\"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}, "
+        "\"cache_hit_rate\": %.4f, \"distinct_searches\": %llu, "
+        "\"batches\": %llu, \"mean_batch\": %.2f, "
+        "\"group_passes\": %llu, \"db_passes_per_query\": %.4f, "
+        "\"shard_scans\": %llu, \"shard_retries\": %llu, "
+        "\"shard_recoveries\": %llu, \"partial_responses\": %llu, "
+        "\"backpressure_retries\": %llu, \"scores_identical\": %s}\n",
+        elapsed, throughput, p50, p95, p99, hit_rate,
+        static_cast<unsigned long long>(stats.searches),
+        static_cast<unsigned long long>(stats.batches), mean_batch,
+        static_cast<unsigned long long>(stats.shards.group_passes),
+        db_passes_per_query,
+        static_cast<unsigned long long>(stats.shards.scans),
+        static_cast<unsigned long long>(stats.shards.retries),
+        static_cast<unsigned long long>(stats.shard_recoveries),
+        static_cast<unsigned long long>(stats.partial_responses),
+        static_cast<unsigned long long>(backpressure_retries),
+        mismatches == 0 ? "true" : "false");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+  }
 
   if (mismatches != 0) {
     std::fprintf(stderr, "FAIL: %llu responses differed from direct search\n",

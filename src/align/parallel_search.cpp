@@ -213,6 +213,95 @@ RankedSearchResult ParallelSearchEngine::run(const SearchProfiles& profiles,
   return ranked;
 }
 
+std::vector<ParallelSearchEngine::ChunkOutcome>
+ParallelSearchEngine::run_chunk_many(
+    std::span<const SearchProfiles* const> profiles, const Chunk& chunk,
+    std::size_t chunk_index, std::size_t top_k) const {
+  obs::Span span;
+  if (tracer_) {
+    span = tracer_->span("chunk_scan_group", "align", trace_track_);
+    span.arg("chunk", static_cast<double>(chunk_index));
+    span.arg("records", static_cast<double>(chunk.end - chunk.begin));
+    span.arg("queries", static_cast<double>(profiles.size()));
+  }
+  WallTimer timer;
+  std::vector<ChunkOutcome> outcomes(profiles.size());
+  for (std::size_t q = 0; q < profiles.size(); ++q) {
+    ChunkOutcome& outcome = outcomes[q];
+    outcome.result = search_range(*profiles[q], db_, chunk.begin, chunk.end);
+    if (top_k > 0) {
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        push_top_hit(
+            outcome.hits,
+            {original_index_[i], outcome.result.scores[i - chunk.begin]},
+            top_k);
+      }
+    }
+  }
+  if (metrics_) metrics_->observe("chunk_scan_seconds", timer.seconds());
+  return outcomes;
+}
+
+std::vector<RankedSearchResult> ParallelSearchEngine::search_ranked_many(
+    std::span<const SearchProfiles* const> profiles, std::size_t top_k) const {
+  std::vector<RankedSearchResult> results(profiles.size());
+  if (profiles.empty()) return results;
+  for (const SearchProfiles* p : profiles) {
+    SWDUAL_REQUIRE(p != nullptr, "null profile set in multi-query group");
+    SWDUAL_REQUIRE(p->kernel() == profiles[0]->kernel(),
+                   "multi-query groups must share one kernel");
+  }
+  WallTimer timer;
+
+  const std::vector<Chunk> chunks =
+      profiles[0]->kernel() == KernelKind::kInterSeq
+          ? batch_aligned_chunks(backend_lanes16(profiles[0]->backend()))
+          : chunks_;
+
+  // chunk-major outcomes: per_chunk[c][q] is chunk c scanned with query q.
+  std::vector<std::vector<ChunkOutcome>> per_chunk(chunks.size());
+  if (pool_) {
+    std::vector<std::future<std::vector<ChunkOutcome>>> futures;
+    futures.reserve(chunks.size());
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      const Chunk chunk = chunks[c];
+      futures.push_back(pool_->submit([this, profiles, chunk, c, top_k] {
+        return run_chunk_many(profiles, chunk, c, top_k);
+      }));
+    }
+    for (std::size_t c = 0; c < futures.size(); ++c) {
+      per_chunk[c] = futures[c].get();
+    }
+  } else {
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      per_chunk[c] = run_chunk_many(profiles, chunks[c], c, top_k);
+    }
+  }
+
+  // Same deterministic index-order merge as run(), once per query.
+  const double elapsed = timer.seconds();
+  for (std::size_t q = 0; q < profiles.size(); ++q) {
+    RankedSearchResult& ranked = results[q];
+    SearchResult& merged = ranked.result;
+    merged.scores.assign(db_.size(), 0);
+    for (std::size_t c = 0; c < per_chunk.size(); ++c) {
+      const Chunk& chunk = chunks[c];
+      const SearchResult& r = per_chunk[c][q].result;
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        merged.scores[original_index_[i]] = r.scores[i - chunk.begin];
+      }
+      merged.cells += r.cells;
+      merged.overflow_rescans += r.overflow_rescans;
+      for (const SearchHit& hit : per_chunk[c][q].hits) {
+        push_top_hit(ranked.hits, hit, top_k);
+      }
+    }
+    finish_top_hits(ranked.hits);
+    merged.seconds = elapsed;
+  }
+  return results;
+}
+
 SearchResult ParallelSearchEngine::search(std::span<const std::uint8_t> query,
                                           const ScoringScheme& scheme,
                                           KernelKind kernel,

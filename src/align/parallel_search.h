@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "align/search.h"
@@ -106,6 +107,17 @@ class ParallelSearchEngine {
   RankedSearchResult search_ranked(const SearchProfiles& profiles,
                                    std::size_t k) const;
 
+  /// Multi-query scan: K queries share ONE pass over every database chunk.
+  /// Each chunk task scans its records once per query while the chunk's
+  /// residues are hot in cache, amortizing DB decode/cache traffic across
+  /// the group the way SWAPHI shares one partition pass between concurrent
+  /// queries. All profile sets must use the same kernel (the serve batcher
+  /// collapses per-config groups, so this holds by construction). Results
+  /// are per query, in input order, and bit-identical to running
+  /// search_ranked once per profile set.
+  std::vector<RankedSearchResult> search_ranked_many(
+      std::span<const SearchProfiles* const> profiles, std::size_t k) const;
+
   std::size_t num_chunks() const { return chunks_.size(); }
   std::size_t threads() const { return pool_ ? pool_->size() : 1; }
   std::size_t db_records() const { return db_.size(); }
@@ -125,6 +137,11 @@ class ParallelSearchEngine {
                          std::size_t chunk_index, std::size_t top_k) const;
   RankedSearchResult run(const SearchProfiles& profiles,
                          std::size_t top_k) const;
+
+  /// One chunk scanned once per query (outcomes in query order).
+  std::vector<ChunkOutcome> run_chunk_many(
+      std::span<const SearchProfiles* const> profiles, const Chunk& chunk,
+      std::size_t chunk_index, std::size_t top_k) const;
 
   /// Partition db_ into chunks and spin up the pool (shared ctor tail;
   /// db_ and original_index_ must already be populated).

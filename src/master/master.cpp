@@ -49,6 +49,28 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
 
 SearchReport run_search(const std::vector<seq::Sequence>& queries,
                         const align::DbView& db_view,
+                        std::span<const std::uint32_t> shard,
+                        const MasterConfig& config) {
+  align::DbView shard_view;
+  shard_view.reserve(shard.size());
+  for (const std::uint32_t record : shard) {
+    SWDUAL_REQUIRE(record < db_view.size(),
+                   "shard record index out of range");
+    shard_view.push_back(db_view[record]);
+  }
+  SearchReport report = run_search(queries, shard_view, config);
+  // Hits come back indexed into the sub-view; lift them to global database
+  // indices so shard reports merge with the rest of the scatter.
+  for (QueryResult& result : report.results) {
+    for (align::SearchHit& hit : result.hits) {
+      hit.db_index = shard[hit.db_index];
+    }
+  }
+  return report;
+}
+
+SearchReport run_search(const std::vector<seq::Sequence>& queries,
+                        const align::DbView& db_view,
                         const MasterConfig& config) {
   SWDUAL_REQUIRE(config.cpu_workers + config.gpu_workers > 0,
                  "need at least one worker");

@@ -3,8 +3,13 @@
 // Complements the tracer (obs/trace.h): spans answer "when did it happen",
 // the registry answers "how often / how much" with O(1) state per metric.
 // The instrumented layers use a small shared vocabulary:
-//   counters   tasks_dispatched, task_retries, task_faults
-//   histograms chunk_scan_seconds, task_virtual_seconds, lambda_iterations
+//   counters   tasks_dispatched, task_retries, task_faults,
+//              serve_accepted, serve_rejected_*, serve_cache_{hits,misses},
+//              serve_batches, serve_searches, serve_partial_responses,
+//              serve_shard_{scans,retries,failures,recoveries,group_passes}
+//   histograms chunk_scan_seconds, task_virtual_seconds, lambda_iterations,
+//              serve_{queue,execute,latency}_seconds, serve_batch_size,
+//              serve_shard_scan_seconds, serve_shard_group_queries
 // Names are created on first use; readers of absent names see zeros.
 #pragma once
 

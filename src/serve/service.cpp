@@ -43,6 +43,19 @@ void QueryService::start() {
   SWDUAL_REQUIRE(config_.max_batch > 0, "max_batch must be positive");
   SWDUAL_REQUIRE(config_.admission_capacity > 0,
                  "admission_capacity must be positive");
+  if (config_.shards > 0) {
+    align::ShardedSearchOptions options;
+    options.num_shards = config_.shards;
+    options.threads_per_shard = config_.threads_per_shard;
+    options.max_shard_retries = config_.max_shard_retries;
+    options.before_shard = config_.before_shard;
+    options.tracer = config_.tracer;
+    options.metrics = config_.metrics;
+    sharded_ = mapped_ ? std::make_unique<align::ShardedSearchEngine>(
+                             mapped_, options)
+                       : std::make_unique<align::ShardedSearchEngine>(
+                             view_, options);
+  }
   batcher_ = std::thread([this] { run(); });
 }
 
@@ -142,10 +155,16 @@ void QueryService::admit(Request& request) {
 
 void QueryService::fulfill(Request& request,
                            std::vector<align::SearchHit> hits,
-                           bool cache_hit) {
+                           bool cache_hit, std::string partial_reason) {
   QueryResponse response;
   response.hits = std::move(hits);
   response.cache_hit = cache_hit;
+  response.partial = !partial_reason.empty();
+  response.partial_reason = std::move(partial_reason);
+  if (response.partial) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++partial_responses_;
+  }
   response.queue_seconds = request.admit_seconds;
   response.total_seconds = request.timer.seconds();
   response.execute_seconds = response.total_seconds - response.queue_seconds;
@@ -162,6 +181,7 @@ void QueryService::fulfill(Request& request,
     config_.tracer->record(std::move(executed));
   }
   if (config_.metrics) {
+    if (response.partial) config_.metrics->add("serve_partial_responses");
     config_.metrics->add(cache_hit ? "serve_cache_hits"
                                    : "serve_cache_misses");
     config_.metrics->observe("serve_execute_seconds",
@@ -200,6 +220,11 @@ void QueryService::execute_batch(std::vector<Request> batch) {
     group.push_back(i);
   }
   if (leaders.empty()) return;
+
+  if (sharded_) {
+    execute_group_sharded(batch, leaders, groups);
+    return;
+  }
 
   std::vector<seq::Sequence> queries;
   queries.reserve(leaders.size());
@@ -249,6 +274,126 @@ void QueryService::execute_batch(std::vector<Request> batch) {
   }
 }
 
+void QueryService::execute_group_sharded(
+    std::vector<Request>& batch, const std::vector<std::size_t>& leaders,
+    std::unordered_map<std::string, std::vector<std::size_t>>& groups) {
+  // The collapsed distinct queries of this batch form one multi-query
+  // group: the sharded engine scans every shard chunk once per query while
+  // the chunk is hot, instead of one full database pass per query.
+  std::vector<std::span<const std::uint8_t>> queries;
+  queries.reserve(leaders.size());
+  for (const std::size_t leader : leaders) {
+    const seq::Sequence& query = batch[leader].query;
+    queries.emplace_back(query.residues.data(), query.residues.size());
+  }
+
+  const std::size_t top = config_.master.top_hits;
+  std::vector<align::ShardedSearchResult> results;
+  try {
+    results = sharded_->search_many(queries, config_.master.scheme,
+                                    config_.master.cpu_kernel, top,
+                                    config_.master.cpu_backend);
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (const std::size_t leader : leaders) {
+      for (const std::size_t i : groups[batch[leader].key]) {
+        batch[i].promise->set_exception(error);
+      }
+    }
+    return;
+  }
+
+  // Escalated recovery: a shard that exhausted its in-engine retries gets
+  // one more chance through the master scheduler (the shard overload of
+  // run_search), scanning only that shard's records. Failures are shared
+  // by the whole group, so recovery runs once per failed shard, not per
+  // query.
+  std::vector<align::ShardFailure> remaining;
+  if (!results.empty() && !results.front().failures.empty()) {
+    std::vector<seq::Sequence> leader_queries;
+    leader_queries.reserve(leaders.size());
+    for (const std::size_t leader : leaders) {
+      leader_queries.push_back(batch[leader].query);
+    }
+    for (const align::ShardFailure& failure : results.front().failures) {
+      const auto& records = sharded_->plan().shards[failure.shard].records;
+      if (config_.shard_recovery) {
+        master::MasterConfig engine = config_.master;
+        engine.tracer = config_.tracer;
+        engine.metrics = config_.metrics;
+        engine.profile_cache = &profiles_;
+        try {
+          const master::SearchReport rescued = master::run_search(
+              leader_queries, view_, records, engine);
+          for (std::size_t q = 0; q < results.size(); ++q) {
+            // Re-rank the union of the partial top-k and the rescued
+            // shard's top-k; both carry global indices, so the merged
+            // ranking matches the unsharded search.
+            std::vector<align::SearchHit> merged;
+            for (const align::SearchHit& hit : results[q].ranked.hits) {
+              align::push_top_hit(merged, hit, top);
+            }
+            for (const align::SearchHit& hit : rescued.results[q].hits) {
+              align::push_top_hit(merged, hit, top);
+            }
+            align::finish_top_hits(merged);
+            results[q].ranked.hits = std::move(merged);
+          }
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++shard_recoveries_;
+          }
+          if (config_.metrics) {
+            config_.metrics->add("serve_shard_recoveries");
+          }
+          continue;  // shard rescued; not a remaining failure
+        } catch (...) {
+          // master recovery failed too — fall through to partial
+        }
+      }
+      remaining.push_back(failure);
+    }
+  }
+
+  std::string partial_reason;
+  for (const align::ShardFailure& failure : remaining) {
+    if (!partial_reason.empty()) partial_reason += "; ";
+    partial_reason += "shard " + std::to_string(failure.shard) +
+                      " failed after " + std::to_string(failure.attempts) +
+                      " attempts: " + failure.reason;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batches_;
+    searches_ += leaders.size();
+  }
+  if (config_.metrics) {
+    config_.metrics->add("serve_batches");
+    config_.metrics->add("serve_searches",
+                         static_cast<double>(leaders.size()));
+  }
+
+  for (std::size_t q = 0; q < leaders.size(); ++q) {
+    const std::string& key = batch[leaders[q]].key;
+    if (partial_reason.empty()) {
+      // Complete answers are bit-identical to the unsharded search and
+      // cacheable under the topology-free key.
+      const auto value = results_.insert(key, results[q].ranked.hits);
+      for (const std::size_t i : groups[key]) {
+        fulfill(batch[i], *value, /*cache_hit=*/false);
+      }
+    } else {
+      // Partial answers must never enter the cache: a later request at a
+      // healthy moment deserves the full result.
+      for (const std::size_t i : groups[key]) {
+        fulfill(batch[i], results[q].ranked.hits, /*cache_hit=*/false,
+                partial_reason);
+      }
+    }
+  }
+}
+
 QueryService::Stats QueryService::stats() const {
   Stats stats;
   {
@@ -258,9 +403,12 @@ QueryService::Stats QueryService::stats() const {
     stats.rejected_shutdown = rejected_shutdown_;
     stats.batches = batches_;
     stats.searches = searches_;
+    stats.partial_responses = partial_responses_;
+    stats.shard_recoveries = shard_recoveries_;
   }
   stats.results = results_.stats();
   stats.profiles = profiles_.stats();
+  if (sharded_) stats.shards = sharded_->stats();
   return stats;
 }
 

@@ -40,9 +40,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "align/profile_cache.h"
+#include "align/sharded_search.h"
 #include "master/master.h"
 #include "seq/sequence.h"
 #include "seq/swdb.h"
@@ -74,7 +76,34 @@ struct ServiceConfig {
 
   /// Identity of the database this service fronts; part of every result
   /// cache key (two services over different databases must not share hits).
+  /// Shard topology is deliberately NOT part of the identity: sharded and
+  /// unsharded searches are bit-identical, so cached answers are valid at
+  /// any shard count (the same way the SIMD backend is excluded).
   std::string db_id = "db";
+
+  /// Scale-out: > 0 runs every batch through an align::ShardedSearchEngine
+  /// with this many residue-balanced shards (zero-copy views into the one
+  /// database), scatter-gather merged, with the batch's distinct queries
+  /// sharing one pass over each shard chunk. 0 keeps the classic path: one
+  /// master::run_search (CPU+GPU scheduler) per batch.
+  std::size_t shards = 0;
+
+  /// Intra-shard scan threads for the sharded path.
+  std::size_t threads_per_shard = 1;
+
+  /// In-engine recovery attempts per failed shard scan (sharded path).
+  std::size_t max_shard_retries = 1;
+
+  /// When a shard exhausts its in-engine retry budget, re-run just that
+  /// shard's records through the master scheduler (run_search's shard
+  /// overload) before giving up. Off → failed shards surface as partial
+  /// responses immediately.
+  bool shard_recovery = true;
+
+  /// Test hook mirroring before_batch, forwarded to the sharded engine:
+  /// invoked with (shard, attempt) before every shard-scan attempt; a throw
+  /// fails that attempt. nullptr in production.
+  std::function<void(std::size_t shard, std::size_t attempt)> before_shard;
 
   /// Optional observability sinks, borrowed for the service's lifetime and
   /// forwarded into every master::run_search dispatch.
@@ -104,6 +133,12 @@ struct QueryResponse {
   double queue_seconds = 0.0;          ///< enqueue → admitted by the batcher
   double execute_seconds = 0.0;        ///< admitted → answer ready
   double total_seconds = 0.0;          ///< enqueue → answer ready
+
+  /// Sharded path only: some shards failed past every retry, so `hits`
+  /// covers only the shards that were scanned. `partial_reason` names the
+  /// failed shards and the last error. Partial answers are never cached.
+  bool partial = false;
+  std::string partial_reason;
 };
 
 /// Ticket returned by submit(). `result` is only valid when accepted().
@@ -147,12 +182,20 @@ class QueryService {
     std::uint64_t accepted = 0;
     std::uint64_t rejected_queue_full = 0;
     std::uint64_t rejected_shutdown = 0;
-    std::uint64_t batches = 0;    ///< workloads dispatched to the master
+    std::uint64_t batches = 0;    ///< workloads dispatched to the engine
     std::uint64_t searches = 0;   ///< distinct queries actually executed
+    std::uint64_t partial_responses = 0;  ///< fulfilled with failed shards
+    std::uint64_t shard_recoveries = 0;   ///< shards rescued via the master
     ResultCache::Stats results;
     align::ProfileCache::Stats profiles;
+    align::ShardedSearchEngine::Stats shards;  ///< zeros on the master path
   };
   Stats stats() const;
+
+  /// Shards the service searches with (1 when unsharded/master path).
+  std::size_t num_shards() const {
+    return sharded_ ? sharded_->num_shards() : 1;
+  }
 
  private:
   struct Request {
@@ -168,9 +211,15 @@ class QueryService {
 
   void run();
   void execute_batch(std::vector<Request> batch);
+  /// Sharded scatter-gather execution of one collapsed query group.
+  void execute_group_sharded(std::vector<Request>& batch,
+                             const std::vector<std::size_t>& leaders,
+                             std::unordered_map<std::string,
+                                                std::vector<std::size_t>>&
+                                 groups);
   void admit(Request& request);
   void fulfill(Request& request, std::vector<align::SearchHit> hits,
-               bool cache_hit);
+               bool cache_hit, std::string partial_reason = {});
   /// Shared ctor tail: validate config, start the batcher.
   void start();
 
@@ -180,6 +229,7 @@ class QueryService {
   ServiceConfig config_;
   ResultCache results_;
   align::ProfileCache profiles_;
+  std::unique_ptr<align::ShardedSearchEngine> sharded_;  ///< shards > 0 only
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
@@ -191,6 +241,8 @@ class QueryService {
   std::uint64_t rejected_shutdown_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t searches_ = 0;
+  std::uint64_t partial_responses_ = 0;
+  std::uint64_t shard_recoveries_ = 0;
 
   std::thread batcher_;  ///< must be last: joins before members destruct
 };

@@ -1,0 +1,313 @@
+// Sharded scatter-gather search battery: the sharded engine must be
+// bit-identical to the unsharded search at every shard count, for every
+// kernel, on every available backend, serial and threaded — including a
+// ragged database whose 5000-residue outlier dwarfs every other record.
+// Plus: residue-balance guarantees of the planner under Zipf-skewed
+// lengths, multi-query group equivalence, deterministic fault injection
+// through the before_shard hook (retry-to-recovery and budget exhaustion →
+// partial results with a reason), and the zero-copy MappedSwdb path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "align/backend.h"
+#include "align/parallel_search.h"
+#include "align/search.h"
+#include "align/sharded_search.h"
+#include "seq/swdb.h"
+#include "util/rng.h"
+
+namespace swdual::align {
+namespace {
+
+std::vector<std::uint8_t> random_codes(Rng& rng, std::size_t len,
+                                       std::size_t alphabet = 20) {
+  std::vector<std::uint8_t> out(len);
+  for (auto& c : out) c = static_cast<std::uint8_t>(rng.below(alphabet));
+  return out;
+}
+
+/// Ragged corpus: mostly short records plus one 5000-residue outlier, so a
+/// single record carries more residues than several whole shards.
+struct Corpus {
+  std::vector<std::uint8_t> query;
+  std::vector<std::vector<std::uint8_t>> records;
+
+  DbView view() const {
+    DbView v;
+    for (const auto& r : records) v.emplace_back(r.data(), r.size());
+    return v;
+  }
+};
+
+Corpus ragged_corpus(std::uint64_t seed, std::size_t n,
+                     std::size_t query_len) {
+  Rng rng(seed);
+  Corpus c;
+  c.query = random_codes(rng, query_len);
+  c.records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.records.push_back(random_codes(
+        rng, static_cast<std::size_t>(rng.between(1, 100))));
+  }
+  if (n >= 2) {
+    c.records[n / 2] = random_codes(rng, 5000);  // the outlier
+    c.records[0] = random_codes(rng, 1);
+  }
+  return c;
+}
+
+void expect_hits_equal(const std::vector<SearchHit>& actual,
+                       const std::vector<SearchHit>& expected,
+                       const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t h = 0; h < expected.size(); ++h) {
+    EXPECT_EQ(actual[h].db_index, expected[h].db_index)
+        << label << " hit " << h;
+    EXPECT_EQ(actual[h].score, expected[h].score) << label << " hit " << h;
+  }
+}
+
+constexpr std::size_t kShardCounts[] = {1, 2, 3, 7, 16};
+
+TEST(ShardPlan, CoversEveryRecordExactlyOnce) {
+  const Corpus corpus = ragged_corpus(11, 40, 30);
+  for (const std::size_t shards : kShardCounts) {
+    const ShardPlan plan = plan_shards(corpus.view(), shards);
+    ASSERT_EQ(plan.shards.size(), std::min<std::size_t>(shards, 40));
+    std::vector<int> seen(corpus.records.size(), 0);
+    for (const auto& shard : plan.shards) {
+      ASSERT_FALSE(shard.records.empty());
+      for (std::size_t i = 1; i < shard.records.size(); ++i) {
+        EXPECT_LT(shard.records[i - 1], shard.records[i])
+            << "records must be ascending";
+      }
+      for (const std::uint32_t id : shard.records) ++seen[id];
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], 1) << "record " << i << " at " << shards
+                            << " shards";
+    }
+  }
+}
+
+TEST(ShardPlan, ZipfSkewedLengthsStayResidueBalanced) {
+  // Zipf-skewed record lengths concentrate residues in few hot records; the
+  // LPT planner must still bound per-shard residue imbalance to <= 10%.
+  Rng rng(23);
+  std::vector<std::uint32_t> lengths(600);
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    const double rank = static_cast<double>((i * 131) % lengths.size()) + 1.0;
+    lengths[i] = static_cast<std::uint32_t>(
+        20.0 + 4000.0 / std::pow(rank, 1.1) +
+        static_cast<double>(rng.below(10)));
+  }
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    const ShardPlan plan = plan_shards(lengths, shards);
+    EXPECT_LE(plan.imbalance(), 0.10)
+        << shards << " shards, imbalance " << plan.imbalance();
+  }
+}
+
+TEST(ShardPlan, EmptyDatabaseYieldsEmptyPlan) {
+  const ShardPlan plan = plan_shards(DbView{}, 4);
+  EXPECT_TRUE(plan.shards.empty());
+  EXPECT_EQ(plan.imbalance(), 0.0);
+}
+
+// The battery: shard counts x kernels x available backends x
+// serial/threaded, against the direct unsharded search.
+TEST(ShardedSearch, BitIdenticalToUnshardedEverywhere) {
+  const Corpus corpus = ragged_corpus(42, 60, 64);
+  const DbView db = corpus.view();
+  const ScoringScheme scheme;
+  const std::size_t k = 10;
+
+  const KernelKind kernels[] = {KernelKind::kScalar, KernelKind::kStriped,
+                                KernelKind::kStriped8,
+                                KernelKind::kInterSeq};
+  for (const Backend backend : available_backends()) {
+    for (const KernelKind kernel : kernels) {
+      const SearchResult expected =
+          search_database(corpus.query, db, scheme, kernel, backend);
+      const std::vector<SearchHit> expected_hits = expected.top(k);
+      for (const std::size_t shards : kShardCounts) {
+        for (const std::size_t threads : {1u, 3u}) {
+          ShardedSearchOptions options;
+          options.num_shards = shards;
+          options.threads_per_shard = threads;
+          options.parallel_scatter = threads > 1;
+          const ShardedSearchEngine engine(db, options);
+          const ShardedSearchResult result = engine.search_ranked(
+              corpus.query, scheme, kernel, k, backend);
+          const std::string label =
+              std::string(backend_name(backend)) + "/" +
+              kernel_name(kernel) + "/shards=" + std::to_string(shards) +
+              "/threads=" + std::to_string(threads);
+          EXPECT_TRUE(result.complete) << label;
+          EXPECT_TRUE(result.failures.empty()) << label;
+          ASSERT_EQ(result.ranked.result.scores.size(),
+                    expected.scores.size())
+              << label;
+          EXPECT_EQ(result.ranked.result.scores, expected.scores) << label;
+          EXPECT_EQ(result.ranked.result.cells, expected.cells) << label;
+          EXPECT_EQ(result.ranked.result.overflow_rescans,
+                    expected.overflow_rescans)
+              << label;
+          expect_hits_equal(result.ranked.hits, expected_hits, label);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedSearch, MultiQueryGroupMatchesPerQuerySearch) {
+  const Corpus corpus = ragged_corpus(7, 50, 48);
+  const DbView db = corpus.view();
+  const ScoringScheme scheme;
+  Rng rng(99);
+  std::vector<std::vector<std::uint8_t>> query_storage;
+  for (const std::size_t len : {30u, 48u, 65u, 90u}) {
+    query_storage.push_back(random_codes(rng, len));
+  }
+  std::vector<std::span<const std::uint8_t>> queries;
+  for (const auto& q : query_storage) queries.emplace_back(q.data(), q.size());
+
+  ShardedSearchOptions options;
+  options.num_shards = 3;
+  options.threads_per_shard = 2;
+  const ShardedSearchEngine engine(db, options);
+
+  const auto group = engine.search_many(queries, scheme,
+                                        KernelKind::kStriped8, 8);
+  ASSERT_EQ(group.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const SearchResult expected =
+        search_database(queries[q], db, scheme, KernelKind::kStriped8);
+    EXPECT_TRUE(group[q].complete);
+    EXPECT_EQ(group[q].ranked.result.scores, expected.scores)
+        << "query " << q;
+    expect_hits_equal(group[q].ranked.hits, expected.top(8),
+                      "query " + std::to_string(q));
+  }
+  // One group pass over the shards, not one pass per query.
+  EXPECT_EQ(engine.stats().group_passes, 1u);
+  EXPECT_EQ(engine.stats().scans, 3u);
+}
+
+TEST(ShardedSearch, FailedShardRetriesOnRecoveryPathAndStaysBitIdentical) {
+  const Corpus corpus = ragged_corpus(5, 30, 40);
+  const DbView db = corpus.view();
+  const ScoringScheme scheme;
+
+  std::atomic<int> injected{0};
+  ShardedSearchOptions options;
+  options.num_shards = 4;
+  options.max_shard_retries = 1;
+  options.before_shard = [&](std::size_t shard, std::size_t attempt) {
+    if (shard == 1 && attempt == 0) {
+      ++injected;
+      throw std::runtime_error("injected shard fault");
+    }
+  };
+  const ShardedSearchEngine engine(db, options);
+  const ShardedSearchResult result =
+      engine.search_ranked(corpus.query, scheme, KernelKind::kInterSeq, 6);
+
+  EXPECT_EQ(injected.load(), 1);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_EQ(engine.stats().retries, 1u);
+  EXPECT_EQ(engine.stats().failures, 0u);
+
+  const SearchResult expected =
+      search_database(corpus.query, db, scheme, KernelKind::kInterSeq);
+  EXPECT_EQ(result.ranked.result.scores, expected.scores);
+  expect_hits_equal(result.ranked.hits, expected.top(6), "recovered");
+}
+
+TEST(ShardedSearch, RetryBudgetExhaustionYieldsPartialResultsWithReason) {
+  const Corpus corpus = ragged_corpus(6, 30, 40);
+  const DbView db = corpus.view();
+  const ScoringScheme scheme;
+
+  ShardedSearchOptions options;
+  options.num_shards = 3;
+  options.max_shard_retries = 2;
+  options.before_shard = [](std::size_t shard, std::size_t) {
+    if (shard == 2) throw std::runtime_error("shard 2 is on fire");
+  };
+  const ShardedSearchEngine engine(db, options);
+  const ShardedSearchResult result =
+      engine.search_ranked(corpus.query, scheme, KernelKind::kStriped, 5);
+
+  EXPECT_FALSE(result.complete);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].shard, 2u);
+  EXPECT_EQ(result.failures[0].attempts, 3u);  // 1 try + 2 retries
+  EXPECT_NE(result.failures[0].reason.find("on fire"), std::string::npos);
+  EXPECT_EQ(engine.stats().failures, 1u);
+
+  // The scanned shards' scores are still exact; the failed shard's records
+  // read zero and are absent from the hits.
+  const SearchResult expected =
+      search_database(corpus.query, db, scheme, KernelKind::kStriped);
+  const auto& failed_records = engine.plan().shards[2].records;
+  std::vector<bool> failed(db.size(), false);
+  for (const std::uint32_t id : failed_records) failed[id] = true;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    if (failed[i]) {
+      EXPECT_EQ(result.ranked.result.scores[i], 0) << "record " << i;
+    } else {
+      EXPECT_EQ(result.ranked.result.scores[i], expected.scores[i])
+          << "record " << i;
+    }
+  }
+  for (const SearchHit& hit : result.ranked.hits) {
+    EXPECT_FALSE(failed[hit.db_index])
+        << "failed-shard record " << hit.db_index << " in partial hits";
+  }
+}
+
+TEST(ShardedSearch, MappedSwdbShardsAreBitIdenticalToRecordViews) {
+  Rng rng(17);
+  std::vector<seq::Sequence> records;
+  for (std::size_t i = 0; i < 40; ++i) {
+    seq::Sequence s;
+    s.id = "r" + std::to_string(i);
+    s.residues = random_codes(rng, 1 + rng.below(90));
+    records.push_back(std::move(s));
+  }
+  records[20].residues = random_codes(rng, 5000);  // ragged outlier
+  const std::string path =
+      testing::TempDir() + "/sharded_search_db.swdb";
+  seq::write_swdb(path, records, seq::AlphabetKind::kProtein);
+  auto mapped = std::make_shared<const seq::MappedSwdb>(path);
+
+  const std::vector<std::uint8_t> query = random_codes(rng, 70);
+  const ScoringScheme scheme;
+  const DbView direct_view = make_db_view(records);
+  const SearchResult expected =
+      search_database(query, direct_view, scheme, KernelKind::kInterSeq);
+
+  ShardedSearchOptions options;
+  options.num_shards = 3;
+  options.threads_per_shard = 2;
+  const ShardedSearchEngine engine(mapped, options);
+  const ShardedSearchResult result =
+      engine.search_ranked(query, scheme, KernelKind::kInterSeq, 10);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.ranked.result.scores, expected.scores);
+  expect_hits_equal(result.ranked.hits, expected.top(10), "mmap");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swdual::align

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "align/backend.h"
+#include "align/profile_cache.h"
 #include "align/scoring.h"
 #include "serve/cache.h"
 
@@ -76,6 +78,30 @@ TEST(ResultCache, KeySeparatesEveryDimension) {
   EXPECT_NE(base,
             result_key(q, "db1", scheme, align::KernelKind::kStriped));
   EXPECT_EQ(base, result_key(q, "db1", scheme, align::KernelKind::kInterSeq));
+}
+
+TEST(ResultCache, KeyLayoutIsPinned) {
+  // Pins the exact key layout so a field cannot sneak in (or out)
+  // unreviewed. The key is db id, scoring parameters, kernel, and the raw
+  // query residues — nothing else. In particular the SIMD backend and the
+  // shard topology (shard count, threads per shard, scatter order) are
+  // excluded on purpose: both produce bit-identical answers
+  // (tests/align/test_backend_equivalence.cpp,
+  // tests/align/test_sharded_search.cpp), so one cached result serves every
+  // backend and every shard count. Extending the key with either would
+  // silently split the cache per deployment topology.
+  const std::vector<std::uint8_t> query{3, 1, 4, 1, 5};
+  const align::ScoringScheme scheme;
+  const align::KernelKind kernel = align::KernelKind::kStriped;
+  std::string expected = "dbX";
+  expected += '/';
+  expected += align::scoring_key(scheme);
+  expected += '/';
+  expected += align::kernel_name(kernel);
+  expected += '/';
+  expected.append(reinterpret_cast<const char*>(query.data()), query.size());
+  EXPECT_EQ(result_key({query.data(), query.size()}, "dbX", scheme, kernel),
+            expected);
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+// Serve-layer sharded scatter-gather: bit-identity of sharded responses,
+// cache hits independent of shard topology, shard-failure recovery through
+// the master scheduler, partial-results-with-reason fallback, and the
+// shutdown-mid-scatter drain guarantee. The multithreaded soak at the end
+// runs under tsan via the preset matrix (labels: serve, shards, threads).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "align/search.h"
+#include "obs/metrics.h"
+#include "seq/dbgen.h"
+#include "serve/service.h"
+#include "util/rng.h"
+
+namespace swdual::serve {
+namespace {
+
+std::vector<seq::Sequence> make_database(std::size_t count,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<seq::Sequence> db;
+  for (std::size_t i = 0; i < count; ++i) {
+    db.push_back(seq::random_protein(
+        rng, "db" + std::to_string(i),
+        static_cast<std::size_t>(rng.between(15, 110))));
+  }
+  return db;
+}
+
+seq::Sequence make_query(std::uint64_t seed, std::size_t length) {
+  Rng rng(seed);
+  return seq::random_protein(rng, "q" + std::to_string(seed), length);
+}
+
+ServiceConfig sharded_config(std::size_t shards) {
+  ServiceConfig config;
+  config.master.cpu_workers = 1;
+  config.master.gpu_workers = 1;
+  config.db_id = "sharded";
+  config.shards = shards;
+  return config;
+}
+
+void expect_hits_equal(const std::vector<align::SearchHit>& actual,
+                       const std::vector<align::SearchHit>& expected,
+                       const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t h = 0; h < expected.size(); ++h) {
+    EXPECT_EQ(actual[h].db_index, expected[h].db_index)
+        << label << " hit " << h;
+    EXPECT_EQ(actual[h].score, expected[h].score) << label << " hit " << h;
+  }
+}
+
+TEST(ShardedQueryService, ResponsesBitIdenticalToDirectSearch) {
+  const auto db = make_database(24, 1);
+  for (const std::size_t shards : {2u, 5u}) {
+    ServiceConfig config = sharded_config(shards);
+    config.threads_per_shard = 2;
+    const align::ScoringScheme scheme = config.master.scheme;
+    const align::KernelKind kernel = config.master.cpu_kernel;
+    const std::size_t top = config.master.top_hits;
+    QueryService service(db, std::move(config));
+    EXPECT_EQ(service.num_shards(), shards);
+
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      const seq::Sequence query = make_query(100 + s, 30 + 12 * s);
+      const Submission ticket = service.submit(query);
+      ASSERT_TRUE(ticket.accepted());
+      const QueryResponse response = ticket.result.get();
+      EXPECT_FALSE(response.partial);
+      const auto expected =
+          align::search_database(query, db, scheme, kernel).top(top);
+      expect_hits_equal(response.hits, expected,
+                        "shards=" + std::to_string(shards) + " query " +
+                            std::to_string(s));
+    }
+    const auto stats = service.stats();
+    EXPECT_GT(stats.shards.group_passes, 0u);
+    EXPECT_EQ(stats.shards.failures, 0u);
+  }
+}
+
+TEST(ShardedQueryService, CacheHitsBitIdenticalRegardlessOfShardCount) {
+  // Regression for the cache-key topology rule: the result key excludes
+  // shard count (like the backend), so a cached answer is the same answer
+  // at every shard count — and a hit must be bit-identical to the direct
+  // unsharded search no matter which topology computed it.
+  const auto db = make_database(20, 2);
+  const seq::Sequence query = make_query(7, 55);
+  std::vector<align::SearchHit> expected;
+  {
+    ServiceConfig probe = sharded_config(1);
+    expected = align::search_database(query, db, probe.master.scheme,
+                                      probe.master.cpu_kernel)
+                   .top(probe.master.top_hits);
+  }
+  for (const std::size_t shards : {1u, 3u, 7u}) {
+    QueryService service(db, sharded_config(shards));
+    const Submission first = service.submit(query);
+    ASSERT_TRUE(first.accepted());
+    const QueryResponse warm = first.result.get();
+    EXPECT_FALSE(warm.cache_hit);
+    expect_hits_equal(warm.hits, expected,
+                      "warm shards=" + std::to_string(shards));
+
+    const Submission second = service.submit(query);
+    ASSERT_TRUE(second.accepted());
+    const QueryResponse hit = second.result.get();
+    EXPECT_TRUE(hit.cache_hit);
+    expect_hits_equal(hit.hits, expected,
+                      "cached shards=" + std::to_string(shards));
+    EXPECT_EQ(service.stats().searches, 1u);  // the hit ran no search
+  }
+}
+
+TEST(ShardedQueryService, FailedShardIsRecoveredThroughMasterScheduler) {
+  const auto db = make_database(18, 3);
+  ServiceConfig config = sharded_config(3);
+  config.max_shard_retries = 1;
+  // Shard 1 fails every in-engine attempt; the serve layer must rescue it
+  // by re-running exactly that shard through master::run_search.
+  config.before_shard = [](std::size_t shard, std::size_t) {
+    if (shard == 1) throw std::runtime_error("injected: shard 1 down");
+  };
+  const align::ScoringScheme scheme = config.master.scheme;
+  const align::KernelKind kernel = config.master.cpu_kernel;
+  const std::size_t top = config.master.top_hits;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  QueryService service(db, std::move(config));
+
+  const seq::Sequence query = make_query(11, 48);
+  const Submission ticket = service.submit(query);
+  ASSERT_TRUE(ticket.accepted());
+  const QueryResponse response = ticket.result.get();
+  EXPECT_FALSE(response.partial) << response.partial_reason;
+  const auto expected =
+      align::search_database(query, db, scheme, kernel).top(top);
+  expect_hits_equal(response.hits, expected, "recovered via master");
+
+  const auto stats = service.stats();
+  EXPECT_GE(stats.shard_recoveries, 1u);
+  EXPECT_EQ(stats.partial_responses, 0u);
+  EXPECT_GE(metrics.counter("serve_shard_recoveries"), 1.0);
+  EXPECT_GE(metrics.counter("serve_shard_failures"), 1.0);
+}
+
+TEST(ShardedQueryService, ExhaustedShardYieldsPartialResponseNeverCached) {
+  const auto db = make_database(18, 4);
+  ServiceConfig config = sharded_config(3);
+  config.max_shard_retries = 1;
+  config.shard_recovery = false;  // no master fallback: partial surfaces
+  config.before_shard = [](std::size_t shard, std::size_t) {
+    if (shard == 0) throw std::runtime_error("injected: shard 0 down");
+  };
+  QueryService service(db, std::move(config));
+
+  const seq::Sequence query = make_query(13, 52);
+  const Submission first = service.submit(query);
+  ASSERT_TRUE(first.accepted());
+  const QueryResponse partial = first.result.get();
+  EXPECT_TRUE(partial.partial);
+  EXPECT_NE(partial.partial_reason.find("shard 0"), std::string::npos);
+  EXPECT_NE(partial.partial_reason.find("shard 0 down"), std::string::npos);
+
+  // Partial answers must not poison the cache: the retry is a fresh search
+  // (still partial here — the shard is still down), never a cache hit.
+  const Submission second = service.submit(query);
+  ASSERT_TRUE(second.accepted());
+  const QueryResponse again = second.result.get();
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_TRUE(again.partial);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.searches, 2u);
+  EXPECT_EQ(stats.partial_responses, 2u);
+  EXPECT_EQ(stats.results.size, 0u);  // nothing was inserted
+}
+
+TEST(ShardedQueryService, ShutdownMidScatterDrainsAdmittedRequests) {
+  const auto db = make_database(12, 5);
+  ServiceConfig config = sharded_config(2);
+  config.max_batch = 1;  // queries 2..n wait in admission during the block
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  std::atomic<int> calls{0};
+  config.before_shard = [&](std::size_t, std::size_t) {
+    if (calls.fetch_add(1) == 0) {
+      entered.set_value();
+      release_future.wait();
+    }
+  };
+  auto service =
+      std::make_unique<QueryService>(db, std::move(config));
+
+  std::vector<std::shared_future<QueryResponse>> pending;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    const Submission ticket = service->submit(make_query(20 + s, 35));
+    ASSERT_TRUE(ticket.accepted());
+    pending.push_back(ticket.result);
+  }
+  entered.get_future().wait();  // the scatter is in flight right now
+  service->shutdown();          // stop admissions mid-scatter
+  EXPECT_EQ(service->submit(make_query(99, 30)).status,
+            SubmitStatus::kShutdown);
+  release.set_value();          // let the scatter finish
+
+  for (auto& future : pending) {
+    const QueryResponse response = future.get();
+    EXPECT_FALSE(response.partial);
+    EXPECT_FALSE(response.hits.empty());
+  }
+  service.reset();  // destructor joins after the drain
+}
+
+TEST(ShardedQueryServiceSoak, ConcurrentSubmittersWithInjectedShardFaults) {
+  const auto db = make_database(14, 6);
+  std::vector<seq::Sequence> pool;
+  for (std::size_t q = 0; q < 5; ++q) {
+    pool.push_back(make_query(300 + q, 28 + 9 * q));
+  }
+
+  ServiceConfig config = sharded_config(3);
+  config.threads_per_shard = 2;
+  config.admission_capacity = 64;
+  config.max_batch = 6;
+  config.max_shard_retries = 2;
+  // Every 9th shard attempt fails; the in-engine recovery retry (attempt
+  // counter keeps moving) or the master fallback rescues it, so no request
+  // may surface as partial.
+  std::atomic<std::uint64_t> attempts{0};
+  config.before_shard = [&](std::size_t, std::size_t) {
+    if (attempts.fetch_add(1) % 9 == 8) {
+      throw std::runtime_error("soak fault");
+    }
+  };
+  const align::ScoringScheme scheme = config.master.scheme;
+  const align::KernelKind kernel = config.master.cpu_kernel;
+  const std::size_t top = config.master.top_hits;
+  QueryService service(db, std::move(config));
+
+  std::vector<std::vector<align::SearchHit>> expected;
+  for (const seq::Sequence& query : pool) {
+    expected.push_back(
+        align::search_database(query, db, scheme, kernel).top(top));
+  }
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 25;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> partials{0};
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng.below(pool.size()));
+        Submission ticket = service.submit(pool[pick]);
+        if (!ticket.accepted()) {
+          std::this_thread::yield();
+          continue;  // backpressure; soak cares about delivered answers
+        }
+        const QueryResponse response = ticket.result.get();
+        if (response.partial) ++partials;
+        if (response.hits.size() != expected[pick].size()) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t h = 0; h < response.hits.size(); ++h) {
+          if (response.hits[h].db_index != expected[pick][h].db_index ||
+              response.hits[h].score != expected[pick][h].score) {
+            ++mismatches;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  service.shutdown();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(partials.load(), 0u);
+  const auto stats = service.stats();
+  EXPECT_GT(stats.shards.scans, 0u);
+  EXPECT_EQ(stats.accepted,
+            stats.results.hits + stats.results.misses);
+}
+
+}  // namespace
+}  // namespace swdual::serve
