@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +40,7 @@
 #include "seq/dbgen.h"
 #include "serve/service.h"
 #include "util/cli.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -207,7 +207,7 @@ int main(int argc, char** argv) {
   const std::size_t threads_per_shard = config.threads_per_shard;
   serve::QueryService service(db, std::move(config));
 
-  std::mutex stats_mutex;
+  util::Mutex stats_mutex;
   std::uint64_t mismatches = 0;
   std::uint64_t backpressure_retries = 0;
   const std::size_t per_client = requests / clients;
@@ -241,7 +241,7 @@ int main(int argc, char** argv) {
           }
         }
       }
-      std::lock_guard<std::mutex> lock(stats_mutex);
+      util::MutexLock lock(stats_mutex);
       backpressure_retries += local_retries;
       mismatches += local_mismatches;
     });

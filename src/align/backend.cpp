@@ -59,6 +59,9 @@ const KernelTable* table_for(Backend backend) {
 /// automatic selection of the 512-bit tier. Read per call, like the force
 /// override, so tests and long-lived services can re-point it.
 bool avx512_disabled() {
+  // Read-only env access: the tree never setenv()s, so concurrent getenv
+  // calls cannot race a mutation (concurrency-mt-unsafe's hazard).
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* value = std::getenv("SWDUAL_DISABLE_AVX512");
   return value != nullptr && *value != '\0' &&
          std::string_view(value) != "0";
@@ -68,6 +71,8 @@ bool avx512_disabled() {
 /// unset/empty. Throws on unknown names, unavailable backends, and the
 /// force-avx512-while-disabled contradiction.
 Backend forced_backend() {
+  // Read-only env access; see avx512_disabled().
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* forced = std::getenv("SWDUAL_FORCE_BACKEND");
   if (forced == nullptr || *forced == '\0') return Backend::kAuto;
   Backend backend = Backend::kAuto;

@@ -48,7 +48,7 @@ std::shared_ptr<const CachedProfiles> ProfileCache::acquire(
   std::string key = make_key(query, scheme, kernel, resolved);
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto found = index_.find(key);
     if (found != index_.end()) {
       ++hits_;
@@ -63,7 +63,7 @@ std::shared_ptr<const CachedProfiles> ProfileCache::acquire(
   entry->residues_.assign(query.begin(), query.end());
   entry->profiles_.emplace(entry->query(), scheme, kernel, resolved);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto raced = index_.find(key);
   if (raced != index_.end()) {
     // Another thread built the same entry first; keep theirs.
@@ -83,7 +83,7 @@ std::shared_ptr<const CachedProfiles> ProfileCache::acquire(
 }
 
 ProfileCache::Stats ProfileCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return {hits_, misses_, evictions_, lru_.size(), capacity_};
 }
 

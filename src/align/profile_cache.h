@@ -21,7 +21,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -30,6 +29,7 @@
 #include <vector>
 
 #include "align/search.h"
+#include "util/mutex.h"
 
 namespace swdual::align {
 
@@ -80,16 +80,26 @@ class ProfileCache {
   };
   Stats stats() const;
 
+  /// The cache's capability, for lock-order declarations in owning layers
+  /// (the serve stack declares service → result-cache → profile-cache).
+  /// It is a leaf capability: no ProfileCache method acquires any other
+  /// lock while holding it. Never lock it directly — every public method
+  /// is self-locking.
+  util::Mutex& capability() const SWDUAL_RETURN_CAPABILITY(mutex_) {
+    return mutex_;
+  }
+
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const CachedProfiles>>;
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable util::Mutex mutex_;
+  std::list<Entry> lru_ SWDUAL_GUARDED_BY(mutex_);  ///< front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      SWDUAL_GUARDED_BY(mutex_);
+  std::uint64_t hits_ SWDUAL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ SWDUAL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ SWDUAL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace swdual::align

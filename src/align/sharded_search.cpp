@@ -204,7 +204,7 @@ ShardedSearchEngine::ShardOutcome ShardedSearchEngine::scan_shard(
       }
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       if (outcome.ok) {
         ++stats_.scans;
       } else if (attempt < options_.max_shard_retries) {
@@ -246,7 +246,7 @@ std::vector<ShardedSearchResult> ShardedSearchEngine::search_many(
   const Backend resolved = resolve_backend(backend, kernel);
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.group_passes;
   }
   if (options_.metrics) {
@@ -321,7 +321,7 @@ ShardedSearchResult ShardedSearchEngine::search_ranked(
 }
 
 ShardedSearchEngine::Stats ShardedSearchEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   return stats_;
 }
 

@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,6 +36,7 @@
 #include "align/parallel_search.h"
 #include "align/profile_cache.h"
 #include "align/search.h"
+#include "util/mutex.h"
 
 namespace swdual::obs {
 class MetricsRegistry;
@@ -204,8 +204,11 @@ class ShardedSearchEngine {
   std::shared_ptr<const seq::MappedSwdb> mapped_;  ///< keeps mapping alive
   std::unique_ptr<ThreadPool> scatter_pool_;       ///< null when serial
 
-  mutable std::mutex stats_mutex_;
-  mutable Stats stats_;
+  /// Leaf capability: only the Stats aggregate lives under it, and no other
+  /// lock is ever acquired while it is held (shard scans update it between
+  /// engine passes, never inside one).
+  mutable util::Mutex stats_mutex_;
+  mutable Stats stats_ SWDUAL_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace swdual::align

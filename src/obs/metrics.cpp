@@ -10,12 +10,12 @@
 namespace swdual::obs {
 
 void MetricsRegistry::add(const std::string& name, double delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::WriterMutexLock lock(mutex_);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::observe(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::WriterMutexLock lock(mutex_);
   HistogramSummary& h = histograms_[name];
   h.min = h.count == 0 ? value : std::min(h.min, value);
   h.max = h.count == 0 ? value : std::max(h.max, value);
@@ -25,14 +25,14 @@ void MetricsRegistry::observe(const std::string& name, double value) {
 }
 
 double MetricsRegistry::counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   const auto found = counters_.find(name);
   return found != counters_.end() ? found->second : 0.0;
 }
 
 MetricsRegistry::HistogramSummary MetricsRegistry::histogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   const auto found = histograms_.find(name);
   return found != histograms_.end() ? found->second : HistogramSummary{};
 }
@@ -40,7 +40,7 @@ MetricsRegistry::HistogramSummary MetricsRegistry::histogram(
 double MetricsRegistry::percentile(const std::string& name, double q) const {
   std::vector<double> sorted;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::ReaderMutexLock lock(mutex_);
     const auto found = samples_.find(name);
     if (found == samples_.end()) return 0.0;
     sorted = found->second;
@@ -60,7 +60,7 @@ std::string format_value(double value) {
 }  // namespace
 
 std::string MetricsRegistry::dump() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   std::ostringstream out;
   for (const auto& [name, value] : counters_) {
     out << "counter " << name << ' ' << format_value(value) << '\n';

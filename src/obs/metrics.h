@@ -15,9 +15,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace swdual::obs {
 
@@ -63,10 +64,15 @@ class MetricsRegistry {
   std::string dump() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, double> counters_;
-  std::map<std::string, HistogramSummary> histograms_;
-  std::map<std::string, std::vector<double>> samples_;
+  /// Readers–writer lock: add()/observe() are exclusive writers, every
+  /// accessor (counter, histogram, percentile, dump) takes a shared read
+  /// lock so concurrent report readers never serialize each other.
+  mutable util::SharedMutex mutex_;
+  std::map<std::string, double> counters_ SWDUAL_GUARDED_BY(mutex_);
+  std::map<std::string, HistogramSummary> histograms_
+      SWDUAL_GUARDED_BY(mutex_);
+  std::map<std::string, std::vector<double>> samples_
+      SWDUAL_GUARDED_BY(mutex_);
 };
 
 }  // namespace swdual::obs

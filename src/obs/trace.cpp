@@ -80,9 +80,13 @@ void Span::finish() {
 // Tracer
 
 struct Tracer::ThreadBuffer {
-  std::mutex mutex;
+  /// Uncontended except against flush(). flush() acquires it while holding
+  /// the owner's registry_mutex_; the declared order makes the reverse
+  /// nesting (registry inside a buffer lock) a compile error under Clang.
+  util::Mutex mutex SWDUAL_ACQUIRED_AFTER(owner->registry_mutex_);
+  Tracer* owner = nullptr;  ///< the tracer whose registry published us
   std::uint32_t index = 0;
-  std::vector<TraceEvent> events;
+  std::vector<TraceEvent> events SWDUAL_GUARDED_BY(mutex);
 };
 
 namespace {
@@ -108,8 +112,9 @@ Tracer::~Tracer() = default;
 
 Tracer::ThreadBuffer* Tracer::local_buffer() {
   if (t_buffer_cache.tracer_id == id_) return t_buffer_cache.buffer;
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->owner = this;
   buffer->index = static_cast<std::uint32_t>(buffers_.size());
   ThreadBuffer* raw = buffer.get();
   buffers_.push_back(std::move(buffer));
@@ -121,7 +126,7 @@ void Tracer::record_impl(TraceEvent event) {
   event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   ThreadBuffer* buffer = local_buffer();
   event.thread = buffer->index;
-  std::lock_guard<std::mutex> lock(buffer->mutex);
+  util::MutexLock lock(buffer->mutex);
   buffer->events.push_back(std::move(event));
 }
 
@@ -141,9 +146,9 @@ void Tracer::instant_impl(std::string name, std::string category,
 std::vector<TraceEvent> Tracer::flush() {
   std::vector<TraceEvent> all;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    util::MutexLock lock(registry_mutex_);
     for (auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      util::MutexLock buffer_lock(buffer->mutex);
       all.insert(all.end(), std::make_move_iterator(buffer->events.begin()),
                  std::make_move_iterator(buffer->events.end()));
       buffer->events.clear();

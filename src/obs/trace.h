@@ -32,10 +32,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 #ifndef SWDUAL_TRACE_ENABLED
 #define SWDUAL_TRACE_ENABLED 1
@@ -165,8 +166,13 @@ class Tracer {
   std::uint64_t id_ = 0;  ///< globally unique, validates thread-local caches
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> next_seq_{0};
-  mutable std::mutex registry_mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  /// Guards the buffer registry. Each ThreadBuffer carries its own mutex
+  /// (declared SWDUAL_ACQUIRED_AFTER(registry_mutex_) in trace.cpp) for its
+  /// event vector; flush() nests buffer locks inside the registry lock,
+  /// record paths take only their own buffer's lock.
+  mutable util::Mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      SWDUAL_GUARDED_BY(registry_mutex_);
 };
 
 /// Options for the Chrome trace_event exporter.

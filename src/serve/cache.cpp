@@ -27,7 +27,7 @@ ResultCache::ResultCache(std::size_t capacity)
 
 std::shared_ptr<const ResultCache::Hits> ResultCache::lookup(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto found = index_.find(key);
   if (found == index_.end()) {
     ++misses_;
@@ -40,7 +40,7 @@ std::shared_ptr<const ResultCache::Hits> ResultCache::lookup(
 
 std::shared_ptr<const ResultCache::Hits> ResultCache::insert(
     const std::string& key, Hits hits) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto raced = index_.find(key);
   if (raced != index_.end()) {
     lru_.splice(lru_.begin(), lru_, raced->second);
@@ -58,7 +58,7 @@ std::shared_ptr<const ResultCache::Hits> ResultCache::insert(
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return {hits_, misses_, evictions_, lru_.size(), capacity_};
 }
 

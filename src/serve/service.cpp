@@ -75,7 +75,7 @@ Submission QueryService::submit(const seq::Sequence& query) {
 
   Submission ticket;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!accepting_) {
       ++rejected_shutdown_;
       if (config_.metrics) config_.metrics->add("serve_rejected_shutdown");
@@ -111,7 +111,7 @@ Submission QueryService::submit(const seq::Sequence& query) {
 
 void QueryService::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     accepting_ = false;
   }
   wake_.notify_all();
@@ -121,8 +121,8 @@ void QueryService::run() {
   for (;;) {
     std::vector<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return !admission_.empty() || !accepting_; });
+      util::MutexLock lock(mutex_);
+      while (admission_.empty() && accepting_) wake_.wait(mutex_);
       if (admission_.empty()) return;  // shut down and fully drained
       while (!admission_.empty() && batch.size() < config_.max_batch) {
         batch.push_back(std::move(admission_.front()));
@@ -162,7 +162,7 @@ void QueryService::fulfill(Request& request,
   response.partial = !partial_reason.empty();
   response.partial_reason = std::move(partial_reason);
   if (response.partial) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++partial_responses_;
   }
   response.queue_seconds = request.admit_seconds;
@@ -255,7 +255,7 @@ void QueryService::execute_batch(std::vector<Request> batch) {
   // Count the batch before fulfilling any promise: a caller that waits on
   // its future and immediately reads stats() must see this work included.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++batches_;
     searches_ += leaders.size();
   }
@@ -340,7 +340,7 @@ void QueryService::execute_group_sharded(
             results[q].ranked.hits = std::move(merged);
           }
           {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             ++shard_recoveries_;
           }
           if (config_.metrics) {
@@ -364,7 +364,7 @@ void QueryService::execute_group_sharded(
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++batches_;
     searches_ += leaders.size();
   }
@@ -397,7 +397,7 @@ void QueryService::execute_group_sharded(
 QueryService::Stats QueryService::stats() const {
   Stats stats;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stats.accepted = accepted_;
     stats.rejected_queue_full = rejected_queue_full_;
     stats.rejected_shutdown = rejected_shutdown_;

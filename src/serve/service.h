@@ -30,14 +30,12 @@
 // consumers can wait on one answer.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -49,6 +47,7 @@
 #include "seq/sequence.h"
 #include "seq/swdb.h"
 #include "serve/cache.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace swdual::obs {
@@ -231,18 +230,25 @@ class QueryService {
   align::ProfileCache profiles_;
   std::unique_ptr<align::ShardedSearchEngine> sharded_;  ///< shards > 0 only
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<Request> admission_;
-  bool accepting_ = true;
-  std::uint64_t next_id_ = 0;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_queue_full_ = 0;
-  std::uint64_t rejected_shutdown_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t searches_ = 0;
-  std::uint64_t partial_responses_ = 0;
-  std::uint64_t shard_recoveries_ = 0;
+  /// Service capability, declared before both cache capabilities: the
+  /// admission lock may be held briefly around queue/counter state, but the
+  /// caches are only ever entered with it released (their methods are
+  /// self-locking), so the scatter-gather path cannot produce a
+  /// service↔cache deadlock — and under Clang, acquiring mutex_ while a
+  /// cache lock is held contradicts this declaration and fails the build.
+  mutable util::Mutex mutex_
+      SWDUAL_ACQUIRED_BEFORE(results_.capability(), profiles_.capability());
+  util::CondVar wake_;
+  std::deque<Request> admission_ SWDUAL_GUARDED_BY(mutex_);
+  bool accepting_ SWDUAL_GUARDED_BY(mutex_) = true;
+  std::uint64_t next_id_ SWDUAL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t accepted_ SWDUAL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_queue_full_ SWDUAL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_shutdown_ SWDUAL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t batches_ SWDUAL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t searches_ SWDUAL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t partial_responses_ SWDUAL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shard_recoveries_ SWDUAL_GUARDED_BY(mutex_) = 0;
 
   std::thread batcher_;  ///< must be last: joins before members destruct
 };

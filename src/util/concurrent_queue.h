@@ -3,13 +3,17 @@
 // This is the transport underlying the in-process master–slave runtime: the
 // master pushes task messages, workers block on pop(); close() drains and
 // then releases all waiters, signalling end-of-stream.
+//
+// Locking discipline is statically checked: items_ and closed_ are
+// SWDUAL_GUARDED_BY(mutex_), so any new accessor that forgets the lock is a
+// compile error under Clang's -Wthread-safety (see util/thread_annotations.h).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/mutex.h"
 
 namespace swdual {
 
@@ -26,7 +30,7 @@ class ConcurrentQueue {
   /// explicitly void-cast where close() racing a push is benign).
   [[nodiscard]] bool push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -37,8 +41,8 @@ class ConcurrentQueue {
   /// Block until an item is available or the queue is closed and drained.
   /// Returns nullopt only at end-of-stream.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    util::MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) cv_.wait(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -47,7 +51,7 @@ class ConcurrentQueue {
 
   /// Non-blocking pop; nullopt if currently empty (queue may still be open).
   std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -57,27 +61,27 @@ class ConcurrentQueue {
   /// Close the queue: no further pushes succeed; waiters drain then unblock.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<T> items_ SWDUAL_GUARDED_BY(mutex_);
+  bool closed_ SWDUAL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace swdual

@@ -22,8 +22,8 @@ Logger& Logger::instance() {
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<int>(level) < static_cast<int>(this->level())) return;
+  util::MutexLock lock(mutex_);
   std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
 }
 

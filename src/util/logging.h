@@ -2,11 +2,16 @@
 //
 // Thread-safe: each log statement formats into a local buffer and emits it
 // with a single locked write, so lines from worker threads never interleave.
+// The level is an atomic (set_level() may race log statements from worker
+// threads — a relaxed read is all the filter needs); the stderr stream is
+// the state mutex_ guards.
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
+
+#include "util/mutex.h"
 
 namespace swdual {
 
@@ -18,17 +23,20 @@ class Logger {
   /// Process-wide logger instance.
   static Logger& instance();
 
-  /// Messages below `level` are discarded.
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  /// Messages below `level` are discarded. Safe to call concurrently with
+  /// log statements from any thread.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Emit one formatted line (appends '\n'). Thread-safe.
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kInfo;
-  std::mutex mutex_;
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
+  util::Mutex mutex_;  ///< serializes the stderr write (one line at a time)
 };
 
 namespace detail {

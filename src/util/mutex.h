@@ -1,0 +1,146 @@
+// Annotated mutex wrappers: the analyzable locking vocabulary of the tree.
+//
+// std::mutex + std::lock_guard are invisible to Clang's thread-safety
+// analysis (the lock/unlock calls happen inside unannotated standard-library
+// templates), so every concurrent layer uses these thin wrappers instead:
+//
+//   util::Mutex        std::mutex with SWDUAL_ACQUIRE/RELEASE annotations
+//   util::SharedMutex  std::shared_mutex (exclusive writers, shared readers)
+//   util::MutexLock    annotated RAII scope, replaces std::lock_guard
+//   util::ReaderMutexLock / util::WriterMutexLock  shared-mutex scopes
+//   util::CondVar      std::condition_variable over util::Mutex
+//
+// The wrappers add no state and no behavior beyond the standard primitives
+// (tests/util/test_mutex.cpp pins that, including under the tsan preset);
+// what they add is *visibility*: SWDUAL_GUARDED_BY members become statically
+// checkable at every call site. Condition waits are written as explicit
+// loops — `while (!ready_) cv_.wait(mutex_);` — because a predicate lambda
+// is analyzed as a separate function that cannot see the held capability.
+//
+// tools/swdual_lint.py bans raw std::mutex members and bare .lock() /
+// .unlock() calls outside src/util/, so this header is the single point
+// where locking idiom can drift.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace swdual::util {
+
+/// Annotated exclusive mutex. Prefer util::MutexLock to manual lock/unlock.
+class SWDUAL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SWDUAL_ACQUIRE() { mu_.lock(); }
+  void unlock() SWDUAL_RELEASE() { mu_.unlock(); }
+  bool try_lock() SWDUAL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped standard mutex — for util::CondVar only, which must hand
+  /// an adopted std::unique_lock to std::condition_variable::wait.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated shared (readers–writer) mutex: exclusive lock() for writers,
+/// shared lock_shared() for readers of SWDUAL_GUARDED_BY state.
+class SWDUAL_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() SWDUAL_ACQUIRE() { mu_.lock(); }
+  void unlock() SWDUAL_RELEASE() { mu_.unlock(); }
+  bool try_lock() SWDUAL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() SWDUAL_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() SWDUAL_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() SWDUAL_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive scope over util::Mutex — the analyzable std::lock_guard.
+class SWDUAL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SWDUAL_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SWDUAL_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive scope over util::SharedMutex (writer side).
+class SWDUAL_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SWDUAL_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() SWDUAL_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared scope over util::SharedMutex (reader side).
+class SWDUAL_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SWDUAL_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() SWDUAL_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable over util::Mutex. wait() atomically releases the held
+/// mutex while blocked and reacquires it before returning — the capability
+/// is held again on return, which is exactly how the analysis models the
+/// REQUIRES contract. Use an explicit predicate loop at the call site:
+///
+///   util::MutexLock lock(mutex_);
+///   while (items_.empty() && !closed_) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until notified. The caller must hold `mu` (it is released for
+  /// the duration of the wait and reacquired before returning).
+  void wait(Mutex& mu) SWDUAL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.native(), std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();  // ownership stays with the caller's scope
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace swdual::util

@@ -1,0 +1,99 @@
+// Clang thread-safety annotation macros: the compile-time lock-discipline
+// net over every concurrent layer (util/concurrent_queue, the thread pool,
+// obs trace/metrics, serve service/cache, align profile_cache and
+// sharded_search).
+//
+// Under Clang these expand to the [[clang::...]] capability attributes that
+// -Wthread-safety / -Wthread-safety-beta analyze: a read of a
+// SWDUAL_GUARDED_BY member without its mutex held, a call to a
+// SWDUAL_REQUIRES function without the capability, or an acquisition that
+// contradicts a declared SWDUAL_ACQUIRED_BEFORE/AFTER order is a *compile
+// error* in the dev/clang presets and the clang-threadsafety CI job — lock
+// misuse is rejected before it can become a tsan interleaving. Under every
+// other compiler the macros expand to nothing: zero code, zero overhead,
+// identical behavior (tests/check/compile_fail asserts the net is live
+// under Clang; tests/util/test_mutex.cpp asserts the wrappers behave like
+// the raw primitives everywhere).
+//
+// Use these through util/mutex.h (util::Mutex, util::MutexLock, ...) rather
+// than on raw std::mutex members: std::lock_guard call sites are opaque to
+// the analysis, the annotated wrappers are not. tools/swdual_lint.py
+// enforces that convention across src/. See DESIGN.md "Static concurrency
+// analysis" for the capability map and how to annotate new shared state.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SWDUAL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SWDUAL_THREAD_ANNOTATION
+#define SWDUAL_THREAD_ANNOTATION(x)  // no-op off Clang: annotations erase
+#endif
+
+/// A type that models a capability (a lock): util::Mutex and
+/// util::SharedMutex. The string names the capability kind in diagnostics.
+#define SWDUAL_CAPABILITY(x) SWDUAL_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires a capability at construction and releases it
+/// at destruction (util::MutexLock and friends).
+#define SWDUAL_SCOPED_CAPABILITY SWDUAL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define SWDUAL_GUARDED_BY(x) SWDUAL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define SWDUAL_PT_GUARDED_BY(x) SWDUAL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declared lock-acquisition order (checked under -Wthread-safety-beta):
+/// acquiring these mutexes in an order that contradicts the declaration is
+/// diagnosed — the static form of deadlock avoidance.
+#define SWDUAL_ACQUIRED_BEFORE(...) \
+  SWDUAL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SWDUAL_ACQUIRED_AFTER(...) \
+  SWDUAL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the capability (exclusive
+/// / shared); it does not acquire or release it.
+#define SWDUAL_REQUIRES(...) \
+  SWDUAL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SWDUAL_REQUIRES_SHARED(...) \
+  SWDUAL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the capability (exclusive or shared).
+#define SWDUAL_ACQUIRE(...) \
+  SWDUAL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SWDUAL_ACQUIRE_SHARED(...) \
+  SWDUAL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SWDUAL_RELEASE(...) \
+  SWDUAL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SWDUAL_RELEASE_SHARED(...) \
+  SWDUAL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define SWDUAL_RELEASE_GENERIC(...) \
+  SWDUAL_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define SWDUAL_TRY_ACQUIRE(...) \
+  SWDUAL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SWDUAL_TRY_ACQUIRE_SHARED(...) \
+  SWDUAL_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the capability (it
+/// acquires it itself — the self-locking public API convention).
+#define SWDUAL_EXCLUDES(...) \
+  SWDUAL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability (lets annotated
+/// accessors participate in capability expressions, e.g. lock-order
+/// declarations across objects).
+#define SWDUAL_RETURN_CAPABILITY(x) SWDUAL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Assert (at runtime) that the capability is held; teaches the analysis
+/// about externally-guaranteed locking it cannot see.
+#define SWDUAL_ASSERT_CAPABILITY(x) \
+  SWDUAL_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disable the analysis for one function. Every use must
+/// carry a comment explaining why the discipline cannot be expressed.
+#define SWDUAL_NO_THREAD_SAFETY_ANALYSIS \
+  SWDUAL_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -52,6 +52,9 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // The pool holds no lock of its own: all synchronization lives inside the
+  // annotated ConcurrentQueue (util/concurrent_queue.h). workers_ is written
+  // only in the constructor and read-only afterwards, so it needs no guard.
   ConcurrentQueue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
 };

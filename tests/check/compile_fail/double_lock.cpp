@@ -1,0 +1,39 @@
+// Lockcheck case: re-acquiring a capability that is already held.
+//
+// util::Mutex is non-recursive (it wraps std::mutex), so a nested
+// MutexLock over the same mutex is a guaranteed runtime deadlock; the
+// analysis rejects it statically instead.
+#include "util/mutex.h"
+
+namespace {
+
+class Once {
+ public:
+  void tick() {
+    swdual::util::MutexLock lock(mutex_);
+    ++ticks_;
+  }
+
+#ifdef LOCKCHECK_VIOLATION
+  void tick_twice() {
+    swdual::util::MutexLock lock(mutex_);
+    swdual::util::MutexLock again(mutex_);  // mutex_ is already held
+    ++ticks_;
+  }
+#endif
+
+ private:
+  swdual::util::Mutex mutex_;
+  long ticks_ SWDUAL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Once once;
+  once.tick();
+#ifdef LOCKCHECK_VIOLATION
+  once.tick_twice();
+#endif
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Lockcheck case: calling a SWDUAL_REQUIRES function without holding the
+// capability it names.
+//
+// This is the private-helper convention used across the serve layer:
+// `*_locked()` helpers declare REQUIRES(mutex_) and only self-locking
+// public methods may reach them. A caller that forgets the lock must not
+// compile.
+#include "util/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) {
+    swdual::util::MutexLock lock(mutex_);
+    add_locked(amount);
+  }
+
+#ifdef LOCKCHECK_VIOLATION
+  void deposit_careless(long amount) {
+    add_locked(amount);  // REQUIRES(mutex_) callee, capability not held
+  }
+#endif
+
+  long balance() {
+    swdual::util::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  void add_locked(long amount) SWDUAL_REQUIRES(mutex_) { balance_ += amount; }
+
+  swdual::util::Mutex mutex_;
+  long balance_ SWDUAL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(10);
+#ifdef LOCKCHECK_VIOLATION
+  account.deposit_careless(10);
+#endif
+  return account.balance() == 10 ? 0 : 1;
+}

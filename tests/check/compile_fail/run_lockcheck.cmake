@@ -1,0 +1,56 @@
+# Negative-compile runner for the lockcheck battery.
+#
+# Each case file compiles two ways:
+#   MODE=clean      no extra defines        -> must compile warning-free
+#   MODE=violation  -DLOCKCHECK_VIOLATION   -> must FAIL, and fail with a
+#                                              thread-safety diagnostic
+#
+# The clean leg proves the case is well-formed (a violation test that fails
+# for an unrelated syntax error proves nothing); the violation leg proves
+# the analysis net is actually live under this compiler. -fsyntax-only is
+# enough: Clang's thread-safety analysis runs during semantic analysis.
+#
+# Usage (see CMakeLists.txt next to this file):
+#   cmake -DCOMPILER=<clang++> -DSOURCE=<case.cpp> -DINCLUDE_DIR=<repo>/src
+#         -DMODE=<clean|violation> -P run_lockcheck.cmake
+
+foreach(required COMPILER SOURCE INCLUDE_DIR MODE)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "run_lockcheck.cmake: -D${required}=... is required")
+  endif()
+endforeach()
+
+set(flags
+  -std=c++20 -fsyntax-only "-I${INCLUDE_DIR}"
+  -Wthread-safety -Wthread-safety-beta
+  -Werror=thread-safety -Werror=thread-safety-beta)
+if(MODE STREQUAL "violation")
+  list(APPEND flags -DLOCKCHECK_VIOLATION)
+elseif(NOT MODE STREQUAL "clean")
+  message(FATAL_ERROR "run_lockcheck.cmake: MODE must be clean or violation")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} ${flags} ${SOURCE}
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+
+if(MODE STREQUAL "clean")
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+      "lockcheck: expected ${SOURCE} to compile cleanly, got:\n"
+      "${stdout}${stderr}")
+  endif()
+else()
+  if(status EQUAL 0)
+    message(FATAL_ERROR
+      "lockcheck: ${SOURCE} compiled with LOCKCHECK_VIOLATION defined — "
+      "the thread-safety net is not rejecting this violation")
+  endif()
+  if(NOT "${stdout}${stderr}" MATCHES "thread-safety")
+    message(FATAL_ERROR
+      "lockcheck: ${SOURCE} failed for a reason other than a thread-safety "
+      "diagnostic:\n${stdout}${stderr}")
+  endif()
+endif()

@@ -1,0 +1,43 @@
+// Lockcheck case: reading a SWDUAL_GUARDED_BY member without its mutex.
+//
+// Clean mode: every access holds the lock. Violation mode adds a reader
+// that skips it — Clang's -Wthread-safety must reject the translation unit
+// (see run_lockcheck.cmake for how both modes are asserted).
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void add(long amount) {
+    swdual::util::MutexLock lock(mutex_);
+    value_ += amount;
+  }
+
+  long read() {
+    swdual::util::MutexLock lock(mutex_);
+    return value_;
+  }
+
+#ifdef LOCKCHECK_VIOLATION
+  long read_unguarded() {
+    return value_;  // guarded member read without holding mutex_
+  }
+#endif
+
+ private:
+  swdual::util::Mutex mutex_;
+  long value_ SWDUAL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.add(1);
+#ifdef LOCKCHECK_VIOLATION
+  return static_cast<int>(counter.read_unguarded());
+#else
+  return static_cast<int>(counter.read()) - 1;
+#endif
+}

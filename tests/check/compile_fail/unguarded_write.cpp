@@ -1,0 +1,43 @@
+// Lockcheck case: writing a SWDUAL_GUARDED_BY member without its mutex.
+//
+// Mirrors the stats aggregates in align::ShardedSearchEngine and the serve
+// counters: every mutation must happen under the declared capability.
+#include "util/mutex.h"
+
+#include <cstdint>
+
+namespace {
+
+class Stats {
+ public:
+  void record_scan() {
+    swdual::util::MutexLock lock(mutex_);
+    ++scans_;
+  }
+
+#ifdef LOCKCHECK_VIOLATION
+  void record_scan_racy() {
+    ++scans_;  // guarded member written without holding mutex_
+  }
+#endif
+
+  std::uint64_t scans() {
+    swdual::util::MutexLock lock(mutex_);
+    return scans_;
+  }
+
+ private:
+  swdual::util::Mutex mutex_;
+  std::uint64_t scans_ SWDUAL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Stats stats;
+  stats.record_scan();
+#ifdef LOCKCHECK_VIOLATION
+  stats.record_scan_racy();
+#endif
+  return stats.scans() == 0 ? 1 : 0;
+}

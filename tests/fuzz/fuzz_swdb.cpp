@@ -1,0 +1,215 @@
+// Fuzz harness for the SWDB container parsers (SwdbReader + MappedSwdb).
+//
+// The parsers promise exactly one failure mode for hostile bytes: a thrown
+// swdual::Error (IoError for structural problems, InvalidArgument for bad
+// parameters). Anything else — a crash, an ASan/UBSan report, an unexpected
+// exception type — is a finding. On a successful open the harness walks the
+// whole surface (lengths, lane order, every record via both readers) so an
+// index that validates but points outside the file is caught too.
+//
+// Two build modes, one source file:
+//   - SWDUAL_HAVE_LIBFUZZER (fuzz preset: clang + -fsanitize=fuzzer):
+//     exports LLVMFuzzerTestOneInput for open-ended fuzzing.
+//   - standalone (every other build, incl. GCC): a driver main() with
+//     --make-seeds <dir>  write the seed corpus (valid v1/v2 + edge cases)
+//     --smoke <dir>       replay the corpus plus bounded deterministic
+//                         mutations (truncations, byte flips) — the ctest
+//                         `fuzz` label runs this everywhere, so the corpus
+//                         never rots and the parser contract is exercised
+//                         even on hosts without libFuzzer.
+//
+// The input arrives as a byte buffer but both parsers take paths, so each
+// iteration round-trips through one reused temp file.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.h"
+#include "seq/sequence.h"
+#include "seq/swdb.h"
+#include "util/error.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One temp path per process, reused every iteration (fuzzers are
+/// single-threaded; recreating the file is the per-iteration cost anyway).
+const std::string& scratch_path() {
+  static const std::string path = [] {
+    const char* tmp = std::getenv("TMPDIR");
+    fs::path dir = (tmp != nullptr && *tmp != '\0') ? fs::path(tmp)
+                                                    : fs::temp_directory_path();
+    return (dir / ("fuzz_swdb_" + std::to_string(::getpid()) + ".swdb"))
+        .string();
+  }();
+  return path;
+}
+
+void write_bytes(const std::string& path, const std::uint8_t* data,
+                 std::size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+/// Walk every accessor of an open reader pair; the return value only exists
+/// so the reads cannot be optimized away.
+std::uint64_t exercise(const std::string& path) {
+  std::uint64_t checksum = 0;
+
+  swdual::seq::SwdbReader reader(path);
+  checksum += reader.total_residues() + reader.version();
+  for (std::uint32_t lane : reader.lane_order()) checksum += lane;
+  for (std::size_t i = 0; i < reader.size(); ++i) {
+    checksum += reader.length(i);
+    const swdual::seq::Sequence record = reader.read(i);
+    for (std::uint8_t code : record.residues) checksum += code;
+    checksum += record.id.size() + record.description.size();
+  }
+
+  swdual::seq::MappedSwdb mapped(path);
+  checksum += mapped.total_residues() + mapped.version();
+  for (std::size_t i = 0; i < mapped.size(); ++i) {
+    for (std::uint8_t code : mapped.residues(i)) checksum += code;
+    checksum += mapped.id(i).size() + mapped.description(i).size();
+  }
+  return checksum;
+}
+
+int run_one(const std::uint8_t* data, std::size_t size) {
+  write_bytes(scratch_path(), data, size);
+  try {
+    exercise(scratch_path());
+  } catch (const swdual::Error&) {
+    // The contract: hostile bytes are rejected with the library's own error
+    // hierarchy. Any other escape path aborts below and is a finding.
+  }
+  return 0;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return run_one(data, size);
+}
+
+#ifndef SWDUAL_HAVE_LIBFUZZER
+
+namespace {
+
+std::vector<std::uint8_t> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void dump(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
+  write_bytes(path.string(), bytes.data(), bytes.size());
+}
+
+/// Seed corpus: structurally valid files of both container versions plus
+/// the classic parser edge cases. Everything past these is the mutator's
+/// job (libFuzzer when available, the deterministic smoke otherwise).
+void make_seeds(const fs::path& dir) {
+  fs::create_directories(dir);
+
+  std::vector<swdual::seq::Sequence> records;
+  records.emplace_back(swdual::seq::Sequence::from_text(
+      "sp|P1", "short test record", swdual::seq::AlphabetKind::kProtein,
+      "MKTAYIAKQR"));
+  records.emplace_back(swdual::seq::Sequence::from_text(
+      "sp|P2", "", swdual::seq::AlphabetKind::kProtein,
+      "ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY"));
+  records.emplace_back(swdual::seq::Sequence::from_text(
+      "sp|P3", "empty record", swdual::seq::AlphabetKind::kProtein, ""));
+
+  swdual::seq::write_swdb((dir / "valid_v1.swdb").string(), records,
+                          swdual::seq::AlphabetKind::kProtein,
+                          swdual::seq::kSwdbVersion1);
+  swdual::seq::write_swdb((dir / "valid_v2.swdb").string(), records,
+                          swdual::seq::AlphabetKind::kProtein,
+                          swdual::seq::kSwdbVersion2);
+  swdual::seq::write_swdb((dir / "empty_db.swdb").string(), {},
+                          swdual::seq::AlphabetKind::kProtein);
+
+  dump(dir / "empty_file.swdb", {});
+  dump(dir / "bad_magic.swdb", {'N', 'O', 'P', 'E', 1, 0, 0, 0});
+  const std::vector<std::uint8_t> v2 = slurp(dir / "valid_v2.swdb");
+  dump(dir / "truncated_header.swdb",
+       std::vector<std::uint8_t>(v2.begin(),
+                                 v2.begin() + std::min<std::size_t>(10,
+                                                                    v2.size())));
+  dump(dir / "truncated_half.swdb",
+       std::vector<std::uint8_t>(v2.begin(), v2.begin() + v2.size() / 2));
+}
+
+/// Bounded deterministic smoke: replay every corpus file verbatim, then at
+/// every truncation length and with every single-byte flip in the first
+/// 256 bytes (the header/index region where parsing decisions live).
+int smoke(const fs::path& dir) {
+  std::size_t iterations = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::vector<std::uint8_t> bytes = slurp(entry.path());
+    run_one(bytes.data(), bytes.size());
+    ++iterations;
+
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      run_one(bytes.data(), cut);
+      ++iterations;
+    }
+    const std::size_t flip_span = std::min<std::size_t>(bytes.size(), 256);
+    for (std::size_t i = 0; i < flip_span; ++i) {
+      std::vector<std::uint8_t> mutated = bytes;
+      mutated[i] ^= 0xFF;
+      run_one(mutated.data(), mutated.size());
+      ++iterations;
+    }
+  }
+  std::cout << "fuzz_swdb smoke: " << iterations
+            << " inputs, no parser contract violation\n";
+  return iterations == 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 3 && std::string(argv[1]) == "--make-seeds") {
+      make_seeds(argv[2]);
+      return 0;
+    }
+    if (argc == 3 && std::string(argv[1]) == "--smoke") {
+      return smoke(argv[2]);
+    }
+    if (argc > 1) {
+      // libFuzzer-style replay: each argument is one input file.
+      for (int i = 1; i < argc; ++i) {
+        const std::vector<std::uint8_t> bytes = slurp(argv[i]);
+        run_one(bytes.data(), bytes.size());
+      }
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "fuzz_swdb: " << error.what() << "\n";
+    return 1;
+  }
+  std::cerr << "usage: fuzz_swdb --make-seeds <dir> | --smoke <dir> | "
+               "<input>...\n";
+  return 2;
+}
+
+#endif  // !SWDUAL_HAVE_LIBFUZZER

@@ -13,6 +13,14 @@ Enforces conventions clang-tidy cannot express:
   * no raw stream/stdio reads of SWDB record payloads outside seq/swdb.cpp
     (every consumer goes through SwdbReader or the zero-copy MappedSwdb so
     format evolution stays in one translation unit)
+  * lock hygiene: raw standard lockables (std::mutex, std::lock_guard,
+    std::condition_variable, ...) are banned outside src/util/mutex.h —
+    they are invisible to Clang's thread-safety analysis; use the annotated
+    util::Mutex / util::MutexLock / util::CondVar wrappers. std::once_flag
+    and std::call_once stay allowed (no guarded state to annotate).
+  * bare .lock()/.unlock()/... calls are banned outside src/util/ — manual
+    lock management defeats both the RAII discipline and the static
+    analysis; use the scoped util::*MutexLock types
   * optionally (--cxx), every header under src/ compiles standalone
 
 Exit status 0 when clean, 1 with one ``file:line: message`` per violation
@@ -45,6 +53,28 @@ WALL_CLOCK_HEADERS = re.compile(r'#include\s+"util/timer\.h"')
 
 # Exporters whose output order golden tests depend on.
 DETERMINISTIC_DIRS = ("obs",)
+
+# Compile-time lock discipline (util/thread_annotations.h): raw standard
+# lockables are opaque to Clang's -Wthread-safety, so every concurrent layer
+# must hold its state under the annotated wrappers from util/mutex.h — the
+# one file allowed to name the std types. std::once_flag / std::call_once
+# are deliberately NOT banned: one-shot initialization has no guarded member
+# to annotate and no ordering to declare.
+RAW_LOCKABLE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+RAW_LOCKABLE_ALLOWED = ("src/util/mutex.h",)
+
+# Manual lock()/unlock() calls defeat both RAII and the static analysis
+# (an early return or throw leaks the capability). src/util/ implements the
+# wrappers, so only it may touch the primitive operations.
+BARE_LOCK_CALL = re.compile(
+    r"\.\s*(lock|unlock|try_lock|lock_shared|unlock_shared|"
+    r"try_lock_shared)\s*\("
+)
+BARE_LOCK_ALLOWED_PREFIX = "src/util/"
 
 # Raw byte-level input: .read(...) on a stream or C stdio fread. Database
 # payload parsing is SwdbReader/MappedSwdb's job; any other TU doing its own
@@ -137,6 +167,26 @@ def lint_file(path: pathlib.Path) -> list[str]:
                 lineno = code.count("\n", 0, match.start()) + 1
                 report(lineno, f"{message} — the DES and schedulers must be "
                                "deterministic in virtual time")
+
+    if rel.as_posix() not in RAW_LOCKABLE_ALLOWED:
+        for match in RAW_LOCKABLE.finditer(code):
+            lineno = code.count("\n", 0, match.start()) + 1
+            report(
+                lineno,
+                f"raw std::{match.group(1)} — invisible to the thread-safety "
+                "analysis; use the annotated util::Mutex / util::MutexLock / "
+                "util::CondVar wrappers (util/mutex.h)",
+            )
+
+    if not rel.as_posix().startswith(BARE_LOCK_ALLOWED_PREFIX):
+        for match in BARE_LOCK_CALL.finditer(code):
+            lineno = code.count("\n", 0, match.start()) + 1
+            report(
+                lineno,
+                f"bare .{match.group(1)}() outside src/util/ — manual lock "
+                "management leaks on early exit; use a scoped "
+                "util::*MutexLock",
+            )
 
     if rel.as_posix() not in RAW_READ_ALLOWED:
         for match in RAW_PAYLOAD_READ.finditer(code):
