@@ -184,6 +184,30 @@ void backend_interseq(benchmark::State& state, align::Backend backend) {
       static_cast<double>(align::backend_lanes16(backend));
 }
 
+void backend_banded_screen(benchmark::State& state, align::Backend backend) {
+  // The two-stage filter's screening shape: many medium-length records, a
+  // band much narrower than the record. GCUPS counts the band cells the
+  // screen actually computes (BandedBatchResult.cells), so the number is
+  // comparable with the full-matrix kernels per unit of work — the screen's
+  // end-to-end advantage is that it has ~len/(2·band+1)× fewer cells.
+  const KernelFixtureData data(300, 256, 600);
+  const std::size_t band = 16;
+  const std::span<const std::uint8_t> query(data.query.residues.data(),
+                                            data.query.residues.size());
+  align::SequenceViews views;
+  for (const auto& v : data.views) views.push_back(v);
+  const align::KernelTable& kt = align::kernel_table(backend);
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto result = kt.banded(query, views, data.scheme, band);
+    cells = result.cells;
+    benchmark::DoNotOptimize(result.scores.data());
+  }
+  report_gcups(state, cells);
+  state.counters["lanes"] =
+      static_cast<double>(align::backend_lanes8(backend));
+}
+
 void register_backend_benchmarks() {
   for (const align::Backend backend : align::available_backends()) {
     const std::string suffix = align::backend_name(backend);
@@ -196,6 +220,11 @@ void register_backend_benchmarks() {
     benchmark::RegisterBenchmark(
         ("BM_InterSeqBackend/" + suffix).c_str(),
         [backend](benchmark::State& s) { backend_interseq(s, backend); });
+    benchmark::RegisterBenchmark(
+        ("BM_BandedScreenBackend/" + suffix).c_str(),
+        [backend](benchmark::State& s) {
+          backend_banded_screen(s, backend);
+        });
   }
 }
 

@@ -90,6 +90,21 @@ int main(int argc, char** argv) {
   cli.add_option("gpu-workers", "GPU workers", "1");
   cli.add_option("shards", "scatter-gather shards (0 = master path)", "0");
   cli.add_option("threads-per-shard", "scan threads inside each shard", "1");
+  cli.add_option("filter-mode",
+                 "two-stage search filter: off (exact full scan) | heuristic "
+                 "(banded screen + exact candidate rescan)",
+                 "off");
+  cli.add_option("band", "screening band half-width (heuristic filter)",
+                 "32");
+  cli.add_option("keep-factor",
+                 "screened candidates kept per requested hit (heuristic "
+                 "filter)",
+                 "4.0");
+  cli.add_option("plant",
+                 "homologs planted per pool query (mutated query copies "
+                 "appended to the database; enables the recall oracle's "
+                 "hard targets)",
+                 "0");
   cli.add_option("seed", "traffic RNG seed", "7");
   cli.add_option("out", "CSV output path", "serve_bench.csv");
   cli.add_option("json", "JSON scenario output path (empty = none)", "");
@@ -106,7 +121,7 @@ int main(int argc, char** argv) {
   }
 
   std::size_t records = 0, len = 0, pool_size = 0, query_len = 0;
-  std::size_t requests = 0, clients = 0;
+  std::size_t requests = 0, clients = 0, plant = 0;
   double zipf_s = 0.0, db_zipf_s = 0.0;
   serve::ServiceConfig config;
   std::uint64_t seed = 0;
@@ -127,6 +142,16 @@ int main(int argc, char** argv) {
     config.shards = cli.option_uint("shards");
     config.threads_per_shard =
         std::max<std::size_t>(1, cli.option_uint("threads-per-shard"));
+    if (!align::parse_filter_mode(cli.option("filter-mode"),
+                                  config.master.filter.mode)) {
+      throw InvalidArgument("unknown filter mode: " +
+                            cli.option("filter-mode") +
+                            " (want off|heuristic)");
+    }
+    config.master.filter.band = cli.option_uint("band");
+    config.master.filter.keep_factor = cli.option_double("keep-factor");
+    config.master.filter.validate();
+    plant = cli.option_uint("plant");
     seed = static_cast<std::uint64_t>(cli.option_uint("seed"));
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
@@ -161,6 +186,29 @@ int main(int argc, char** argv) {
         seq::random_protein(rng, "d" + std::to_string(i), record_len));
   }
 
+  std::vector<seq::Sequence> pool;
+  pool.reserve(pool_size);
+  for (std::size_t q = 0; q < pool_size; ++q) {
+    pool.push_back(
+        seq::random_protein(rng, "q" + std::to_string(q), query_len));
+  }
+
+  // Homolog planting: append `plant` mutated copies of every pool query to
+  // the database (point substitutions every ~20 residues). The planted
+  // records dominate their query's exact top-k, so the recall oracle below
+  // measures whether the two-stage filter keeps precisely the hits that
+  // matter in a homology workload.
+  for (std::size_t q = 0; q < pool.size() && plant > 0; ++q) {
+    for (std::size_t p = 0; p < plant; ++p) {
+      std::vector<std::uint8_t> h = pool[q].residues;
+      for (std::size_t i = 0; i < h.size(); i += 17 + p % 5) {
+        h[i] = static_cast<std::uint8_t>(rng.below(20));
+      }
+      db.emplace_back("h" + std::to_string(q) + "_" + std::to_string(p), "",
+                      seq::AlphabetKind::kProtein, std::move(h));
+    }
+  }
+
   // Shard plan diagnostics (the service builds the same plan internally —
   // align::plan_shards is deterministic on the record lengths).
   double plan_imbalance = 0.0;
@@ -176,12 +224,6 @@ int main(int argc, char** argv) {
     plan_imbalance = plan.imbalance();
     plan_residues = plan.total_residues;
   }
-  std::vector<seq::Sequence> pool;
-  pool.reserve(pool_size);
-  for (std::size_t q = 0; q < pool_size; ++q) {
-    pool.push_back(
-        seq::random_protein(rng, "q" + std::to_string(q), query_len));
-  }
 
   // Zipf CDF over the pool: weight(rank i) = 1 / (i+1)^s.
   std::vector<double> cdf(pool.size());
@@ -191,7 +233,8 @@ int main(int argc, char** argv) {
     cdf[i] = cumulative;
   }
 
-  // Ground truth per pool query, for the bit-identity acceptance check.
+  // Ground truth per pool query: the exact top-k, used as the bit-identity
+  // oracle when the filter is off and as the recall@k oracle when it is on.
   config.db_id = "bench";
   obs::MetricsRegistry metrics;
   config.metrics = &metrics;
@@ -205,11 +248,15 @@ int main(int argc, char** argv) {
 
   const std::size_t shards = config.shards;
   const std::size_t threads_per_shard = config.threads_per_shard;
+  const align::FilterConfig filter_config = config.master.filter;
   serve::QueryService service(db, std::move(config));
 
   util::Mutex stats_mutex;
   std::uint64_t mismatches = 0;
   std::uint64_t backpressure_retries = 0;
+  double recall_sum = 0.0;
+  double recall_min = 1.0;
+  std::uint64_t recall_count = 0;
   const std::size_t per_client = requests / clients;
 
   WallTimer wall;
@@ -219,6 +266,9 @@ int main(int argc, char** argv) {
       Rng traffic(seed ^ (0x9e3779b97f4a7c15ull * (c + 1)));
       std::uint64_t local_retries = 0;
       std::uint64_t local_mismatches = 0;
+      double local_recall_sum = 0.0;
+      double local_recall_min = 1.0;
+      std::uint64_t local_recall_count = 0;
       for (std::size_t i = 0; i < per_client; ++i) {
         const std::size_t pick = sample_cdf(traffic, cdf);
         serve::Submission ticket;
@@ -229,6 +279,30 @@ int main(int argc, char** argv) {
           std::this_thread::yield();
         }
         const serve::QueryResponse response = ticket.result.get();
+        if (filter_config.enabled()) {
+          // Recall@k against the exact oracle. An expected hit counts as
+          // recalled on an index match or a score match: under score ties
+          // the exact top-k set is not unique, and a tie-equivalent record
+          // is exactly as good an answer.
+          std::size_t recalled = 0;
+          for (const align::SearchHit& want : expected[pick]) {
+            for (const align::SearchHit& got : response.hits) {
+              if (got.db_index == want.db_index || got.score == want.score) {
+                ++recalled;
+                break;
+              }
+            }
+          }
+          const double recall =
+              expected[pick].empty()
+                  ? 1.0
+                  : static_cast<double>(recalled) /
+                        static_cast<double>(expected[pick].size());
+          local_recall_sum += recall;
+          local_recall_min = std::min(local_recall_min, recall);
+          ++local_recall_count;
+          continue;
+        }
         if (response.hits.size() != expected[pick].size()) {
           ++local_mismatches;
           continue;
@@ -244,6 +318,9 @@ int main(int argc, char** argv) {
       util::MutexLock lock(stats_mutex);
       backpressure_retries += local_retries;
       mismatches += local_mismatches;
+      recall_sum += local_recall_sum;
+      recall_min = std::min(recall_min, local_recall_min);
+      recall_count += local_recall_count;
     });
   }
   for (auto& thread : client_threads) thread.join();
@@ -301,7 +378,25 @@ int main(int argc, char** argv) {
     table.add_row(
         {"shard recoveries", std::to_string(stats.shard_recoveries)});
   }
-  table.add_row({"scores==direct", mismatches == 0 ? "yes" : "NO"});
+  const double recall_mean =
+      recall_count > 0 ? recall_sum / static_cast<double>(recall_count) : 1.0;
+  if (filter_config.enabled()) {
+    table.add_row({"filter mode",
+                   align::filter_mode_name(filter_config.mode)});
+    table.add_row({"filter band", std::to_string(filter_config.band)});
+    table.add_row({"filter keep-factor",
+                   TextTable::fmt(filter_config.keep_factor, 2)});
+    table.add_row({"planted homologs / query", std::to_string(plant)});
+    table.add_row({"filter candidates",
+                   std::to_string(stats.filter.candidates)});
+    table.add_row({"filter rescans", std::to_string(stats.filter.rescans)});
+    table.add_row({"filter band-uncertain",
+                   std::to_string(stats.filter.band_uncertain)});
+    table.add_row({"recall@k mean", TextTable::fmt(recall_mean, 4)});
+    table.add_row({"recall@k min", TextTable::fmt(recall_min, 4)});
+  } else {
+    table.add_row({"scores==direct", mismatches == 0 ? "yes" : "NO"});
+  }
   std::printf("%s", table.render().c_str());
   bench::emit_csv(table, cli.option("out"));
 
@@ -331,6 +426,18 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(plan_residues));
     std::fprintf(
         json,
+        "  \"filter\": {\"mode\": \"%s\", \"band\": %zu, "
+        "\"keep_factor\": %g, \"plant\": %zu, \"candidates\": %llu, "
+        "\"rescans\": %llu, \"band_uncertain\": %llu, "
+        "\"recall_mean\": %.4f, \"recall_min\": %.4f},\n",
+        align::filter_mode_name(filter_config.mode), filter_config.band,
+        filter_config.keep_factor, plant,
+        static_cast<unsigned long long>(stats.filter.candidates),
+        static_cast<unsigned long long>(stats.filter.rescans),
+        static_cast<unsigned long long>(stats.filter.band_uncertain),
+        recall_mean, recall_min);
+    std::fprintf(
+        json,
         "  \"results\": {\"wall_seconds\": %.4f, \"throughput_rps\": %.1f, "
         "\"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}, "
         "\"cache_hit_rate\": %.4f, \"distinct_searches\": %llu, "
@@ -357,6 +464,15 @@ int main(int argc, char** argv) {
   if (mismatches != 0) {
     std::fprintf(stderr, "FAIL: %llu responses differed from direct search\n",
                  static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  // Planted homologs are unambiguous top-k mass; losing any of them means
+  // the filter is misconfigured for the workload, so fail loudly.
+  if (filter_config.enabled() && plant > 0 && recall_min < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: recall@k fell below 1.0 on the planted corpus "
+                 "(min %.4f, mean %.4f)\n",
+                 recall_min, recall_mean);
     return 1;
   }
   return 0;

@@ -75,6 +75,17 @@ int main(int argc, char** argv) {
                  "avx2 | avx512 (auto = widest the host supports)",
                  "auto");
   cli.add_option("top", "hits reported per query", "5");
+  cli.add_option("filter-mode",
+                 "two-stage search filter: off (exact full scan) | heuristic "
+                 "(banded screen, exact rescan of candidates)",
+                 "off");
+  cli.add_option("band",
+                 "half-width of the screening band (--filter-mode heuristic)",
+                 "32");
+  cli.add_option("keep-factor",
+                 "screened candidates kept per requested hit "
+                 "(--filter-mode heuristic)",
+                 "4.0");
   cli.add_flag("gantt", "print the planned Gantt chart");
   cli.add_option("trace",
                  "write a Chrome trace-event JSON timeline (open with "
@@ -125,6 +136,15 @@ int main(int argc, char** argv) {
       throw InvalidArgument("unknown backend: " + cli.option("backend") +
                             " (want auto|scalar|sse2|avx2|avx512)");
     }
+    if (!align::parse_filter_mode(cli.option("filter-mode"),
+                                  config.filter.mode)) {
+      throw InvalidArgument("unknown filter mode: " +
+                            cli.option("filter-mode") +
+                            " (want off|heuristic)");
+    }
+    config.filter.band = cli.option_uint("band");
+    config.filter.keep_factor = cli.option_double("keep-factor");
+    config.filter.validate();
     // Fail fast with a clear message (resolve_backend would also throw, but
     // only once the first CPU task runs).
     if (config.cpu_backend != align::Backend::kAuto &&
@@ -168,6 +188,13 @@ int main(int argc, char** argv) {
               << "\nvirtual GCUPS:    " << report.virtual_gcups
               << "\nvirtual idle:     " << report.virtual_idle_fraction * 100
               << " %\n";
+    if (config.filter.enabled()) {
+      std::cout << "filter:           " << report.filter.candidates
+                << " candidates, " << report.filter.rescans
+                << " exact rescans, " << report.filter.band_uncertain
+                << " band-uncertain (db records: "
+                << db.size() * report.results.size() << " screened)\n";
+    }
     if (cli.flag("gantt") && !report.planned.empty()) {
       std::cout << '\n'
                 << sched::render_gantt(

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "align/kernel_banded.h"
 #include "align/kernel_interseq.h"
 #include "align/kernel_striped.h"
 #include "align/kernel_striped8.h"
@@ -113,6 +114,9 @@ struct KernelTable {
   InterSeqResult (*interseq)(std::span<const std::uint8_t> query,
                              const SequenceViews& db,
                              const ScoringScheme& scheme);
+  BandedBatchResult (*banded)(std::span<const std::uint8_t> query,
+                              const SequenceViews& db,
+                              const ScoringScheme& scheme, std::size_t band);
 };
 
 /// The kernel table of a *resolved*, available backend.

@@ -7,20 +7,28 @@
 
 namespace swdual::align {
 
-ScoreResult banded_gotoh_score(std::span<const std::uint8_t> query,
-                               std::span<const std::uint8_t> db,
-                               const ScoringScheme& scheme, std::size_t band) {
+bool banded_covers_all(std::size_t m, std::size_t n, std::size_t band) {
+  if (m == 0 || n == 0) return true;
+  // Column 1 at row m (center n): need n − band ≤ 1. Column n at row 1
+  // (center ⌊n/m⌋): need ⌊n/m⌋ + band ≥ n. Integer arithmetic only — the
+  // certificate must be trustworthy at ragged length ratios.
+  return band >= n - 1 && band + n / m >= n;
+}
+
+BandedResult banded_gotoh_score(std::span<const std::uint8_t> query,
+                                std::span<const std::uint8_t> db,
+                                const ScoringScheme& scheme, std::size_t band) {
   SWDUAL_REQUIRE(band >= 1, "band half-width must be at least 1");
   const ScoreMatrix& matrix = *scheme.matrix;
   const int gs = scheme.gap.open;
   const int ge = scheme.gap.extend;
 
-  ScoreResult result;
+  BandedResult result;
+  result.exact = banded_covers_all(query.size(), db.size(), band);
   if (query.empty() || db.empty()) return result;
 
   const std::size_t m = query.size();
   const std::size_t n = db.size();
-  const double slope = static_cast<double>(n) / static_cast<double>(m);
 
   constexpr int kNegInf = -(1 << 28);
   // Full-width rows, but only band columns are touched per row. Cells never
@@ -28,21 +36,41 @@ ScoreResult banded_gotoh_score(std::span<const std::uint8_t> query,
   std::vector<int> h_row(n + 1, 0);
   std::vector<int> f_row(n + 1, kNegInf);
 
+  int edge_best = 0;
+  std::size_t prev_hi = 0;  // previous row's window end (0 = none yet)
+
   for (std::size_t i = 1; i <= m; ++i) {
-    const auto center = static_cast<std::ptrdiff_t>(slope * static_cast<double>(i));
-    const std::size_t j_lo = static_cast<std::size_t>(
-        std::max<std::ptrdiff_t>(1, center - static_cast<std::ptrdiff_t>(band)));
-    const std::size_t j_hi =
-        std::min(n, static_cast<std::size_t>(center + static_cast<std::ptrdiff_t>(band)));
-    if (j_lo > j_hi) continue;
+    // Integer center: ⌊i·n/m⌋. The products fit comfortably in 64 bits for
+    // any realistic sequence length, and unlike the former double-based
+    // slope they cannot drift off the true center line at ragged m:n ratios.
+    const std::size_t center = i * n / m;
+    const std::size_t j_lo = center > band ? center - band : 1;
+    const std::size_t j_hi = std::min(n, center + band);
+
+    // Band-boundary columns whose outside neighbour exists: a best score on
+    // one of these is "uncertain" (the optimum may continue out of band).
+    // A boundary at column 1 or n touches the matrix edge, not the band's.
+    const std::size_t left_edge =
+        (center > band && center - band >= 2) ? center - band : 0;
+    const std::size_t right_edge =
+        (center + band <= n - 1) ? center + band : 0;
+
+    // The window slides right monotonically; when it jumps by more than one
+    // column (very ragged n ≫ m ratios), the skipped columns still hold
+    // values from older rows. Reset them to their out-of-band defaults
+    // before reading — each column is reset at most once over the whole
+    // scan, so this stays amortized O(n).
+    const std::size_t stale_lo = std::max(j_lo > 1 ? j_lo - 1 : 1, prev_hi + 1);
+    for (std::size_t j = stale_lo; j <= j_hi; ++j) {
+      h_row[j] = 0;
+      f_row[j] = kNegInf;
+    }
+    prev_hi = j_hi;
 
     const std::int8_t* scores = matrix.row(query[i - 1]);
-    // Outside-band cells on row i-1 (and this row's left edge) behave as 0
-    // for H (a local alignment can always restart) and -inf for gap states;
-    // since h_row holds 0 wherever untouched, this falls out naturally for
-    // the first rows. To avoid stale in-band values leaking when the band
-    // slides right, clear the cell just left of the window.
-    int diag = (j_lo >= 1) ? h_row[j_lo - 1] : 0;
+    // Outside-band cells behave as 0 for H (a local alignment can always
+    // restart) and -inf for the gap states.
+    int diag = h_row[j_lo - 1];
     int h_left = 0;
     int e = kNegInf;
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
@@ -60,18 +88,16 @@ ScoreResult banded_gotoh_score(std::span<const std::uint8_t> query,
         result.end_query = i;
         result.end_db = j;
       }
+      if ((j == left_edge || j == right_edge) && h > edge_best) {
+        edge_best = h;
+      }
     }
-    // Invalidate the column just beyond the window so the next row does not
-    // read values from two rows ago as if they were row i.
-    if (j_hi + 1 <= n) {
-      h_row[j_hi + 1] = 0;
-      f_row[j_hi + 1] = kNegInf;
-    }
-    if (j_lo >= 1) {
-      h_row[j_lo - 1] = 0;
-      f_row[j_lo - 1] = kNegInf;
-    }
+    // Clear the cell just left of the window so the next row's diagonal
+    // read at the same offset sees an out-of-band 0, not this row's stale
+    // in-band value.
+    if (j_lo >= 1) h_row[j_lo - 1] = 0;
   }
+  result.edge_hit = result.score > 0 && edge_best == result.score;
   return result;
 }
 

@@ -3,6 +3,7 @@
 // layout as SSE2, so profiles are interchangeable between the two). Always
 // compiled; serves as the portable fallback and as the reference
 // implementation the wide backends are validated against.
+#include "align/kernel_banded_impl.h"
 #include "align/kernel_dispatch.h"
 #include "align/kernel_interseq_impl.h"
 #include "align/kernel_striped8_impl.h"
@@ -17,6 +18,7 @@ const KernelTable kTable = {
     &striped8_score_impl<VecU8Scalar<16>>,
     &striped_score_impl<VecI16Scalar<8>>,
     &interseq_scores_impl<VecI16Scalar<8>>,
+    &banded_screen_impl<VecU8Scalar<16>, VecI16Scalar<8>>,
 };
 
 }  // namespace

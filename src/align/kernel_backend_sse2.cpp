@@ -6,6 +6,7 @@
 
 #if defined(__SSE2__)
 
+#include "align/kernel_banded_impl.h"
 #include "align/kernel_interseq_impl.h"
 #include "align/kernel_striped8_impl.h"
 #include "align/kernel_striped_impl.h"
@@ -20,6 +21,7 @@ const KernelTable kTable = {
     &striped8_score_impl<V8>,
     &striped_score_impl<V16>,
     &interseq_scores_impl<V16>,
+    &banded_screen_impl<V8, V16>,
 };
 
 }  // namespace

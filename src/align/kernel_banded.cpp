@@ -1,0 +1,19 @@
+#include "align/kernel_banded.h"
+
+#include "align/backend.h"
+
+namespace swdual::align {
+
+BandedBatchResult banded_screen(std::span<const std::uint8_t> query,
+                                const SequenceViews& db,
+                                const ScoringScheme& scheme,
+                                std::size_t band) {
+  // Per-sequence screen scores are independent of the batch a sequence
+  // lands in (same argument as interseq), and the byte tier's overflow
+  // guard is a function of cell values only, so the 8→16-bit escalation
+  // decisions — and hence all results — are bit-identical across backends.
+  return kernel_table(best_backend(KernelKind::kInterSeq))
+      .banded(query, db, scheme, band);
+}
+
+}  // namespace swdual::align

@@ -1,0 +1,41 @@
+// Inter-sequence vectorized banded Smith–Waterman (the filter screen).
+//
+// Stage-1 kernel of the two-stage filtered search (search.h): one batch of
+// database sequences is banded-aligned against the query simultaneously,
+// one per SIMD lane, in the same lane-per-sequence layout as the interseq
+// kernel — longest-first batching, per-column dprofile, SWDB v2 pre-sorted
+// order detection. The DP is restricted per lane to a diagonal band of
+// half-width `band` around j = ⌊i·n_l/m⌋, so the screen costs O(m·band)
+// per record instead of O(m·n).
+//
+// Scores are bit-identical to the scalar banded_gotoh_score (banded.h) for
+// every lane that does not overflow: the 8-bit saturating tier runs first
+// and saturated lanes are regrouped through a 16-bit pass; lanes that
+// saturate even there come back with overflow set and the caller rescans
+// them with the 32-bit scalar banded kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/kernel_interseq.h"
+#include "align/scoring.h"
+
+namespace swdual::align {
+
+struct BandedBatchResult {
+  std::vector<int> scores;     ///< banded score per input sequence
+  std::vector<bool> overflow;  ///< saturated even at 16 bits (rescan!)
+  std::vector<bool> edge_hit;  ///< best banded cell sat on the band boundary
+  std::uint64_t cells = 0;     ///< banded DP cells computed (all tiers)
+};
+
+/// Banded-screen one query against many database sequences, one SIMD batch
+/// at a time, on the best available backend (SWDUAL_FORCE_BACKEND
+/// overrides). `band` must be ≥ 1.
+BandedBatchResult banded_screen(std::span<const std::uint8_t> query,
+                                const SequenceViews& db,
+                                const ScoringScheme& scheme, std::size_t band);
+
+}  // namespace swdual::align

@@ -91,6 +91,10 @@ ParallelSearchEngine::ParallelSearchEngine(const seq::MappedSwdb& db,
 
 void ParallelSearchEngine::init_partition(
     const ParallelSearchOptions& options) {
+  permuted_pos_.resize(original_index_.size());
+  for (std::size_t p = 0; p < original_index_.size(); ++p) {
+    permuted_pos_[original_index_[p]] = p;
+  }
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   std::size_t num_chunks;
   if (options.chunk_records > 0) {
@@ -300,6 +304,179 @@ std::vector<RankedSearchResult> ParallelSearchEngine::search_ranked_many(
     merged.seconds = elapsed;
   }
   return results;
+}
+
+std::vector<ScreenResult> ParallelSearchEngine::screen_chunk_many(
+    std::span<const SearchProfiles* const> profiles, const Chunk& chunk,
+    std::size_t chunk_index, std::size_t band) const {
+  obs::Span span;
+  if (tracer_) {
+    span = tracer_->span("filter_screen", "align", trace_track_);
+    span.arg("chunk", static_cast<double>(chunk_index));
+    span.arg("records", static_cast<double>(chunk.end - chunk.begin));
+    span.arg("queries", static_cast<double>(profiles.size()));
+  }
+  WallTimer timer;
+  std::vector<ScreenResult> screens(profiles.size());
+  for (std::size_t q = 0; q < profiles.size(); ++q) {
+    screens[q] = screen_range(*profiles[q], db_, chunk.begin, chunk.end, band);
+  }
+  if (metrics_) metrics_->observe("chunk_scan_seconds", timer.seconds());
+  return screens;
+}
+
+void ParallelSearchEngine::rescore_candidates(
+    const SearchProfiles& profiles,
+    const std::vector<std::uint32_t>& candidates, const ScreenResult& screen,
+    FilteredSearchResult& out) const {
+  std::vector<std::uint32_t> rescan_index;
+  for (const std::uint32_t c : candidates) {
+    if (!screen.exact[c]) rescan_index.push_back(c);
+  }
+  // Longest-first so the interseq rescan packs similar lengths into the
+  // same SIMD batch; lanes are independent, so order never changes scores.
+  std::stable_sort(rescan_index.begin(), rescan_index.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return db_[permuted_pos_[a]].size() >
+                            db_[permuted_pos_[b]].size();
+                   });
+  DbView rescan;
+  rescan.reserve(rescan_index.size());
+  for (const std::uint32_t c : rescan_index) {
+    rescan.push_back(db_[permuted_pos_[c]]);
+  }
+  obs::Span span;
+  if (tracer_) {
+    span = tracer_->span("filter_rescore", "align", trace_track_);
+    span.arg("candidates", static_cast<double>(candidates.size()));
+    span.arg("rescans", static_cast<double>(rescan.size()));
+  }
+  const SearchResult rescored =
+      search_range(profiles, rescan, 0, rescan.size());
+  out.result.cells += rescored.cells;
+  out.result.overflow_rescans += rescored.overflow_rescans;
+  for (std::size_t i = 0; i < rescan_index.size(); ++i) {
+    out.result.scores[rescan_index[i]] = rescored.scores[i];
+  }
+  out.stats.rescans += rescan_index.size();
+}
+
+std::vector<ScreenResult> ParallelSearchEngine::screen_many(
+    std::span<const SearchProfiles* const> profiles, std::size_t band) const {
+  std::vector<ScreenResult> merged(profiles.size());
+  for (const SearchProfiles* p : profiles) {
+    SWDUAL_REQUIRE(p != nullptr, "null profile set in multi-query group");
+  }
+  for (std::size_t q = 0; q < profiles.size(); ++q) {
+    merged[q].scores.assign(db_.size(), 0);
+    merged[q].exact.assign(db_.size(), 0);
+    merged[q].edge_hit.assign(db_.size(), 0);
+  }
+  if (db_.empty() || profiles.empty()) return merged;
+
+  // The banded kernel batches byte lanes; keep those batches unsplit the
+  // same way run() aligns interseq chunks to the 16-bit lane count.
+  const std::vector<Chunk> chunks =
+      profiles[0]->kernel() == KernelKind::kScalar
+          ? chunks_
+          : batch_aligned_chunks(backend_lanes8(profiles[0]->backend()));
+
+  std::vector<std::vector<ScreenResult>> per_chunk(chunks.size());
+  if (pool_) {
+    std::vector<std::future<std::vector<ScreenResult>>> futures;
+    futures.reserve(chunks.size());
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      const Chunk chunk = chunks[c];
+      futures.push_back(pool_->submit([this, profiles, chunk, c, band] {
+        return screen_chunk_many(profiles, chunk, c, band);
+      }));
+    }
+    for (std::size_t c = 0; c < futures.size(); ++c) {
+      per_chunk[c] = futures[c].get();
+    }
+  } else {
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      per_chunk[c] = screen_chunk_many(profiles, chunks[c], c, band);
+    }
+  }
+
+  // Scatter back to database order through the inverse permutation, like
+  // run()'s merge — per-record screen values are chunk-independent.
+  for (std::size_t q = 0; q < profiles.size(); ++q) {
+    ScreenResult& out = merged[q];
+    for (std::size_t c = 0; c < per_chunk.size(); ++c) {
+      const Chunk& chunk = chunks[c];
+      const ScreenResult& r = per_chunk[c][q];
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        const std::size_t at = original_index_[i];
+        out.scores[at] = r.scores[i - chunk.begin];
+        out.exact[at] = r.exact[i - chunk.begin];
+        out.edge_hit[at] = r.edge_hit[i - chunk.begin];
+      }
+      out.cells += r.cells;
+    }
+  }
+  return merged;
+}
+
+std::vector<FilteredSearchResult> ParallelSearchEngine::search_filtered_many(
+    std::span<const SearchProfiles* const> profiles, std::size_t top_k,
+    const FilterConfig& config) const {
+  config.validate();
+  if (!config.enabled()) {
+    // Bit-identical to the unfiltered group scan.
+    std::vector<RankedSearchResult> ranked =
+        search_ranked_many(profiles, top_k);
+    std::vector<FilteredSearchResult> results(ranked.size());
+    for (std::size_t q = 0; q < ranked.size(); ++q) {
+      results[q].result = std::move(ranked[q].result);
+      results[q].hits = std::move(ranked[q].hits);
+    }
+    return results;
+  }
+  WallTimer timer;
+  std::vector<ScreenResult> screens = screen_many(profiles, config.band);
+  std::vector<FilteredSearchResult> results(profiles.size());
+  for (std::size_t q = 0; q < profiles.size(); ++q) {
+    FilteredSearchResult& out = results[q];
+    ScreenResult& screen = screens[q];
+    const std::vector<std::uint32_t> candidates =
+        filter_select_candidates(screen, top_k, config, &out.stats);
+    out.result.cells = screen.cells;
+    out.result.scores = std::move(screen.scores);
+    screen.scores.clear();
+    rescore_candidates(*profiles[q], candidates, screen, out);
+    for (const std::uint32_t c : candidates) {
+      push_top_hit(out.hits, {c, out.result.scores[c]}, top_k);
+    }
+    finish_top_hits(out.hits);
+    out.result.seconds = timer.seconds();
+    if (metrics_) {
+      metrics_->add("filter_candidates",
+                    static_cast<double>(out.stats.candidates));
+      metrics_->add("filter_rescans", static_cast<double>(out.stats.rescans));
+      metrics_->add("filter_band_uncertain",
+                    static_cast<double>(out.stats.band_uncertain));
+    }
+  }
+  return results;
+}
+
+FilteredSearchResult ParallelSearchEngine::search_filtered(
+    const SearchProfiles& profiles, std::size_t top_k,
+    const FilterConfig& config) const {
+  const SearchProfiles* group[] = {&profiles};
+  std::vector<FilteredSearchResult> results =
+      search_filtered_many(group, top_k, config);
+  return std::move(results.front());
+}
+
+FilteredSearchResult ParallelSearchEngine::search_filtered(
+    std::span<const std::uint8_t> query, const ScoringScheme& scheme,
+    KernelKind kernel, std::size_t k, const FilterConfig& config,
+    Backend backend) const {
+  const SearchProfiles profiles(query, scheme, kernel, backend);
+  return search_filtered(profiles, k, config);
 }
 
 SearchResult ParallelSearchEngine::search(std::span<const std::uint8_t> query,

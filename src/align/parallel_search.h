@@ -118,6 +118,35 @@ class ParallelSearchEngine {
   std::vector<RankedSearchResult> search_ranked_many(
       std::span<const SearchProfiles* const> profiles, std::size_t k) const;
 
+  /// Two-stage filtered search (align/search.h): chunked banded screen,
+  /// deterministic candidate selection, then a candidate-only exact rescan.
+  /// Mode kOff is bit-identical to search_ranked; heuristic results are
+  /// identical to the serial search_database_filtered path regardless of
+  /// thread count or chunking. Emits filter_screen / filter_rescore spans
+  /// and filter_candidates / filter_rescans / filter_band_uncertain
+  /// metrics when sinks are configured.
+  FilteredSearchResult search_filtered(const SearchProfiles& profiles,
+                                       std::size_t k,
+                                       const FilterConfig& config) const;
+  FilteredSearchResult search_filtered(std::span<const std::uint8_t> query,
+                                       const ScoringScheme& scheme,
+                                       KernelKind kernel, std::size_t k,
+                                       const FilterConfig& config,
+                                       Backend backend = Backend::kAuto) const;
+
+  /// Multi-query filtered search: the stage-1 screens share ONE pass over
+  /// every chunk (like search_ranked_many's group passes), then each query
+  /// selects and rescans its own candidates. Results per query, input order.
+  std::vector<FilteredSearchResult> search_filtered_many(
+      std::span<const SearchProfiles* const> profiles, std::size_t k,
+      const FilterConfig& config) const;
+
+  /// Stage 1 alone, for callers that merge candidates across engines (the
+  /// sharded scatter-gather path): per-query screens of the whole database,
+  /// in database order, bit-identical to serial screen_range.
+  std::vector<ScreenResult> screen_many(
+      std::span<const SearchProfiles* const> profiles, std::size_t band) const;
+
   std::size_t num_chunks() const { return chunks_.size(); }
   std::size_t threads() const { return pool_ ? pool_->size() : 1; }
   std::size_t db_records() const { return db_.size(); }
@@ -143,6 +172,18 @@ class ParallelSearchEngine {
       std::span<const SearchProfiles* const> profiles, const Chunk& chunk,
       std::size_t chunk_index, std::size_t top_k) const;
 
+  /// One chunk screened once per query with the banded stage-1 kernel.
+  std::vector<ScreenResult> screen_chunk_many(
+      std::span<const SearchProfiles* const> profiles, const Chunk& chunk,
+      std::size_t chunk_index, std::size_t band) const;
+
+  /// Exact rescan of the non-certified candidates; overwrites their entries
+  /// in `out.result.scores` and accumulates cells/stats.
+  void rescore_candidates(const SearchProfiles& profiles,
+                          const std::vector<std::uint32_t>& candidates,
+                          const ScreenResult& screen,
+                          FilteredSearchResult& out) const;
+
   /// Partition db_ into chunks and spin up the pool (shared ctor tail;
   /// db_ and original_index_ must already be populated).
   void init_partition(const ParallelSearchOptions& options);
@@ -155,6 +196,7 @@ class ParallelSearchEngine {
 
   DbView db_;  ///< permuted (or original-order) span copies
   std::vector<std::size_t> original_index_;  ///< permuted pos → db pos
+  std::vector<std::size_t> permuted_pos_;    ///< db pos → permuted pos
   std::vector<Chunk> chunks_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when options.threads <= 1
   obs::Tracer* tracer_ = nullptr;

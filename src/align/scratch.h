@@ -80,6 +80,38 @@ class AlignScratch {
   /// v2 lane-batch index path).
   AlignedVector<std::uint32_t>& interseq_order() { return iseq_order_; }
 
+  /// Banded-screen byte-tier state: H and E columns (zeroed), `n` elements
+  /// each. Separate from the interseq buffers so the 16-bit escalation pass
+  /// (which reuses them) never aliases the byte tier's.
+  struct BandedStateU8 {
+    std::uint8_t* h;
+    std::uint8_t* e;
+  };
+
+  BandedStateU8 banded_state_u8(std::size_t n) {
+    b8_h_.assign(n, 0);
+    b8_e_.assign(n, 0);
+    return {b8_h_.data(), b8_e_.data()};
+  }
+
+  /// Byte-tier per-column database profile for the banded screen. Contents
+  /// are NOT zeroed — the kernel overwrites every slot before reading.
+  std::uint8_t* banded_dprofile_u8(std::size_t n) {
+    if (b8_dprofile_.size() < n) b8_dprofile_.resize(n);
+    return b8_dprofile_.data();
+  }
+
+  /// Byte-tier extended substitution rows (biased, one padding column per
+  /// row), built once per banded-screen call. Contents are NOT zeroed.
+  std::uint8_t* banded_ext_rows_u8(std::size_t n) {
+    if (b8_ext_rows_.size() < n) b8_ext_rows_.resize(n);
+    return b8_ext_rows_.data();
+  }
+
+  /// Longest-first order buffer for the banded screen — its own buffer so a
+  /// screen inside an interseq-driven search never clobbers interseq_order.
+  AlignedVector<std::uint32_t>& banded_order() { return banded_order_; }
+
  private:
   // 64-byte-aligned so wide vector loads at lane-multiple offsets never
   // straddle cache lines (util/aligned.h).
@@ -88,6 +120,8 @@ class AlignScratch {
   AlignedVector<std::int16_t> iseq_h_, iseq_e_;
   AlignedVector<std::int16_t> dprofile_, ext_rows_;
   AlignedVector<std::uint32_t> iseq_order_;
+  AlignedVector<std::uint8_t> b8_h_, b8_e_, b8_dprofile_, b8_ext_rows_;
+  AlignedVector<std::uint32_t> banded_order_;
 };
 
 /// The calling thread's workspace (thread-local, created on first use).

@@ -1,8 +1,11 @@
 #include "align/search.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
+#include "align/banded.h"
+#include "align/kernel_banded.h"
 #include "align/kernel_interseq.h"
 #include "align/kernel_striped.h"
 #include "align/kernel_striped8.h"
@@ -188,6 +191,174 @@ SearchResult search_database(const seq::Sequence& query,
       std::span<const std::uint8_t>(query.residues.data(),
                                     query.residues.size()),
       view, scheme, kernel, backend);
+}
+
+const char* filter_mode_name(FilterMode mode) {
+  switch (mode) {
+    case FilterMode::kOff: return "off";
+    case FilterMode::kHeuristic: return "heuristic";
+  }
+  return "unknown";
+}
+
+bool parse_filter_mode(const std::string& name, FilterMode& out) {
+  if (name == "off") {
+    out = FilterMode::kOff;
+    return true;
+  }
+  if (name == "heuristic") {
+    out = FilterMode::kHeuristic;
+    return true;
+  }
+  return false;
+}
+
+void FilterConfig::validate() const {
+  if (!enabled()) return;
+  SWDUAL_REQUIRE(band >= 1, "filter band must be at least 1");
+  SWDUAL_REQUIRE(std::isfinite(keep_factor) && keep_factor >= 1.0,
+                 "filter keep_factor must be a finite value >= 1");
+}
+
+ScreenResult screen_range(const SearchProfiles& profiles, const DbView& db,
+                          std::size_t begin, std::size_t end,
+                          std::size_t band) {
+  SWDUAL_REQUIRE(begin <= end && end <= db.size(),
+                 "screen_range out of bounds");
+  SWDUAL_REQUIRE(band >= 1, "filter band must be at least 1");
+  const std::span<const std::uint8_t> query = profiles.query();
+  const ScoringScheme& scheme = profiles.scheme();
+  const std::size_t count = end - begin;
+  ScreenResult result;
+  result.scores.assign(count, 0);
+  result.exact.assign(count, 0);
+  result.edge_hit.assign(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    result.exact[i] =
+        banded_covers_all(query.size(), db[begin + i].size(), band) ? 1 : 0;
+  }
+  if (query.empty()) return result;  // all scores 0, all bands covering
+
+  if (profiles.kernel() == KernelKind::kScalar) {
+    // The scalar kernel selection means "no SIMD": screen with the banded
+    // reference so the whole pipeline stays on one code path.
+    for (std::size_t i = begin; i < end; ++i) {
+      const BandedResult r = banded_gotoh_score(query, db[i], scheme, band);
+      result.scores[i - begin] = r.score;
+      result.edge_hit[i - begin] = r.edge_hit ? 1 : 0;
+      result.cells += r.cells;
+    }
+    return result;
+  }
+
+  const SequenceViews slice(db.begin() + static_cast<std::ptrdiff_t>(begin),
+                            db.begin() + static_cast<std::ptrdiff_t>(end));
+  const BandedBatchResult batch =
+      profiles.table().banded(query, slice, scheme, band);
+  result.cells = batch.cells;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (batch.overflow[i]) {
+      // Saturated even at 16 bits: rescreen this record with the 32-bit
+      // banded reference (same results, wider accumulators).
+      const BandedResult r =
+          banded_gotoh_score(query, slice[i], scheme, band);
+      result.scores[i] = r.score;
+      result.edge_hit[i] = r.edge_hit ? 1 : 0;
+    } else {
+      result.scores[i] = batch.scores[i];
+      result.edge_hit[i] = batch.edge_hit[i] ? 1 : 0;
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> filter_select_candidates(const ScreenResult& screen,
+                                                    std::size_t top_k,
+                                                    const FilterConfig& config,
+                                                    FilterStats* stats) {
+  const std::size_t n = screen.scores.size();
+  const std::size_t keep = std::max<std::size_t>(
+      top_k, static_cast<std::size_t>(
+                 std::ceil(config.keep_factor * static_cast<double>(top_k))));
+  std::vector<SearchHit> heap;
+  heap.reserve(keep + 1);
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    push_top_hit(heap, {i, screen.scores[i]}, keep);
+    if (screen.edge_hit[i]) {
+      candidates.push_back(static_cast<std::uint32_t>(i));
+      if (stats) ++stats->band_uncertain;
+    }
+  }
+  candidates.reserve(candidates.size() + heap.size());
+  for (const SearchHit& hit : heap) {
+    candidates.push_back(static_cast<std::uint32_t>(hit.db_index));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (stats) stats->candidates += candidates.size();
+  return candidates;
+}
+
+FilteredSearchResult search_database_filtered(const SearchProfiles& profiles,
+                                              const DbView& db,
+                                              std::size_t top_k,
+                                              const FilterConfig& config) {
+  config.validate();
+  WallTimer timer;
+  FilteredSearchResult out;
+  if (!config.enabled()) {
+    out.result = search_range(profiles, db, 0, db.size());
+    out.result.seconds = timer.seconds();
+    out.hits = out.result.top(top_k);
+    return out;
+  }
+
+  ScreenResult screen = screen_range(profiles, db, 0, db.size(), config.band);
+  const std::vector<std::uint32_t> candidates =
+      filter_select_candidates(screen, top_k, config, &out.stats);
+
+  // Rescan only candidates whose screened score lacks the coverage
+  // certificate; gather them into a compact view so the exact kernel can
+  // batch them in one pass.
+  DbView rescan;
+  std::vector<std::uint32_t> rescan_index;
+  for (const std::uint32_t c : candidates) {
+    if (!screen.exact[c]) {
+      rescan.push_back(db[c]);
+      rescan_index.push_back(c);
+    }
+  }
+  out.result.scores = std::move(screen.scores);
+  out.result.cells = screen.cells;
+  const SearchResult rescored =
+      search_range(profiles, rescan, 0, rescan.size());
+  out.result.cells += rescored.cells;
+  out.result.overflow_rescans += rescored.overflow_rescans;
+  for (std::size_t i = 0; i < rescan_index.size(); ++i) {
+    out.result.scores[rescan_index[i]] = rescored.scores[i];
+  }
+  out.stats.rescans += rescan_index.size();
+
+  // Only candidates are eligible for the ranking: their scores are exact,
+  // so the hit list is correct whenever the screen retained the true top-k.
+  std::vector<SearchHit> heap;
+  for (const std::uint32_t c : candidates) {
+    push_top_hit(heap, {c, out.result.scores[c]}, top_k);
+  }
+  finish_top_hits(heap);
+  out.hits = std::move(heap);
+  out.result.seconds = timer.seconds();
+  return out;
+}
+
+FilteredSearchResult search_database_filtered(
+    std::span<const std::uint8_t> query, const DbView& db,
+    const ScoringScheme& scheme, KernelKind kernel, std::size_t top_k,
+    const FilterConfig& config, Backend backend) {
+  const SearchProfiles profiles(query, scheme, kernel, backend);
+  return search_database_filtered(profiles, db, top_k, config);
 }
 
 }  // namespace swdual::align

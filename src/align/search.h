@@ -131,4 +131,96 @@ SearchResult search_database(const seq::Sequence& query,
                              const ScoringScheme& scheme, KernelKind kernel,
                              Backend backend = Backend::kAuto);
 
+// --- Two-stage filtered search -------------------------------------------
+//
+// Stage 1 screens every record with the cheap vectorized banded kernel
+// (align/kernel_banded.h); stage 2 rescans only the surviving candidates
+// with the configured exact kernel. Screening is bit-identical across SIMD
+// backends and candidate selection is deterministic, so filtered results
+// are a pure function of (query, db, scheme, kernel, filter config) — they
+// do not depend on backend, thread count, chunking, or shard topology.
+
+/// Filtering policy for a search.
+enum class FilterMode {
+  kOff,        ///< no screening; results bit-identical to search_database
+  kHeuristic,  ///< banded screen, keep top keep_factor*k + uncertain records
+};
+
+const char* filter_mode_name(FilterMode mode);
+bool parse_filter_mode(const std::string& name, FilterMode& out);
+
+/// Configuration of the two-stage pipeline.
+struct FilterConfig {
+  FilterMode mode = FilterMode::kOff;
+  std::size_t band = 32;     ///< banded-screen half-width (>= 1)
+  double keep_factor = 4.0;  ///< keep ceil(keep_factor * k) screened records
+
+  bool enabled() const { return mode != FilterMode::kOff; }
+
+  /// Throws InvalidArgument on out-of-range parameters (band == 0,
+  /// keep_factor < 1, non-finite keep_factor).
+  void validate() const;
+};
+
+/// Counters describing what the filter did (serve exports these as
+/// filter_candidates / filter_rescans / filter_band_uncertain metrics).
+struct FilterStats {
+  std::uint64_t candidates = 0;      ///< records surviving the screen
+  std::uint64_t rescans = 0;         ///< candidates rescanned exactly
+  std::uint64_t band_uncertain = 0;  ///< records kept via the edge flag
+
+  void merge(const FilterStats& other) {
+    candidates += other.candidates;
+    rescans += other.rescans;
+    band_uncertain += other.band_uncertain;
+  }
+};
+
+/// Stage-1 output for a database range. `exact[i]` is the band-coverage
+/// certificate (the screened score IS the exact score); `edge_hit[i]` marks
+/// records whose best banded path ended on the band boundary (the score may
+/// underestimate, so selection must keep them).
+struct ScreenResult {
+  std::vector<int> scores;            ///< banded lower-bound score per record
+  std::vector<std::uint8_t> exact;    ///< 1 = certificate: score is exact
+  std::vector<std::uint8_t> edge_hit; ///< 1 = boundary-uncertain score
+  std::uint64_t cells = 0;            ///< banded DP cells computed
+};
+
+/// Screen db[begin, end) with the banded kernel of the profiles' backend
+/// (kScalar kernel: the scalar banded reference). scores[i] corresponds to
+/// db[begin + i]. Results are bit-identical across backends and chunkings.
+ScreenResult screen_range(const SearchProfiles& profiles, const DbView& db,
+                          std::size_t begin, std::size_t end,
+                          std::size_t band);
+
+/// Deterministic stage-2 candidate selection: the max(k, ceil(keep_factor*k))
+/// best screened records plus every edge-uncertain one, as sorted unique
+/// range-local indices. `stats` (optional) accumulates selection counters.
+std::vector<std::uint32_t> filter_select_candidates(const ScreenResult& screen,
+                                                    std::size_t top_k,
+                                                    const FilterConfig& config,
+                                                    FilterStats* stats);
+
+/// Result of a filtered search. `result.scores` holds screened lower bounds
+/// with every candidate overwritten by its exact score (candidates are the
+/// only records eligible for `hits`, so the ranking is exact whenever the
+/// true top-k survived the screen). Mode kOff yields scores and hits
+/// bit-identical to search_database + top(k).
+struct FilteredSearchResult {
+  SearchResult result;
+  std::vector<SearchHit> hits;  ///< exact-scored top-k over the candidates
+  FilterStats stats;
+};
+
+FilteredSearchResult search_database_filtered(const SearchProfiles& profiles,
+                                              const DbView& db,
+                                              std::size_t top_k,
+                                              const FilterConfig& config);
+
+FilteredSearchResult search_database_filtered(
+    std::span<const std::uint8_t> query, const DbView& db,
+    const ScoringScheme& scheme, KernelKind kernel, std::size_t top_k,
+    const FilterConfig& config, Backend backend = Backend::kAuto);
+
 }  // namespace swdual::align

@@ -105,6 +105,7 @@ void ShardedSearchEngine::init(const DbView& db,
                                std::span<const std::uint32_t> lengths) {
   (void)lengths;
   db_records_ = db.size();
+  global_view_ = db;  // span copies; the filtered gather rescans through it
   shards_.reserve(plan_.shards.size());
   for (const ShardPlan::Shard& shard_plan : plan_.shards) {
     auto state = std::make_unique<ShardState>();
@@ -309,6 +310,236 @@ std::vector<ShardedSearchResult> ShardedSearchEngine::search_many(
   }
   for (ShardedSearchResult& result : results) {
     finish_top_hits(result.ranked.hits);
+  }
+  return results;
+}
+
+ShardedSearchEngine::ShardScreenOutcome ShardedSearchEngine::screen_shard(
+    std::size_t shard_index,
+    std::span<const std::span<const std::uint8_t>> queries,
+    const ScoringScheme& scheme, KernelKind kernel, Backend backend,
+    std::size_t band) const {
+  const ShardState& shard = *shards_[shard_index];
+  ShardScreenOutcome outcome;
+
+  std::vector<std::shared_ptr<const CachedProfiles>> cached;
+  std::vector<const SearchProfiles*> profiles;
+  cached.reserve(queries.size());
+  profiles.reserve(queries.size());
+  for (const auto& query : queries) {
+    cached.push_back(shard.profiles->acquire(query, scheme, kernel, backend));
+    profiles.push_back(&cached.back()->profiles());
+  }
+
+  const auto serial_screen = [&] {
+    // Recovery path: direct screen over the shard view on this thread,
+    // independent of the shard's engine/pool. Same results by construction.
+    std::vector<ScreenResult> screens(profiles.size());
+    for (std::size_t q = 0; q < profiles.size(); ++q) {
+      screens[q] =
+          screen_range(*profiles[q], shard.view, 0, shard.view.size(), band);
+    }
+    return screens;
+  };
+
+  for (std::size_t attempt = 0; attempt <= options_.max_shard_retries;
+       ++attempt) {
+    ++outcome.attempts;
+    obs::Span span;
+    if (options_.tracer) {
+      span = options_.tracer->span("shard_scan", "shard",
+                                   options_.trace_track);
+      span.arg("shard", static_cast<double>(shard_index));
+      span.arg("attempt", static_cast<double>(attempt));
+      span.arg("records", static_cast<double>(shard.view.size()));
+      span.arg("queries", static_cast<double>(queries.size()));
+      span.arg("screen", 1.0);
+    }
+    WallTimer timer;
+    try {
+      if (options_.before_shard) options_.before_shard(shard_index, attempt);
+      outcome.per_query = attempt == 0
+                              ? shard.engine->screen_many(profiles, band)
+                              : serial_screen();
+      outcome.ok = true;
+    } catch (const std::exception& error) {
+      outcome.reason = error.what();
+    } catch (...) {
+      outcome.reason = "unknown shard failure";
+    }
+    if (options_.metrics) {
+      if (outcome.ok) {
+        options_.metrics->add("serve_shard_scans");
+        options_.metrics->observe("serve_shard_scan_seconds",
+                                  timer.seconds());
+      } else if (attempt < options_.max_shard_retries) {
+        options_.metrics->add("serve_shard_retries");
+      } else {
+        options_.metrics->add("serve_shard_failures");
+      }
+    }
+    {
+      util::MutexLock lock(stats_mutex_);
+      if (outcome.ok) {
+        ++stats_.scans;
+      } else if (attempt < options_.max_shard_retries) {
+        ++stats_.retries;
+      } else {
+        ++stats_.failures;
+      }
+    }
+    if (outcome.ok) break;
+  }
+  return outcome;
+}
+
+std::vector<ShardedSearchResult> ShardedSearchEngine::search_many_filtered(
+    std::span<const std::span<const std::uint8_t>> queries,
+    const ScoringScheme& scheme, KernelKind kernel, std::size_t k,
+    const FilterConfig& config, Backend backend) const {
+  config.validate();
+  if (!config.enabled()) {
+    return search_many(queries, scheme, kernel, k, backend);
+  }
+  std::vector<ShardedSearchResult> results(queries.size());
+  if (queries.empty()) return results;
+  for (const auto& query : queries) {
+    SWDUAL_REQUIRE(!query.empty(), "cannot search with an empty query");
+  }
+  const Backend resolved = resolve_backend(backend, kernel);
+
+  {
+    util::MutexLock lock(stats_mutex_);
+    ++stats_.group_passes;
+  }
+  if (options_.metrics) {
+    options_.metrics->add("serve_shard_group_passes");
+    options_.metrics->observe("serve_shard_group_queries",
+                              static_cast<double>(queries.size()));
+  }
+
+  // Scatter the stage-1 screens.
+  std::vector<ShardScreenOutcome> outcomes(shards_.size());
+  if (scatter_pool_) {
+    std::vector<std::future<ShardScreenOutcome>> futures;
+    futures.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      futures.push_back(scatter_pool_->submit([this, s, queries, &scheme,
+                                               kernel, resolved, &config] {
+        return screen_shard(s, queries, scheme, kernel, resolved,
+                            config.band);
+      }));
+    }
+    for (std::size_t s = 0; s < futures.size(); ++s) {
+      outcomes[s] = futures[s].get();
+    }
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      outcomes[s] =
+          screen_shard(s, queries, scheme, kernel, resolved, config.band);
+    }
+  }
+
+  // Gather the screens to database order. Records of failed shards keep
+  // score 0 with the exact certificate set, so they are never rescanned and
+  // stay out of the top-k — the same partial-result semantics as
+  // search_many.
+  std::vector<ScreenResult> screens(queries.size());
+  for (ScreenResult& screen : screens) {
+    screen.scores.assign(db_records_, 0);
+    screen.exact.assign(db_records_, 1);
+    screen.edge_hit.assign(db_records_, 0);
+  }
+  std::vector<std::uint8_t> scanned;  // built only when a shard failed
+  for (std::size_t s = 0; s < outcomes.size(); ++s) {
+    const ShardScreenOutcome& outcome = outcomes[s];
+    if (!outcome.ok) {
+      for (ShardedSearchResult& result : results) {
+        result.complete = false;
+        result.failures.push_back({s, outcome.attempts, outcome.reason});
+      }
+      if (scanned.empty()) scanned.assign(db_records_, 1);
+      for (const std::uint32_t id : plan_.shards[s].records) {
+        scanned[id] = 0;
+      }
+      continue;
+    }
+    const std::vector<std::uint32_t>& records = plan_.shards[s].records;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      ScreenResult& screen = screens[q];
+      const ScreenResult& shard_screen = outcome.per_query[q];
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        screen.scores[records[i]] = shard_screen.scores[i];
+        screen.exact[records[i]] = shard_screen.exact[i];
+        screen.edge_hit[records[i]] = shard_screen.edge_hit[i];
+      }
+      screen.cells += shard_screen.cells;
+    }
+  }
+
+  // Global candidate selection + exact rescan on the gather thread: the
+  // candidate set is a pure function of the merged screens, so results are
+  // identical for every shard topology.
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    ShardedSearchResult& result = results[q];
+    ScreenResult& screen = screens[q];
+    result.filtered = true;
+    std::vector<std::uint32_t> candidates =
+        filter_select_candidates(screen, k, config, &result.filter);
+    if (!scanned.empty()) {
+      // Partial results: records of failed shards were never screened and
+      // must not surface as zero-score hits (search_many's semantics).
+      result.filter.candidates -= static_cast<std::uint64_t>(std::erase_if(
+          candidates, [&scanned](std::uint32_t c) { return !scanned[c]; }));
+    }
+
+    std::vector<std::uint32_t> rescan_index;
+    for (const std::uint32_t c : candidates) {
+      if (!screen.exact[c]) rescan_index.push_back(c);
+    }
+    std::stable_sort(rescan_index.begin(), rescan_index.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       return global_view_[a].size() > global_view_[b].size();
+                     });
+    DbView rescan;
+    rescan.reserve(rescan_index.size());
+    for (const std::uint32_t c : rescan_index) {
+      rescan.push_back(global_view_[c]);
+    }
+
+    obs::Span span;
+    if (options_.tracer) {
+      span = options_.tracer->span("filter_rescore", "shard",
+                                   options_.trace_track);
+      span.arg("query", static_cast<double>(q));
+      span.arg("candidates", static_cast<double>(candidates.size()));
+      span.arg("rescans", static_cast<double>(rescan.size()));
+    }
+    const SearchProfiles profiles(queries[q], scheme, kernel, resolved);
+    const SearchResult rescored =
+        search_range(profiles, rescan, 0, rescan.size());
+
+    result.ranked.result.scores = std::move(screen.scores);
+    result.ranked.result.cells = screen.cells + rescored.cells;
+    result.ranked.result.overflow_rescans = rescored.overflow_rescans;
+    for (std::size_t i = 0; i < rescan_index.size(); ++i) {
+      result.ranked.result.scores[rescan_index[i]] = rescored.scores[i];
+    }
+    result.filter.rescans += rescan_index.size();
+
+    for (const std::uint32_t c : candidates) {
+      push_top_hit(result.ranked.hits, {c, result.ranked.result.scores[c]},
+                   k);
+    }
+    finish_top_hits(result.ranked.hits);
+    if (options_.metrics) {
+      options_.metrics->add("filter_candidates",
+                            static_cast<double>(result.filter.candidates));
+      options_.metrics->add("filter_rescans",
+                            static_cast<double>(result.filter.rescans));
+      options_.metrics->add("filter_band_uncertain",
+                            static_cast<double>(result.filter.band_uncertain));
+    }
   }
   return results;
 }

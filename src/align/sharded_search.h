@@ -129,6 +129,11 @@ struct ShardedSearchResult {
   /// from the top-k).
   bool complete = true;
   std::vector<ShardFailure> failures;
+
+  /// Set by search_many_filtered in heuristic mode; `filter` then carries
+  /// the query's candidate/rescan counters.
+  bool filtered = false;
+  FilterStats filter;
 };
 
 class ShardedSearchEngine {
@@ -163,6 +168,18 @@ class ShardedSearchEngine {
       const ScoringScheme& scheme, KernelKind kernel, std::size_t k,
       Backend backend = Backend::kAuto) const;
 
+  /// Two-stage filtered group search. Every shard screens the group with
+  /// the banded stage-1 kernel (one shared pass per shard chunk, same
+  /// scatter/retry discipline as search_many); candidates are then selected
+  /// GLOBALLY from the gathered screens and rescanned exactly on the gather
+  /// thread — so heuristic results are identical for every shard count,
+  /// thread count, and backend. Mode kOff delegates to search_many
+  /// (bit-identical to the unsharded search).
+  std::vector<ShardedSearchResult> search_many_filtered(
+      std::span<const std::span<const std::uint8_t>> queries,
+      const ScoringScheme& scheme, KernelKind kernel, std::size_t k,
+      const FilterConfig& config, Backend backend = Backend::kAuto) const;
+
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t db_records() const { return db_records_; }
   const ShardPlan& plan() const { return plan_; }
@@ -186,6 +203,14 @@ class ShardedSearchEngine {
     std::string reason;
   };
 
+  /// Per-query stage-1 screens of one shard, shard-local record order.
+  struct ShardScreenOutcome {
+    std::vector<ScreenResult> per_query;
+    bool ok = false;
+    std::size_t attempts = 0;
+    std::string reason;
+  };
+
   void init(const DbView& db, std::span<const std::uint32_t> lengths);
   ShardOutcome scan_shard(std::size_t shard_index,
                           std::span<const std::span<const std::uint8_t>>
@@ -197,9 +222,20 @@ class ShardedSearchEngine {
       const ShardState& shard,
       std::span<const SearchProfiles* const> profiles, std::size_t k) const;
 
+  /// Stage-1 variant of scan_shard: same profile sharing, retry budget,
+  /// and metrics, but each attempt screens instead of scanning exactly
+  /// (recovery attempts use serial screen_range on the gather thread).
+  ShardScreenOutcome screen_shard(std::size_t shard_index,
+                                  std::span<const std::span<const std::uint8_t>>
+                                      queries,
+                                  const ScoringScheme& scheme,
+                                  KernelKind kernel, Backend backend,
+                                  std::size_t band) const;
+
   ShardedSearchOptions options_;
   ShardPlan plan_;
   std::size_t db_records_ = 0;
+  DbView global_view_;  ///< database-order spans, for candidate rescans
   std::vector<std::unique_ptr<ShardState>> shards_;
   std::shared_ptr<const seq::MappedSwdb> mapped_;  ///< keeps mapping alive
   std::unique_ptr<ThreadPool> scatter_pool_;       ///< null when serial

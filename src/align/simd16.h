@@ -12,7 +12,10 @@
 //   using value_type = std::int16_t;
 //   zero() / splat(x) / load(p) / store(p)
 //   adds(a, b) / subs(a, b)                // saturating at ±32767/−32768
-//   max(a, b) / any_gt(a, b)               // lane-wise max, strict any >
+//   max(a, b) / min(a, b) / any_gt(a, b)   // lane-wise max/min, strict any >
+//   ge(a, b)                               // all-ones where a >= b, else 0
+//   bit_and(a, b) / bit_or(a, b)           // lane-wise bitwise combine
+//   blend(mask, a, b)                      // a where mask all-ones, else b
 //   shift_lanes_up(fill)                   // lane i <- lane i-1, lane 0 <- fill
 //   lane(i) / hmax() / set_lane(i, x)      // extraction (outside hot loops)
 #pragma once
@@ -51,9 +54,22 @@ struct V16 {
   /// Saturating lane-wise subtraction.
   friend V16 subs(V16 a, V16 b) { return {_mm_subs_epi16(a.v, b.v)}; }
   friend V16 max(V16 a, V16 b) { return {_mm_max_epi16(a.v, b.v)}; }
+  friend V16 min(V16 a, V16 b) { return {_mm_min_epi16(a.v, b.v)}; }
   /// True if any lane of a is strictly greater than the matching lane of b.
   friend bool any_gt(V16 a, V16 b) {
     return _mm_movemask_epi8(_mm_cmpgt_epi16(a.v, b.v)) != 0;
+  }
+  /// All-ones mask where a >= b lane-wise (signed), 0 elsewhere.
+  friend V16 ge(V16 a, V16 b) {
+    // a >= b  <=>  max(a, b) == a in that lane.
+    return {_mm_cmpeq_epi16(_mm_max_epi16(a.v, b.v), a.v)};
+  }
+  friend V16 bit_and(V16 a, V16 b) { return {_mm_and_si128(a.v, b.v)}; }
+  friend V16 bit_or(V16 a, V16 b) { return {_mm_or_si128(a.v, b.v)}; }
+  /// Lane-wise select: a where mask is all-ones, b where mask is 0.
+  friend V16 blend(V16 mask, V16 a, V16 b) {
+    return {_mm_or_si128(_mm_and_si128(mask.v, a.v),
+                         _mm_andnot_si128(mask.v, b.v))};
   }
   /// Shift lanes towards higher indices by one; lane 0 becomes `fill`.
   V16 shift_lanes_up(std::int16_t fill) const {

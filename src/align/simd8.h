@@ -13,9 +13,14 @@
 //   using value_type = std::uint8_t;
 //   zero() / splat(x) / load(p) / store(p)
 //   adds(a, b) / subs(a, b)                // saturating at 255 / 0
-//   max(a, b) / any_gt(a, b)               // lane-wise max, strict any >
+//   max(a, b) / min(a, b) / any_gt(a, b)   // lane-wise max/min, strict any >
+//   ge(a, b)                               // all-ones where a >= b, else 0
+//   bit_and(a, b) / bit_or(a, b)           // lane-wise bitwise combine
+//   blend(mask, a, b)                      // a where mask all-ones, else b
 //   shift_lanes_up()                       // lane i <- lane i-1, lane 0 <- 0
 //   lane(i) / hmax()                       // extraction (outside hot loops)
+// Optional (detected with a requires-expression by the banded screen):
+//   lut32(table, idx)                      // per-lane 32-entry byte lookup
 #pragma once
 
 #include <algorithm>
@@ -54,12 +59,25 @@ struct V8 {
   /// Saturating unsigned subtraction (clamps at 0 — the free max(…,0)).
   friend V8 subs(V8 a, V8 b) { return {_mm_subs_epu8(a.v, b.v)}; }
   friend V8 max(V8 a, V8 b) { return {_mm_max_epu8(a.v, b.v)}; }
+  friend V8 min(V8 a, V8 b) { return {_mm_min_epu8(a.v, b.v)}; }
   /// Any lane of a strictly greater than the matching lane of b.
   friend bool any_gt(V8 a, V8 b) {
     // a > b  <=>  subs(a, b) != 0 in that lane.
     const __m128i diff = _mm_subs_epu8(a.v, b.v);
     return _mm_movemask_epi8(_mm_cmpeq_epi8(diff, _mm_setzero_si128())) !=
            0xFFFF;
+  }
+  /// All-ones mask where a >= b lane-wise (unsigned), 0 elsewhere.
+  friend V8 ge(V8 a, V8 b) {
+    // a >= b  <=>  subs(b, a) == 0 in that lane.
+    return {_mm_cmpeq_epi8(_mm_subs_epu8(b.v, a.v), _mm_setzero_si128())};
+  }
+  friend V8 bit_and(V8 a, V8 b) { return {_mm_and_si128(a.v, b.v)}; }
+  friend V8 bit_or(V8 a, V8 b) { return {_mm_or_si128(a.v, b.v)}; }
+  /// Lane-wise select: a where mask is all-ones, b where mask is 0.
+  friend V8 blend(V8 mask, V8 a, V8 b) {
+    return {_mm_or_si128(_mm_and_si128(mask.v, a.v),
+                         _mm_andnot_si128(mask.v, b.v))};
   }
   /// Shift lanes towards higher indices by one byte; lane 0 becomes 0.
   V8 shift_lanes_up() const { return {_mm_slli_si128(v, 1)}; }

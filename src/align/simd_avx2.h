@@ -49,10 +49,41 @@ struct V8x32 {
     return {_mm256_subs_epu8(a.v, b.v)};
   }
   friend V8x32 max(V8x32 a, V8x32 b) { return {_mm256_max_epu8(a.v, b.v)}; }
+  friend V8x32 min(V8x32 a, V8x32 b) { return {_mm256_min_epu8(a.v, b.v)}; }
   friend bool any_gt(V8x32 a, V8x32 b) {
     const __m256i diff = _mm256_subs_epu8(a.v, b.v);
     return _mm256_movemask_epi8(
                _mm256_cmpeq_epi8(diff, _mm256_setzero_si256())) != -1;
+  }
+  /// All-ones mask where a >= b lane-wise (unsigned), 0 elsewhere.
+  friend V8x32 ge(V8x32 a, V8x32 b) {
+    // a >= b  <=>  subs(b, a) == 0 in that lane.
+    return {_mm256_cmpeq_epi8(_mm256_subs_epu8(b.v, a.v),
+                              _mm256_setzero_si256())};
+  }
+  friend V8x32 bit_and(V8x32 a, V8x32 b) {
+    return {_mm256_and_si256(a.v, b.v)};
+  }
+  friend V8x32 bit_or(V8x32 a, V8x32 b) {
+    return {_mm256_or_si256(a.v, b.v)};
+  }
+  /// Lane-wise select: a where mask is all-ones, b where mask is 0.
+  friend V8x32 blend(V8x32 mask, V8x32 a, V8x32 b) {
+    return {_mm256_blendv_epi8(b.v, a.v, mask.v)};
+  }
+  /// Per-lane lookup into a 32-entry byte table; every idx lane must be < 32.
+  /// vpshufb indexes within 16-byte halves, so the table's two halves are
+  /// broadcast to both 128-bit lanes and bit 4 of the index selects between
+  /// them (moved to bit 7, the blendv selector, with a shift).
+  static V8x32 lut32(const std::uint8_t* table, V8x32 idx) {
+    const __m256i lo = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(table)));
+    const __m256i hi = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(table + 16)));
+    const __m256i pick_lo = _mm256_shuffle_epi8(lo, idx.v);
+    const __m256i pick_hi = _mm256_shuffle_epi8(hi, idx.v);
+    return {_mm256_blendv_epi8(pick_lo, pick_hi,
+                               _mm256_slli_epi16(idx.v, 3))};
   }
   V8x32 shift_lanes_up() const {
     const __m256i t = _mm256_permute2x128_si256(v, v, 0x08);  // [a.lo, 0]
@@ -94,8 +125,27 @@ struct V16x16 {
   friend V16x16 max(V16x16 a, V16x16 b) {
     return {_mm256_max_epi16(a.v, b.v)};
   }
+  friend V16x16 min(V16x16 a, V16x16 b) {
+    return {_mm256_min_epi16(a.v, b.v)};
+  }
   friend bool any_gt(V16x16 a, V16x16 b) {
     return _mm256_movemask_epi8(_mm256_cmpgt_epi16(a.v, b.v)) != 0;
+  }
+  /// All-ones mask where a >= b lane-wise (signed), 0 elsewhere.
+  friend V16x16 ge(V16x16 a, V16x16 b) {
+    // a >= b  <=>  max(a, b) == a in that lane.
+    return {_mm256_cmpeq_epi16(_mm256_max_epi16(a.v, b.v), a.v)};
+  }
+  friend V16x16 bit_and(V16x16 a, V16x16 b) {
+    return {_mm256_and_si256(a.v, b.v)};
+  }
+  friend V16x16 bit_or(V16x16 a, V16x16 b) {
+    return {_mm256_or_si256(a.v, b.v)};
+  }
+  /// Lane-wise select: a where mask is all-ones, b where mask is 0 (the
+  /// byte-granular blendv is fine: mask bytes are uniform within a lane).
+  friend V16x16 blend(V16x16 mask, V16x16 a, V16x16 b) {
+    return {_mm256_blendv_epi8(b.v, a.v, mask.v)};
   }
   V16x16 shift_lanes_up(std::int16_t fill) const {
     const __m256i t = _mm256_permute2x128_si256(v, v, 0x08);  // [a.lo, 0]

@@ -46,8 +46,38 @@ struct V8x64 {
     return {_mm512_subs_epu8(a.v, b.v)};
   }
   friend V8x64 max(V8x64 a, V8x64 b) { return {_mm512_max_epu8(a.v, b.v)}; }
+  friend V8x64 min(V8x64 a, V8x64 b) { return {_mm512_min_epu8(a.v, b.v)}; }
   friend bool any_gt(V8x64 a, V8x64 b) {
     return _mm512_cmpgt_epu8_mask(a.v, b.v) != 0;
+  }
+  /// All-ones mask where a >= b lane-wise (unsigned), 0 elsewhere.
+  friend V8x64 ge(V8x64 a, V8x64 b) {
+    return {_mm512_movm_epi8(_mm512_cmpge_epu8_mask(a.v, b.v))};
+  }
+  friend V8x64 bit_and(V8x64 a, V8x64 b) {
+    return {_mm512_and_si512(a.v, b.v)};
+  }
+  friend V8x64 bit_or(V8x64 a, V8x64 b) {
+    return {_mm512_or_si512(a.v, b.v)};
+  }
+  /// Lane-wise select: a where mask is all-ones, b where mask is 0
+  /// (ternlog 0xCA = mask ? a : b).
+  friend V8x64 blend(V8x64 mask, V8x64 a, V8x64 b) {
+    return {_mm512_ternarylogic_epi64(mask.v, a.v, b.v, 0xCA)};
+  }
+  /// Per-lane lookup into a 32-entry byte table; every idx lane must be < 32.
+  /// vpshufb indexes within 16-byte quarters, so both table halves are
+  /// broadcast to all four and bit 4 of the index selects between them.
+  static V8x64 lut32(const std::uint8_t* table, V8x64 idx) {
+    const __m512i lo = _mm512_broadcast_i32x4(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(table)));
+    const __m512i hi = _mm512_broadcast_i32x4(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(table + 16)));
+    const __m512i pick_lo = _mm512_shuffle_epi8(lo, idx.v);
+    const __m512i pick_hi = _mm512_shuffle_epi8(hi, idx.v);
+    const __mmask64 use_hi =
+        _mm512_test_epi8_mask(idx.v, _mm512_set1_epi8(0x10));
+    return {_mm512_mask_blend_epi8(use_hi, pick_lo, pick_hi)};
   }
   V8x64 shift_lanes_up() const {
     const __m512i t =
@@ -88,8 +118,26 @@ struct V16x32 {
   friend V16x32 max(V16x32 a, V16x32 b) {
     return {_mm512_max_epi16(a.v, b.v)};
   }
+  friend V16x32 min(V16x32 a, V16x32 b) {
+    return {_mm512_min_epi16(a.v, b.v)};
+  }
   friend bool any_gt(V16x32 a, V16x32 b) {
     return _mm512_cmpgt_epi16_mask(a.v, b.v) != 0;
+  }
+  /// All-ones mask where a >= b lane-wise (signed), 0 elsewhere.
+  friend V16x32 ge(V16x32 a, V16x32 b) {
+    return {_mm512_movm_epi16(_mm512_cmpge_epi16_mask(a.v, b.v))};
+  }
+  friend V16x32 bit_and(V16x32 a, V16x32 b) {
+    return {_mm512_and_si512(a.v, b.v)};
+  }
+  friend V16x32 bit_or(V16x32 a, V16x32 b) {
+    return {_mm512_or_si512(a.v, b.v)};
+  }
+  /// Lane-wise select: a where mask is all-ones, b where mask is 0
+  /// (ternlog 0xCA = mask ? a : b).
+  friend V16x32 blend(V16x32 mask, V16x32 a, V16x32 b) {
+    return {_mm512_ternarylogic_epi64(mask.v, a.v, b.v, 0xCA)};
   }
   V16x32 shift_lanes_up(std::int16_t fill) const {
     const __m512i t =

@@ -57,11 +57,47 @@ struct VecU8Scalar {
     for (std::size_t i = 0; i < N; ++i) out.v[i] = std::max(a.v[i], b.v[i]);
     return out;
   }
+  friend VecU8Scalar min(VecU8Scalar a, VecU8Scalar b) {
+    VecU8Scalar out;
+    for (std::size_t i = 0; i < N; ++i) out.v[i] = std::min(a.v[i], b.v[i]);
+    return out;
+  }
   friend bool any_gt(VecU8Scalar a, VecU8Scalar b) {
     for (std::size_t i = 0; i < N; ++i) {
       if (a.v[i] > b.v[i]) return true;
     }
     return false;
+  }
+  /// All-ones mask where a >= b lane-wise, 0 elsewhere.
+  friend VecU8Scalar ge(VecU8Scalar a, VecU8Scalar b) {
+    VecU8Scalar out;
+    for (std::size_t i = 0; i < N; ++i) {
+      out.v[i] = a.v[i] >= b.v[i] ? 0xFF : 0;
+    }
+    return out;
+  }
+  friend VecU8Scalar bit_and(VecU8Scalar a, VecU8Scalar b) {
+    VecU8Scalar out;
+    for (std::size_t i = 0; i < N; ++i) {
+      out.v[i] = static_cast<std::uint8_t>(a.v[i] & b.v[i]);
+    }
+    return out;
+  }
+  friend VecU8Scalar bit_or(VecU8Scalar a, VecU8Scalar b) {
+    VecU8Scalar out;
+    for (std::size_t i = 0; i < N; ++i) {
+      out.v[i] = static_cast<std::uint8_t>(a.v[i] | b.v[i]);
+    }
+    return out;
+  }
+  /// Lane-wise select: a where mask is all-ones, b where mask is 0.
+  friend VecU8Scalar blend(VecU8Scalar mask, VecU8Scalar a, VecU8Scalar b) {
+    VecU8Scalar out;
+    for (std::size_t i = 0; i < N; ++i) {
+      out.v[i] = static_cast<std::uint8_t>((mask.v[i] & a.v[i]) |
+                                           (~mask.v[i] & b.v[i]));
+    }
+    return out;
   }
   VecU8Scalar shift_lanes_up() const {
     VecU8Scalar out;
@@ -111,11 +147,48 @@ struct VecI16Scalar {
     for (std::size_t i = 0; i < N; ++i) out.v[i] = std::max(a.v[i], b.v[i]);
     return out;
   }
+  friend VecI16Scalar min(VecI16Scalar a, VecI16Scalar b) {
+    VecI16Scalar out;
+    for (std::size_t i = 0; i < N; ++i) out.v[i] = std::min(a.v[i], b.v[i]);
+    return out;
+  }
   friend bool any_gt(VecI16Scalar a, VecI16Scalar b) {
     for (std::size_t i = 0; i < N; ++i) {
       if (a.v[i] > b.v[i]) return true;
     }
     return false;
+  }
+  /// All-ones mask where a >= b lane-wise, 0 elsewhere.
+  friend VecI16Scalar ge(VecI16Scalar a, VecI16Scalar b) {
+    VecI16Scalar out;
+    for (std::size_t i = 0; i < N; ++i) {
+      out.v[i] = a.v[i] >= b.v[i] ? static_cast<std::int16_t>(-1) : 0;
+    }
+    return out;
+  }
+  friend VecI16Scalar bit_and(VecI16Scalar a, VecI16Scalar b) {
+    VecI16Scalar out;
+    for (std::size_t i = 0; i < N; ++i) {
+      out.v[i] = static_cast<std::int16_t>(a.v[i] & b.v[i]);
+    }
+    return out;
+  }
+  friend VecI16Scalar bit_or(VecI16Scalar a, VecI16Scalar b) {
+    VecI16Scalar out;
+    for (std::size_t i = 0; i < N; ++i) {
+      out.v[i] = static_cast<std::int16_t>(a.v[i] | b.v[i]);
+    }
+    return out;
+  }
+  /// Lane-wise select: a where mask is all-ones, b where mask is 0.
+  friend VecI16Scalar blend(VecI16Scalar mask, VecI16Scalar a,
+                            VecI16Scalar b) {
+    VecI16Scalar out;
+    for (std::size_t i = 0; i < N; ++i) {
+      out.v[i] = static_cast<std::int16_t>((mask.v[i] & a.v[i]) |
+                                           (~mask.v[i] & b.v[i]));
+    }
+    return out;
   }
   VecI16Scalar shift_lanes_up(std::int16_t fill) const {
     VecI16Scalar out;

@@ -142,6 +142,9 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
   // worker is pinned to the same backend for the whole run.
   context.cpu_backend =
       align::resolve_backend(config.cpu_backend, config.cpu_kernel);
+  config.filter.validate();
+  context.filter = config.filter;
+  context.top_hits = config.top_hits;
   context.threads_per_cpu_worker = config.threads_per_cpu_worker;
   context.profile_cache = config.profile_cache;
   context.fault_injector = config.fault_injector;
@@ -307,14 +310,21 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
     merge_span.arg("reports", static_cast<double>(collected.size()));
   }
   report.results.resize(queries.size());
-  for (const TaskReport& r : collected) {
+  for (TaskReport& r : collected) {
     report.total_cells += r.cells;
     report.worker_virtual_busy[r.worker_id] += r.virtual_seconds;
-    align::SearchResult scores;
-    scores.scores = r.scores;
     QueryResult& query_result = report.results[r.query_index];
     query_result.query_index = r.query_index;
-    query_result.hits = scores.top(config.top_hits);
+    if (r.ranked) {
+      // Filtered tasks already ranked over their candidate set; a top()
+      // over the mixed screened/exact score vector could not re-derive it.
+      query_result.hits = std::move(r.hits);
+      report.filter.merge(r.filter);
+    } else {
+      align::SearchResult scores;
+      scores.scores = r.scores;
+      query_result.hits = scores.top(config.top_hits);
+    }
   }
 
   double busy_sum = 0.0;

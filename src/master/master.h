@@ -49,6 +49,15 @@ struct MasterConfig {
   /// still overrides. Scores are bit-identical on every backend.
   align::Backend cpu_backend = align::Backend::kAuto;
 
+  /// Two-stage filter (align/search.h). With mode kHeuristic every worker
+  /// screens its task's database pass with the banded kernel and rescans
+  /// only top_hits-derived candidates exactly; CPU workers screen inline,
+  /// GPU workers screen on the host and ship only candidates to the device.
+  /// Screens and selection are deterministic, so filtered results are
+  /// identical across worker types, backends, and schedules. kOff (the
+  /// default) is bit-identical to the unfiltered search.
+  align::FilterConfig filter;
+
   /// Intra-task threads per CPU worker (> 1 scans the database in parallel
   /// chunks inside each task; scores are identical to the serial path).
   std::size_t threads_per_cpu_worker = 1;
@@ -109,6 +118,9 @@ struct SearchReport {
   sched::Schedule planned;               ///< static plan (empty if dynamic)
   std::map<std::size_t, double> worker_virtual_busy;  ///< worker id → busy
   double virtual_idle_fraction = 0.0;
+
+  /// Aggregated filter counters (all zero when MasterConfig::filter is off).
+  align::FilterStats filter;
 };
 
 /// Run a complete search: `queries` against `db` on cpu+gpu workers.

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "align/search.h"
 #include "sched/task.h"
 
 namespace swdual::master {
@@ -32,6 +33,14 @@ struct TaskReport {
   std::uint64_t cells = 0;        ///< DP cells computed
   double wall_seconds = 0.0;      ///< real kernel time on this host
   double virtual_seconds = 0.0;   ///< modeled time on the paper's hardware
+
+  /// Filtered tasks rank on the worker (only screened candidates are
+  /// eligible for hits, which a merge-side top() over `scores` cannot
+  /// reconstruct). When `ranked` is set the master takes `hits` verbatim;
+  /// `scores` then holds screened lower bounds with candidates exact.
+  bool ranked = false;
+  std::vector<align::SearchHit> hits;
+  align::FilterStats filter;
 };
 
 }  // namespace swdual::master

@@ -47,6 +47,60 @@ void Worker::run() {
   }
 }
 
+void Worker::execute_gpu_filtered(std::span<const std::uint8_t> query_view,
+                                  const align::DbView& db,
+                                  TaskReport& report) {
+  // Host-side stage 1: the banded screen is a CPU kernel (CUDASW++-class
+  // tools run exactly this kind of host prefilter before shipping work).
+  // Screens and candidate selection are deterministic, so a GPU-executed
+  // filtered task reports the same scores and hits as a CPU-executed one.
+  std::shared_ptr<const align::CachedProfiles> cached;
+  std::unique_ptr<align::SearchProfiles> local;
+  const align::SearchProfiles* profiles;
+  if (context_.profile_cache) {
+    cached = context_.profile_cache->acquire(query_view, context_.scheme,
+                                             align::KernelKind::kInterSeq);
+    profiles = &cached->profiles();
+  } else {
+    local = std::make_unique<align::SearchProfiles>(
+        query_view, context_.scheme, align::KernelKind::kInterSeq);
+    profiles = local.get();
+  }
+  const align::ScreenResult screen =
+      align::screen_range(*profiles, db, 0, db.size(), context_.filter.band);
+  const std::vector<std::uint32_t> candidates = align::filter_select_candidates(
+      screen, context_.top_hits, context_.filter, &report.filter);
+
+  align::DbView rescan;
+  std::vector<std::uint32_t> rescan_index;
+  for (const std::uint32_t c : candidates) {
+    if (!screen.exact[c]) {
+      rescan.push_back(db[c]);
+      rescan_index.push_back(c);
+    }
+  }
+  const gpusim::BatchResult batch =
+      cached ? gpu_->run_batch(cached->profiles(), rescan)
+             : gpu_->run_batch(query_view, rescan, context_.scheme);
+  report.scores = screen.scores;
+  for (std::size_t i = 0; i < rescan_index.size(); ++i) {
+    report.scores[rescan_index[i]] = batch.scores[i];
+  }
+  report.filter.rescans += rescan_index.size();
+  report.cells = screen.cells + batch.cells;
+  report.ranked = true;
+  for (const std::uint32_t c : candidates) {
+    align::push_top_hit(report.hits, {c, report.scores[c]},
+                        context_.top_hits);
+  }
+  align::finish_top_hits(report.hits);
+  // The screen runs on the host CPU, the candidate batch on the device:
+  // charge each to its hardware model.
+  report.virtual_seconds =
+      context_.model.cpu_worker().seconds_for(screen.cells) +
+      batch.virtual_seconds;
+}
+
 TaskReport Worker::execute(const TaskOrder& order) {
   const seq::Sequence& query = (*context_.queries)[order.query_index];
   const align::DbView& db = *context_.db;
@@ -81,17 +135,50 @@ TaskReport Worker::execute(const TaskOrder& order) {
 
   WallTimer timer;
   if (pe_.type == sched::PeType::kGpu) {
-    gpusim::BatchResult batch;
+    if (context_.filter.enabled()) {
+      execute_gpu_filtered(query_view, db, report);
+    } else {
+      gpusim::BatchResult batch;
+      if (context_.profile_cache) {
+        const auto cached = context_.profile_cache->acquire(
+            query_view, context_.scheme, align::KernelKind::kInterSeq);
+        batch = gpu_->run_batch(cached->profiles(), db);
+      } else {
+        batch = gpu_->run_batch(query_view, db, context_.scheme);
+      }
+      report.scores = std::move(batch.scores);
+      report.cells = batch.cells;
+      report.virtual_seconds = batch.virtual_seconds;
+    }
+  } else if (context_.filter.enabled()) {
+    align::FilteredSearchResult filtered;
     if (context_.profile_cache) {
       const auto cached = context_.profile_cache->acquire(
-          query_view, context_.scheme, align::KernelKind::kInterSeq);
-      batch = gpu_->run_batch(cached->profiles(), db);
+          query_view, context_.scheme, context_.cpu_kernel,
+          context_.cpu_backend);
+      filtered = engine_ ? engine_->search_filtered(cached->profiles(),
+                                                    context_.top_hits,
+                                                    context_.filter)
+                         : align::search_database_filtered(
+                               cached->profiles(), db, context_.top_hits,
+                               context_.filter);
     } else {
-      batch = gpu_->run_batch(query_view, db, context_.scheme);
+      filtered = engine_ ? engine_->search_filtered(
+                               query_view, context_.scheme,
+                               context_.cpu_kernel, context_.top_hits,
+                               context_.filter, context_.cpu_backend)
+                         : align::search_database_filtered(
+                               query_view, db, context_.scheme,
+                               context_.cpu_kernel, context_.top_hits,
+                               context_.filter, context_.cpu_backend);
     }
-    report.scores = std::move(batch.scores);
-    report.cells = batch.cells;
-    report.virtual_seconds = batch.virtual_seconds;
+    report.scores = std::move(filtered.result.scores);
+    report.cells = filtered.result.cells;
+    report.ranked = true;
+    report.hits = std::move(filtered.hits);
+    report.filter = filtered.stats;
+    report.virtual_seconds =
+        context_.model.cpu_worker().seconds_for(report.cells);
   } else {
     align::SearchResult result;
     if (context_.profile_cache) {
@@ -114,6 +201,15 @@ TaskReport Worker::execute(const TaskOrder& order) {
         context_.model.cpu_worker().seconds_for(result.cells);
   }
   report.wall_seconds = timer.seconds();
+  // (The chunked engine emits these itself when it ran the filtered scan.)
+  if (context_.filter.enabled() && context_.metrics && !engine_) {
+    context_.metrics->add("filter_candidates",
+                          static_cast<double>(report.filter.candidates));
+    context_.metrics->add("filter_rescans",
+                          static_cast<double>(report.filter.rescans));
+    context_.metrics->add("filter_band_uncertain",
+                          static_cast<double>(report.filter.band_uncertain));
+  }
   // Successful tasks tile the worker's virtual timeline back to back, so
   // per-track span sums reproduce SearchReport::worker_virtual_busy.
   span.arg("cells", static_cast<double>(report.cells));

@@ -38,6 +38,12 @@ struct WorkerContext {
   /// align/backend.h). Forwarded to every search call a CPU worker makes.
   align::Backend cpu_backend = align::Backend::kAuto;
 
+  /// Two-stage filter plus the hit count its candidate selection targets
+  /// (MasterConfig::filter / top_hits). Applies to both worker types; see
+  /// MasterConfig::filter for the determinism argument.
+  align::FilterConfig filter;
+  std::size_t top_hits = 10;
+
   /// Intra-task threads for each CPU worker: > 1 makes the worker scan the
   /// database through a chunked ParallelSearchEngine instead of the serial
   /// search_database path (results are bit-identical either way).
@@ -93,6 +99,12 @@ class Worker {
  private:
   void run();
   TaskReport execute(const TaskOrder& order);
+
+  /// Two-stage GPU task: banded screen on the host, candidate-only batch on
+  /// the virtual device, rank over candidates. Fills scores/cells/hits/
+  /// filter/virtual_seconds of `report`.
+  void execute_gpu_filtered(std::span<const std::uint8_t> query_view,
+                            const align::DbView& db, TaskReport& report);
 
   std::size_t id_;
   sched::PeId pe_;

@@ -9,7 +9,8 @@ namespace swdual::serve {
 std::string result_key(std::span<const std::uint8_t> query,
                        const std::string& db_id,
                        const align::ScoringScheme& scheme,
-                       align::KernelKind kernel) {
+                       align::KernelKind kernel,
+                       const align::FilterConfig& filter) {
   std::string key;
   key.reserve(query.size() + db_id.size() + 64);
   key += db_id;
@@ -18,6 +19,17 @@ std::string result_key(std::span<const std::uint8_t> query,
   key += '/';
   key += align::kernel_name(kernel);
   key += '/';
+  if (filter.enabled()) {
+    // kOff deliberately adds nothing: the filtered-off answer is the exact
+    // answer, so both share one cache entry.
+    key += "filter:";
+    key += align::filter_mode_name(filter.mode);
+    key += ":b";
+    key += std::to_string(filter.band);
+    key += ":k";
+    key += std::to_string(filter.keep_factor);
+    key += '/';
+  }
   key.append(reinterpret_cast<const char*>(query.data()), query.size());
   return key;
 }

@@ -43,6 +43,7 @@ void QueryService::start() {
   SWDUAL_REQUIRE(config_.max_batch > 0, "max_batch must be positive");
   SWDUAL_REQUIRE(config_.admission_capacity > 0,
                  "admission_capacity must be positive");
+  config_.master.filter.validate();
   if (config_.shards > 0) {
     align::ShardedSearchOptions options;
     options.num_shards = config_.shards;
@@ -70,7 +71,7 @@ Submission QueryService::submit(const seq::Sequence& query) {
   request.query = query;
   request.key = result_key({query.residues.data(), query.residues.size()},
                            config_.db_id, config_.master.scheme,
-                           config_.master.cpu_kernel);
+                           config_.master.cpu_kernel, config_.master.filter);
   request.enqueue_wall = config_.tracer ? config_.tracer->now() : 0.0;
 
   Submission ticket;
@@ -155,12 +156,15 @@ void QueryService::admit(Request& request) {
 
 void QueryService::fulfill(Request& request,
                            std::vector<align::SearchHit> hits,
-                           bool cache_hit, std::string partial_reason) {
+                           bool cache_hit, std::string partial_reason,
+                           const align::FilterStats& filter) {
   QueryResponse response;
   response.hits = std::move(hits);
   response.cache_hit = cache_hit;
   response.partial = !partial_reason.empty();
   response.partial_reason = std::move(partial_reason);
+  response.filtered = config_.master.filter.enabled();
+  response.filter = filter;
   if (response.partial) {
     util::MutexLock lock(mutex_);
     ++partial_responses_;
@@ -258,6 +262,7 @@ void QueryService::execute_batch(std::vector<Request> batch) {
     util::MutexLock lock(mutex_);
     ++batches_;
     searches_ += leaders.size();
+    filter_stats_.merge(report.filter);
   }
   if (config_.metrics) {
     config_.metrics->add("serve_batches");
@@ -269,7 +274,9 @@ void QueryService::execute_batch(std::vector<Request> batch) {
     const std::string& key = batch[leaders[q]].key;
     const auto value = results_.insert(key, report.results[q].hits);
     for (const std::size_t i : groups[key]) {
-      fulfill(batch[i], *value, /*cache_hit=*/false);
+      // report.filter is the batch aggregate: the master merges worker
+      // counters across every query of the workload.
+      fulfill(batch[i], *value, /*cache_hit=*/false, {}, report.filter);
     }
   }
 }
@@ -290,9 +297,11 @@ void QueryService::execute_group_sharded(
   const std::size_t top = config_.master.top_hits;
   std::vector<align::ShardedSearchResult> results;
   try {
-    results = sharded_->search_many(queries, config_.master.scheme,
-                                    config_.master.cpu_kernel, top,
-                                    config_.master.cpu_backend);
+    // search_many_filtered with mode kOff delegates straight to
+    // search_many, so this is the one dispatch point for both modes.
+    results = sharded_->search_many_filtered(
+        queries, config_.master.scheme, config_.master.cpu_kernel, top,
+        config_.master.filter, config_.master.cpu_backend);
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     for (const std::size_t leader : leaders) {
@@ -309,6 +318,7 @@ void QueryService::execute_group_sharded(
   // by the whole group, so recovery runs once per failed shard, not per
   // query.
   std::vector<align::ShardFailure> remaining;
+  bool rescued_any = false;
   if (!results.empty() && !results.front().failures.empty()) {
     std::vector<seq::Sequence> leader_queries;
     leader_queries.reserve(leaders.size());
@@ -346,6 +356,7 @@ void QueryService::execute_group_sharded(
           if (config_.metrics) {
             config_.metrics->add("serve_shard_recoveries");
           }
+          rescued_any = true;
           continue;  // shard rescued; not a remaining failure
         } catch (...) {
           // master recovery failed too — fall through to partial
@@ -367,6 +378,9 @@ void QueryService::execute_group_sharded(
     util::MutexLock lock(mutex_);
     ++batches_;
     searches_ += leaders.size();
+    for (const align::ShardedSearchResult& result : results) {
+      filter_stats_.merge(result.filter);
+    }
   }
   if (config_.metrics) {
     config_.metrics->add("serve_batches");
@@ -374,21 +388,30 @@ void QueryService::execute_group_sharded(
                          static_cast<double>(leaders.size()));
   }
 
+  // A filtered answer patched up through master recovery merges the rescued
+  // shard's *per-shard* candidate selection into the surviving shards'
+  // global selection — a valid answer (every hit is exactly rescored) but
+  // not the canonical one the filter key promises, so it must not be cached.
+  const bool cacheable =
+      partial_reason.empty() &&
+      !(rescued_any && config_.master.filter.enabled());
+
   for (std::size_t q = 0; q < leaders.size(); ++q) {
     const std::string& key = batch[leaders[q]].key;
-    if (partial_reason.empty()) {
-      // Complete answers are bit-identical to the unsharded search and
+    if (cacheable) {
+      // Complete answers are deterministic across shard topology and
       // cacheable under the topology-free key.
       const auto value = results_.insert(key, results[q].ranked.hits);
       for (const std::size_t i : groups[key]) {
-        fulfill(batch[i], *value, /*cache_hit=*/false);
+        fulfill(batch[i], *value, /*cache_hit=*/false, {},
+                results[q].filter);
       }
     } else {
       // Partial answers must never enter the cache: a later request at a
       // healthy moment deserves the full result.
       for (const std::size_t i : groups[key]) {
         fulfill(batch[i], results[q].ranked.hits, /*cache_hit=*/false,
-                partial_reason);
+                partial_reason, results[q].filter);
       }
     }
   }
@@ -405,6 +428,7 @@ QueryService::Stats QueryService::stats() const {
     stats.searches = searches_;
     stats.partial_responses = partial_responses_;
     stats.shard_recoveries = shard_recoveries_;
+    stats.filter = filter_stats_;
   }
   stats.results = results_.stats();
   stats.profiles = profiles_.stats();

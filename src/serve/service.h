@@ -77,7 +77,10 @@ struct ServiceConfig {
   /// cache key (two services over different databases must not share hits).
   /// Shard topology is deliberately NOT part of the identity: sharded and
   /// unsharded searches are bit-identical, so cached answers are valid at
-  /// any shard count (the same way the SIMD backend is excluded).
+  /// any shard count (the same way the SIMD backend is excluded). The
+  /// two-stage filter config (master.filter) DOES join the key when enabled
+  /// — it changes which hits come back — but stays topology-free for the
+  /// same determinism reason (see serve/cache.h).
   std::string db_id = "db";
 
   /// Scale-out: > 0 runs every batch through an align::ShardedSearchEngine
@@ -138,6 +141,14 @@ struct QueryResponse {
   /// failed shards and the last error. Partial answers are never cached.
   bool partial = false;
   std::string partial_reason;
+
+  /// Set when the two-stage filter (ServiceConfig master.filter) produced
+  /// this answer. `filter` carries the screen counters of the engine pass
+  /// behind a fresh answer — per query on the sharded path, batch-aggregate
+  /// on the master path — and is zero on cache hits (the work was already
+  /// paid for by the request that populated the cache).
+  bool filtered = false;
+  align::FilterStats filter;
 };
 
 /// Ticket returned by submit(). `result` is only valid when accepted().
@@ -188,6 +199,10 @@ class QueryService {
     ResultCache::Stats results;
     align::ProfileCache::Stats profiles;
     align::ShardedSearchEngine::Stats shards;  ///< zeros on the master path
+
+    /// Accumulated two-stage filter counters across every executed search
+    /// (zeros while master.filter is off).
+    align::FilterStats filter;
   };
   Stats stats() const;
 
@@ -218,7 +233,8 @@ class QueryService {
                                  groups);
   void admit(Request& request);
   void fulfill(Request& request, std::vector<align::SearchHit> hits,
-               bool cache_hit, std::string partial_reason = {});
+               bool cache_hit, std::string partial_reason = {},
+               const align::FilterStats& filter = {});
   /// Shared ctor tail: validate config, start the batcher.
   void start();
 
@@ -249,6 +265,7 @@ class QueryService {
   std::uint64_t searches_ SWDUAL_GUARDED_BY(mutex_) = 0;
   std::uint64_t partial_responses_ SWDUAL_GUARDED_BY(mutex_) = 0;
   std::uint64_t shard_recoveries_ SWDUAL_GUARDED_BY(mutex_) = 0;
+  align::FilterStats filter_stats_ SWDUAL_GUARDED_BY(mutex_);
 
   std::thread batcher_;  ///< must be last: joins before members destruct
 };

@@ -78,6 +78,26 @@ TEST(ResultCache, KeySeparatesEveryDimension) {
   EXPECT_NE(base,
             result_key(q, "db1", scheme, align::KernelKind::kStriped));
   EXPECT_EQ(base, result_key(q, "db1", scheme, align::KernelKind::kInterSeq));
+
+  // The two-stage filter splits the cache only when enabled, and every
+  // parameter of an enabled filter is part of the identity.
+  align::FilterConfig heuristic;
+  heuristic.mode = align::FilterMode::kHeuristic;
+  const std::string filtered = result_key(
+      q, "db1", scheme, align::KernelKind::kInterSeq, heuristic);
+  EXPECT_NE(base, filtered);
+  align::FilterConfig wider = heuristic;
+  wider.band += 1;
+  EXPECT_NE(filtered, result_key(q, "db1", scheme,
+                                 align::KernelKind::kInterSeq, wider));
+  align::FilterConfig keepier = heuristic;
+  keepier.keep_factor += 1.0;
+  EXPECT_NE(filtered, result_key(q, "db1", scheme,
+                                 align::KernelKind::kInterSeq, keepier));
+  // kOff ≡ exact search, so it shares the unfiltered key (and cache entry).
+  align::FilterConfig off;
+  EXPECT_EQ(base,
+            result_key(q, "db1", scheme, align::KernelKind::kInterSeq, off));
 }
 
 TEST(ResultCache, KeyLayoutIsPinned) {
@@ -102,6 +122,29 @@ TEST(ResultCache, KeyLayoutIsPinned) {
   expected.append(reinterpret_cast<const char*>(query.data()), query.size());
   EXPECT_EQ(result_key({query.data(), query.size()}, "dbX", scheme, kernel),
             expected);
+
+  // An enabled two-stage filter adds exactly one segment before the query
+  // bytes: "filter:<mode>:b<band>:k<keep_factor>". A disabled filter adds
+  // nothing — the off answer is the exact answer, so the keys must collide.
+  align::FilterConfig filter;
+  filter.mode = align::FilterMode::kHeuristic;
+  filter.band = 48;
+  filter.keep_factor = 2.5;
+  std::string filtered = "dbX";
+  filtered += '/';
+  filtered += align::scoring_key(scheme);
+  filtered += '/';
+  filtered += align::kernel_name(kernel);
+  filtered += '/';
+  filtered += "filter:";
+  filtered += align::filter_mode_name(filter.mode);
+  filtered += ":b48:k";
+  filtered += std::to_string(2.5);
+  filtered += '/';
+  filtered.append(reinterpret_cast<const char*>(query.data()), query.size());
+  EXPECT_EQ(result_key({query.data(), query.size()}, "dbX", scheme, kernel,
+                       filter),
+            filtered);
 }
 
 }  // namespace

@@ -21,6 +21,10 @@ Enforces conventions clang-tidy cannot express:
   * bare .lock()/.unlock()/... calls are banned outside src/util/ — manual
     lock management defeats both the RAII discipline and the static
     analysis; use the scoped util::*MutexLock types
+  * no ``banded_gotoh_score`` calls outside src/align/ — the scalar banded
+    kernel is the screen's reference oracle, not a search primitive; other
+    layers go through the two-stage filter pipeline (search_database_filtered
+    / banded_screen), which keeps band semantics and escalation in one place
   * optionally (--cxx), every header under src/ compiles standalone
 
 Exit status 0 when clean, 1 with one ``file:line: message`` per violation
@@ -81,6 +85,15 @@ BARE_LOCK_ALLOWED_PREFIX = "src/util/"
 # reads would fork the format knowledge (and silently miss v2 sections).
 RAW_PAYLOAD_READ = re.compile(r"(?:\.read\s*\(|(?<![\w:])fread\s*\()")
 RAW_READ_ALLOWED = ("src/seq/swdb.cpp",)
+
+# The scalar banded kernel is align-internal: it is the bit-identity oracle
+# for the vectorized screen and the overflow fallback of the filter stage.
+# Any other layer calling it directly would fork band/escalation semantics
+# away from the pipeline (FilterConfig validation, edge_hit handling, the
+# 8->16->32-bit ladder), so everything outside src/align/ must go through
+# search_database_filtered / the engines' *_filtered entry points.
+BANDED_ORACLE_CALL = re.compile(r"\bbanded_gotoh_score\s*\(")
+BANDED_ORACLE_ALLOWED_PREFIX = "src/align/"
 
 
 def strip_comments(text: str) -> str:
@@ -195,6 +208,16 @@ def lint_file(path: pathlib.Path) -> list[str]:
                 lineno,
                 "raw stream/fread outside seq/swdb.cpp — read database "
                 "records via SwdbReader or MappedSwdb",
+            )
+
+    if not rel.as_posix().startswith(BANDED_ORACLE_ALLOWED_PREFIX):
+        for match in BANDED_ORACLE_CALL.finditer(code):
+            lineno = code.count("\n", 0, match.start()) + 1
+            report(
+                lineno,
+                "banded_gotoh_score outside src/align/ — the scalar banded "
+                "oracle is align-internal; use search_database_filtered / "
+                "the *_filtered engine entry points",
             )
 
     if top_dir in DETERMINISTIC_DIRS:
