@@ -22,8 +22,8 @@
 //                 [--query-len Q] [--requests R] [--clients C] [--zipf-s S]
 //                 [--max-batch B] [--admission A] [--cache K]
 //                 [--cpu-workers M] [--gpu-workers G] [--shards N]
-//                 [--threads-per-shard T] [--seed S] [--out CSV]
-//                 [--json PATH] [--scenario NAME]
+//                 [--threads-per-shard T] [--annotate MODE] [--evalue E]
+//                 [--seed S] [--out CSV] [--json PATH] [--scenario NAME]
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "align/annotate.h"
 #include "align/search.h"
 #include "align/sharded_search.h"
 #include "bench_common.h"
@@ -100,6 +101,14 @@ int main(int argc, char** argv) {
                  "screened candidates kept per requested hit (heuristic "
                  "filter)",
                  "4.0");
+  cli.add_option("annotate",
+                 "per-hit annotation: off | stats (e-value + bit score) | "
+                 "stats+cigar (adds a traceback CIGAR)",
+                 "off");
+  cli.add_option("evalue",
+                 "drop hits with e-value above this cutoff (--annotate; "
+                 "inf = keep all, preserving the bit-identity oracle)",
+                 "inf");
   cli.add_option("plant",
                  "homologs planted per pool query (mutated query copies "
                  "appended to the database; enables the recall oracle's "
@@ -151,6 +160,13 @@ int main(int argc, char** argv) {
     config.master.filter.band = cli.option_uint("band");
     config.master.filter.keep_factor = cli.option_double("keep-factor");
     config.master.filter.validate();
+    if (!align::parse_annotate_mode(cli.option("annotate"),
+                                    config.master.annotate.mode)) {
+      throw InvalidArgument("unknown annotate mode: " + cli.option("annotate") +
+                            " (want off|stats|stats+cigar)");
+    }
+    config.master.annotate.evalue_cutoff = cli.option_positive_double("evalue");
+    config.master.annotate.validate();
     plant = cli.option_uint("plant");
     seed = static_cast<std::uint64_t>(cli.option_uint("seed"));
   } catch (const std::exception& error) {
@@ -249,6 +265,7 @@ int main(int argc, char** argv) {
   const std::size_t shards = config.shards;
   const std::size_t threads_per_shard = config.threads_per_shard;
   const align::FilterConfig filter_config = config.master.filter;
+  const align::AnnotateConfig annotate_config = config.master.annotate;
   serve::QueryService service(db, std::move(config));
 
   util::Mutex stats_mutex;
@@ -301,6 +318,12 @@ int main(int argc, char** argv) {
           local_recall_sum += recall;
           local_recall_min = std::min(local_recall_min, recall);
           ++local_recall_count;
+          continue;
+        }
+        if (annotate_config.enabled() &&
+            std::isfinite(annotate_config.evalue_cutoff)) {
+          // A finite cutoff legitimately drops hits, so the bit-identity
+          // oracle (computed without annotation) no longer applies.
           continue;
         }
         if (response.hits.size() != expected[pick].size()) {
@@ -394,8 +417,16 @@ int main(int argc, char** argv) {
                    std::to_string(stats.filter.band_uncertain)});
     table.add_row({"recall@k mean", TextTable::fmt(recall_mean, 4)});
     table.add_row({"recall@k min", TextTable::fmt(recall_min, 4)});
+  } else if (annotate_config.enabled() &&
+             std::isfinite(annotate_config.evalue_cutoff)) {
+    table.add_row({"scores==direct", "skipped (finite e-value cutoff)"});
   } else {
     table.add_row({"scores==direct", mismatches == 0 ? "yes" : "NO"});
+  }
+  if (annotate_config.enabled()) {
+    table.add_row({"annotate mode",
+                   align::annotate_mode_name(annotate_config.mode)});
+    table.add_row({"annotate e-value cutoff", cli.option("evalue")});
   }
   std::printf("%s", table.render().c_str());
   bench::emit_csv(table, cli.option("out"));
@@ -436,6 +467,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.filter.rescans),
         static_cast<unsigned long long>(stats.filter.band_uncertain),
         recall_mean, recall_min);
+    std::fprintf(json,
+                 "  \"annotate\": {\"mode\": \"%s\", "
+                 "\"evalue_cutoff\": \"%s\"},\n",
+                 align::annotate_mode_name(annotate_config.mode),
+                 json_escape(cli.option("evalue")).c_str());
     std::fprintf(
         json,
         "  \"results\": {\"wall_seconds\": %.4f, \"throughput_rps\": %.1f, "

@@ -86,6 +86,14 @@ int main(int argc, char** argv) {
                  "screened candidates kept per requested hit "
                  "(--filter-mode heuristic)",
                  "4.0");
+  cli.add_option("annotate",
+                 "per-hit annotation: off | stats (e-value + bit score) | "
+                 "stats+cigar (adds a traceback CIGAR)",
+                 "off");
+  cli.add_option("evalue",
+                 "drop hits with e-value above this cutoff "
+                 "(--annotate stats or stats+cigar; inf = keep all)",
+                 "10");
   cli.add_flag("gantt", "print the planned Gantt chart");
   cli.add_option("trace",
                  "write a Chrome trace-event JSON timeline (open with "
@@ -145,6 +153,23 @@ int main(int argc, char** argv) {
     config.filter.band = cli.option_uint("band");
     config.filter.keep_factor = cli.option_double("keep-factor");
     config.filter.validate();
+    if (!align::parse_annotate_mode(cli.option("annotate"),
+                                    config.annotate.mode)) {
+      throw InvalidArgument("unknown annotate mode: " + cli.option("annotate") +
+                            " (want off|stats|stats+cigar)");
+    }
+    config.annotate.evalue_cutoff = cli.option_positive_double("evalue");
+    config.annotate.validate();
+    align::StatsCache stats_cache;
+    std::shared_ptr<const align::KarlinAltschulParams> stats;
+    if (config.annotate.enabled()) {
+      std::cerr << "calibrating Karlin-Altschul parameters...\n";
+      stats = stats_cache.acquire(config.scheme, seq::Alphabet::protein(),
+                                  cli.option("db").empty()
+                                      ? cli.option("generate")
+                                      : cli.option("db"));
+      config.stats = stats.get();
+    }
     // Fail fast with a clear message (resolve_backend would also throw, but
     // only once the first CPU task runs).
     if (config.cpu_backend != align::Backend::kAuto &&
@@ -177,8 +202,15 @@ int main(int argc, char** argv) {
       const auto& query = queries[result.query_index];
       std::cout << "query " << query.id << " (" << query.length() << " aa)\n";
       for (const auto& hit : result.hits) {
-        std::cout << "  score " << hit.score << "  " << db[hit.db_index].id
-                  << '\n';
+        std::cout << "  score " << hit.score << "  " << db[hit.db_index].id;
+        if (hit.annotation) {
+          std::cout << "  E=" << hit.annotation->evalue
+                    << "  bits=" << hit.annotation->bits;
+          if (!hit.annotation->cigar.empty()) {
+            std::cout << "  cigar=" << hit.annotation->cigar;
+          }
+        }
+        std::cout << '\n';
       }
     }
     std::cout << "\ncells:            " << report.total_cells

@@ -38,7 +38,7 @@ int main(int argc, char** argv) try {
   Rng rng(static_cast<std::uint64_t>(cli.option_uint("seed")));
   const auto db_size = cli.option_uint("db-size");
   const auto novel_count = cli.option_uint("novel");
-  const double cutoff = cli.option_double("evalue");
+  const double cutoff = cli.option_positive_double("evalue");
 
   // Reference database: families named fam0.. with member sequences.
   std::vector<seq::Sequence> db;

@@ -39,6 +39,98 @@ double Alignment::identity() const {
          static_cast<double>(aligned_query.size());
 }
 
+std::string Alignment::cigar() const {
+  SWDUAL_CHECK(aligned_query.size() == aligned_db.size(),
+               "alignment strings must have equal length");
+  if (aligned_query.empty()) return {};
+
+  std::string out;
+  std::size_t query_used = 0, db_used = 0;
+  char run_op = 0;
+  std::size_t run_len = 0;
+  const auto flush = [&] {
+    if (run_len > 0) out += std::to_string(run_len) + run_op;
+  };
+  for (std::size_t c = 0; c < aligned_query.size(); ++c) {
+    const bool q_gap = aligned_query[c] == '-';
+    const bool d_gap = aligned_db[c] == '-';
+    SWDUAL_CHECK(!(q_gap && d_gap), "alignment column is gap against gap");
+    const char op = q_gap ? 'D' : (d_gap ? 'I' : 'M');
+    if (!q_gap) ++query_used;
+    if (!d_gap) ++db_used;
+    if (op == run_op) {
+      ++run_len;
+    } else {
+      flush();
+      run_op = op;
+      run_len = 1;
+    }
+  }
+  flush();
+
+  // A non-empty alignment carries 1-based inclusive coordinates; the M+I
+  // columns must consume exactly the traced query range and the M+D
+  // columns exactly the traced database range.
+  SWDUAL_CHECK(query_begin >= 1 && query_end >= query_begin &&
+                   query_used == query_end - query_begin + 1,
+               "CIGAR query consumption disagrees with traced coordinates");
+  SWDUAL_CHECK(db_begin >= 1 && db_end >= db_begin &&
+                   db_used == db_end - db_begin + 1,
+               "CIGAR db consumption disagrees with traced coordinates");
+  return out;
+}
+
+int cigar_score(const std::string& cigar,
+                std::span<const std::uint8_t> query,
+                std::span<const std::uint8_t> db, std::size_t query_begin,
+                std::size_t db_begin, const ScoringScheme& scheme) {
+  if (cigar.empty()) return 0;
+  SWDUAL_REQUIRE(query_begin >= 1 && db_begin >= 1,
+                 "cigar_score coordinates are 1-based");
+  const ScoreMatrix& matrix = *scheme.matrix;
+  std::size_t q = query_begin - 1;  // 0-based cursors into the raw residues
+  std::size_t d = db_begin - 1;
+  int score = 0;
+  std::size_t i = 0;
+  while (i < cigar.size()) {
+    std::size_t len = 0;
+    const std::size_t digits_start = i;
+    while (i < cigar.size() && cigar[i] >= '0' && cigar[i] <= '9') {
+      len = len * 10 + static_cast<std::size_t>(cigar[i] - '0');
+      ++i;
+    }
+    SWDUAL_REQUIRE(i > digits_start && len > 0 && i < cigar.size(),
+                   "malformed CIGAR run: " + cigar);
+    const char op = cigar[i++];
+    switch (op) {
+      case 'M':
+        SWDUAL_REQUIRE(q + len <= query.size() && d + len <= db.size(),
+                       "CIGAR walks outside the sequences: " + cigar);
+        for (std::size_t c = 0; c < len; ++c) {
+          score += matrix.score(query[q + c], db[d + c]);
+        }
+        q += len;
+        d += len;
+        break;
+      case 'I':
+        SWDUAL_REQUIRE(q + len <= query.size(),
+                       "CIGAR walks outside the query: " + cigar);
+        q += len;
+        score -= scheme.gap.open + static_cast<int>(len) * scheme.gap.extend;
+        break;
+      case 'D':
+        SWDUAL_REQUIRE(d + len <= db.size(),
+                       "CIGAR walks outside the database record: " + cigar);
+        d += len;
+        score -= scheme.gap.open + static_cast<int>(len) * scheme.gap.extend;
+        break;
+      default:
+        SWDUAL_REQUIRE(false, std::string("unknown CIGAR op '") + op + "'");
+    }
+  }
+  return score;
+}
+
 std::string render_alignment(const Alignment& alignment, std::size_t width) {
   SWDUAL_REQUIRE(width > 0, "render width must be positive");
   SWDUAL_REQUIRE(alignment.aligned_query.size() == alignment.aligned_db.size(),

@@ -1,8 +1,12 @@
-// Alignment value type and pretty-printing (the paper's Fig. 1 rendering).
+// Alignment value type, CIGAR emission, and pretty-printing (the paper's
+// Fig. 1 rendering).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 
+#include "align/scoring.h"
 #include "seq/alphabet.h"
 
 namespace swdual::align {
@@ -26,7 +30,28 @@ struct Alignment {
 
   /// Percent identity over aligned columns (0 for empty alignments).
   double identity() const;
+
+  /// SAM-convention CIGAR of the alignment: M = aligned residue pair
+  /// (match or mismatch), I = query residue against a gap, D = gap against
+  /// a database residue. An empty (score-0) local alignment yields "".
+  /// Validated on emission: the M+I columns must consume exactly
+  /// [query_begin, query_end] and the M+D columns exactly [db_begin, db_end]
+  /// (throws swdual::Error otherwise — a traceback that miscounted its own
+  /// coordinates must never reach a report).
+  std::string cigar() const;
 };
+
+/// Re-derive the Gotoh affine-gap score of a CIGAR applied to the raw
+/// encoded residues: Σ S(q,d) over M columns minus (open + L·extend) per
+/// gap run of length L. `query_begin`/`db_begin` are the alignment's
+/// 1-based start coordinates. This is the independent score oracle for
+/// annotated hits: a hit's CIGAR must re-derive the hit's exact search
+/// score. Throws InvalidArgument on a malformed CIGAR or one that walks
+/// outside either sequence. An empty CIGAR scores 0.
+int cigar_score(const std::string& cigar,
+                std::span<const std::uint8_t> query,
+                std::span<const std::uint8_t> db, std::size_t query_begin,
+                std::size_t db_begin, const ScoringScheme& scheme);
 
 /// Render in the Fig. 1 style: query line, midline (| match, . mismatch,
 /// space gap), database line, wrapped at `width` columns, score last.

@@ -95,6 +95,7 @@ void ParallelSearchEngine::init_partition(
   for (std::size_t p = 0; p < original_index_.size(); ++p) {
     permuted_pos_[original_index_[p]] = p;
   }
+  total_residues_ = db_residue_count(db_);
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   std::size_t num_chunks;
   if (options.chunk_records > 0) {
@@ -501,6 +502,29 @@ SearchResult ParallelSearchEngine::search(const SearchProfiles& profiles) const 
 RankedSearchResult ParallelSearchEngine::search_ranked(
     const SearchProfiles& profiles, std::size_t k) const {
   return run(profiles, k);
+}
+
+RankedSearchResult ParallelSearchEngine::search_ranked(
+    const SearchProfiles& profiles, std::size_t k,
+    const AnnotateConfig& annotate, const KarlinAltschulParams& params) const {
+  RankedSearchResult out = run(profiles, k);
+  annotate_hits(
+      out.hits, profiles.query(),
+      [this](std::size_t index) { return record(index); }, profiles.scheme(),
+      annotate, params, total_residues_, tracer_, metrics_, trace_track_);
+  return out;
+}
+
+FilteredSearchResult ParallelSearchEngine::search_filtered(
+    const SearchProfiles& profiles, std::size_t top_k,
+    const FilterConfig& config, const AnnotateConfig& annotate,
+    const KarlinAltschulParams& params) const {
+  FilteredSearchResult out = search_filtered(profiles, top_k, config);
+  annotate_hits(
+      out.hits, profiles.query(),
+      [this](std::size_t index) { return record(index); }, profiles.scheme(),
+      annotate, params, total_residues_, tracer_, metrics_, trace_track_);
+  return out;
 }
 
 }  // namespace swdual::align

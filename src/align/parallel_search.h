@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "align/annotate.h"
 #include "align/search.h"
 #include "util/thread_pool.h"
 
@@ -60,11 +61,8 @@ struct ParallelSearchOptions {
   std::size_t trace_track = 0;
 };
 
-/// A ranked search: the full result plus its k best hits.
-struct RankedSearchResult {
-  SearchResult result;
-  std::vector<SearchHit> hits;  ///< equal to result.top(k)
-};
+// RankedSearchResult lives in align/search.h (shared with the serial
+// annotated drivers); this header re-exports it via that include.
 
 class ParallelSearchEngine {
  public:
@@ -107,6 +105,17 @@ class ParallelSearchEngine {
   RankedSearchResult search_ranked(const SearchProfiles& profiles,
                                    std::size_t k) const;
 
+  /// search_ranked plus an annotate_hits pass (align/annotate.h) on the
+  /// merged top-k: e-value/bit score from `params` with the database's
+  /// total residue count as the search space, the evalue cutoff, and
+  /// (stats+cigar) a validated traceback per surviving hit. The annotation
+  /// runs once, post-merge, so hit scores/order stay bit-identical to the
+  /// unannotated overload regardless of thread count or chunking.
+  RankedSearchResult search_ranked(const SearchProfiles& profiles,
+                                   std::size_t k,
+                                   const AnnotateConfig& annotate,
+                                   const KarlinAltschulParams& params) const;
+
   /// Multi-query scan: K queries share ONE pass over every database chunk.
   /// Each chunk task scans its records once per query while the chunk's
   /// residues are hot in cache, amortizing DB decode/cache traffic across
@@ -134,6 +143,15 @@ class ParallelSearchEngine {
                                        const FilterConfig& config,
                                        Backend backend = Backend::kAuto) const;
 
+  /// Filtered search plus post-merge annotation (see the annotated
+  /// search_ranked overload for the semantics).
+  FilteredSearchResult search_filtered(const SearchProfiles& profiles,
+                                       std::size_t k,
+                                       const FilterConfig& config,
+                                       const AnnotateConfig& annotate,
+                                       const KarlinAltschulParams& params)
+      const;
+
   /// Multi-query filtered search: the stage-1 screens share ONE pass over
   /// every chunk (like search_ranked_many's group passes), then each query
   /// selects and rescans its own candidates. Results per query, input order.
@@ -150,6 +168,15 @@ class ParallelSearchEngine {
   std::size_t num_chunks() const { return chunks_.size(); }
   std::size_t threads() const { return pool_ ? pool_->size() : 1; }
   std::size_t db_records() const { return db_.size(); }
+
+  /// Total residues across the database (the Karlin–Altschul `n`).
+  std::uint64_t db_residues() const { return total_residues_; }
+
+  /// The residue span of database record `index` (database order, i.e. the
+  /// caller's original indexing, independent of the length permutation).
+  std::span<const std::uint8_t> record(std::size_t index) const {
+    return db_[permuted_pos_[index]];
+  }
 
  private:
   struct Chunk {
@@ -195,6 +222,7 @@ class ParallelSearchEngine {
   std::vector<Chunk> batch_aligned_chunks(std::size_t batch) const;
 
   DbView db_;  ///< permuted (or original-order) span copies
+  std::uint64_t total_residues_ = 0;
   std::vector<std::size_t> original_index_;  ///< permuted pos → db pos
   std::vector<std::size_t> permuted_pos_;    ///< db pos → permuted pos
   std::vector<Chunk> chunks_;

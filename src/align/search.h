@@ -24,10 +24,22 @@ namespace swdual::align {
 // KernelKind and kernel_name live in align/backend.h (selection is
 // kernel-aware); search.h re-exports them via that include.
 
-/// One scored database record.
+/// Per-hit significance/alignment annotation (populated by annotate.h on the
+/// merged global top-k; full definition there).
+struct HitAnnotation;
+
+/// One scored database record. `annotation` stays null on every hot path —
+/// scoring, chunk merges, and shard gathers move hits as {index, score}; only
+/// the post-merge annotation step attaches the shared payload, so copies of
+/// an annotated hit stay cheap (one refcount bump).
 struct SearchHit {
   std::size_t db_index = 0;
   int score = 0;
+  std::shared_ptr<const HitAnnotation> annotation;
+
+  SearchHit() = default;
+  SearchHit(std::size_t index, int hit_score)
+      : db_index(index), score(hit_score) {}
 };
 
 /// Full result of one query-vs-database task.
@@ -44,6 +56,12 @@ struct SearchResult {
 
   /// The k best-scoring records, ties broken by database order.
   std::vector<SearchHit> top(std::size_t k) const;
+};
+
+/// A ranked search: the full result plus its k best hits.
+struct RankedSearchResult {
+  SearchResult result;
+  std::vector<SearchHit> hits;  ///< equal to result.top(k)
 };
 
 /// Ranking order for hits: higher score first, ties by database order.

@@ -106,6 +106,7 @@ void ShardedSearchEngine::init(const DbView& db,
   (void)lengths;
   db_records_ = db.size();
   global_view_ = db;  // span copies; the filtered gather rescans through it
+  db_residues_ = db_residue_count(global_view_);
   shards_.reserve(plan_.shards.size());
   for (const ShardPlan::Shard& shard_plan : plan_.shards) {
     auto state = std::make_unique<ShardState>();
@@ -540,6 +541,25 @@ std::vector<ShardedSearchResult> ShardedSearchEngine::search_many_filtered(
       options_.metrics->add("filter_band_uncertain",
                             static_cast<double>(result.filter.band_uncertain));
     }
+  }
+  return results;
+}
+
+std::vector<ShardedSearchResult> ShardedSearchEngine::search_many_filtered(
+    std::span<const std::span<const std::uint8_t>> queries,
+    const ScoringScheme& scheme, KernelKind kernel, std::size_t k,
+    const FilterConfig& config, const AnnotateConfig& annotate,
+    const KarlinAltschulParams& params, Backend backend) const {
+  std::vector<ShardedSearchResult> results =
+      search_many_filtered(queries, scheme, kernel, k, config, backend);
+  if (!annotate.enabled()) return results;
+  // Post-gather only: every query's hits are already the merged GLOBAL
+  // top-k, so annotating here (against the database-order view with the
+  // true residue total) is independent of the shard topology.
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    annotate_hits(results[q].ranked.hits, queries[q], global_view_, scheme,
+                  annotate, params, db_residues_, options_.tracer,
+                  options_.metrics, options_.trace_track);
   }
   return results;
 }

@@ -180,9 +180,26 @@ class ShardedSearchEngine {
       const ScoringScheme& scheme, KernelKind kernel, std::size_t k,
       const FilterConfig& config, Backend backend = Backend::kAuto) const;
 
+  /// search_many_filtered plus a post-gather annotate_hits pass
+  /// (align/annotate.h) per query, run on the merged GLOBAL top-k against
+  /// the database-order view with the database's true residue total as the
+  /// Karlin–Altschul search space — never per shard, so annotated hit
+  /// scores/order are bit-identical to the unannotated overload for every
+  /// shard count, thread count, and backend.
+  std::vector<ShardedSearchResult> search_many_filtered(
+      std::span<const std::span<const std::uint8_t>> queries,
+      const ScoringScheme& scheme, KernelKind kernel, std::size_t k,
+      const FilterConfig& config, const AnnotateConfig& annotate,
+      const KarlinAltschulParams& params,
+      Backend backend = Backend::kAuto) const;
+
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t db_records() const { return db_records_; }
   const ShardPlan& plan() const { return plan_; }
+
+  /// Total residues across the database (true span sizes, not the planner's
+  /// load costs, which count empty records as 1).
+  std::uint64_t db_residues() const { return db_residues_; }
 
   struct Stats {
     std::uint64_t scans = 0;      ///< successful shard-scan attempts
@@ -235,6 +252,7 @@ class ShardedSearchEngine {
   ShardedSearchOptions options_;
   ShardPlan plan_;
   std::size_t db_records_ = 0;
+  std::uint64_t db_residues_ = 0;
   DbView global_view_;  ///< database-order spans, for candidate rescans
   std::vector<std::unique_ptr<ShardState>> shards_;
   std::shared_ptr<const seq::MappedSwdb> mapped_;  ///< keeps mapping alive

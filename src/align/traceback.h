@@ -1,9 +1,10 @@
 // Full-traceback pairwise alignment.
 //
 // These routines keep the whole DP matrix (O(m·n) memory) and recover the
-// alignment path, unlike the score-only kernels in scalar.h. They exist for
-// result presentation (a database search reports the top hits, then aligns
-// just those pairs) and for the Fig. 1 example.
+// alignment path, unlike the score-only kernels in scalar.h. They back the
+// annotated-results pipeline (annotate.h tracebacks the merged top-k winners
+// to produce CIGARs), the memory-frugal wrappers in locate.h, and the Fig. 1
+// example.
 #pragma once
 
 #include <cstdint>

@@ -58,7 +58,15 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
                    "shard record index out of range");
     shard_view.push_back(db_view[record]);
   }
-  SearchReport report = run_search(queries, shard_view, config);
+  // Annotation is disabled for the sub-view run unconditionally: a shard
+  // report exists to be merged with other shards, and per-shard annotation
+  // would use the shard's residue count as the Karlin–Altschul search
+  // space (wrong e-values) before the winners are even known. The caller
+  // annotates the merged global top-k instead.
+  MasterConfig shard_config = config;
+  shard_config.annotate = {};
+  shard_config.stats = nullptr;
+  SearchReport report = run_search(queries, shard_view, shard_config);
   // Hits come back indexed into the sub-view; lift them to global database
   // indices so shard reports merge with the rest of the scatter.
   for (QueryResult& result : report.results) {
@@ -74,6 +82,12 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
                         const MasterConfig& config) {
   SWDUAL_REQUIRE(config.cpu_workers + config.gpu_workers > 0,
                  "need at least one worker");
+  if (config.annotate.enabled()) {
+    config.annotate.validate();
+    SWDUAL_REQUIRE(config.stats != nullptr,
+                   "annotation requires calibrated Karlin-Altschul params "
+                   "(acquire them via align::StatsCache)");
+  }
   SearchReport report;
   if (queries.empty()) return report;
 
@@ -324,6 +338,21 @@ SearchReport run_search(const std::vector<seq::Sequence>& queries,
       align::SearchResult scores;
       scores.scores = r.scores;
       query_result.hits = scores.top(config.top_hits);
+    }
+  }
+  merge_span.finish();
+
+  // Annotation runs once, after the merge, on each query's global top-k:
+  // GPU-path and CPU-path results are annotated identically, and the
+  // Karlin–Altschul search space is the whole database's residue count.
+  if (config.annotate.enabled()) {
+    for (QueryResult& query_result : report.results) {
+      const auto& query = queries[query_result.query_index];
+      align::annotate_hits(query_result.hits,
+                           {query.residues.data(), query.residues.size()},
+                           db_view, config.scheme, config.annotate,
+                           *config.stats, db_residues, config.tracer,
+                           config.metrics, obs::kMasterTrack);
     }
   }
 

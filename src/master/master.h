@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "align/annotate.h"
 #include "align/profile_cache.h"
 #include "align/search.h"
 #include "master/protocol.h"
@@ -57,6 +58,18 @@ struct MasterConfig {
   /// identical across worker types, backends, and schedules. kOff (the
   /// default) is bit-identical to the unfiltered search.
   align::FilterConfig filter;
+
+  /// Per-hit annotation (align/annotate.h). When enabled, the master
+  /// annotates each query's merged top-k AFTER the collect/merge phase —
+  /// GPU-path and CPU-path task results alike — with e-value/bit score
+  /// (and, stats+cigar, a validated traceback) computed against the full
+  /// database view, so annotated hits are identical for every allocation
+  /// policy, worker mix, and schedule. `stats` must then point to
+  /// calibrated parameters (borrowed for the run): the master never
+  /// calibrates itself — callers go through align::StatsCache so repeated
+  /// runs share one deterministic calibration.
+  align::AnnotateConfig annotate;
+  const align::KarlinAltschulParams* stats = nullptr;
 
   /// Intra-task threads per CPU worker (> 1 scans the database in parallel
   /// chunks inside each task; scores are identical to the serial path).

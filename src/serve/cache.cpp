@@ -10,7 +10,8 @@ std::string result_key(std::span<const std::uint8_t> query,
                        const std::string& db_id,
                        const align::ScoringScheme& scheme,
                        align::KernelKind kernel,
-                       const align::FilterConfig& filter) {
+                       const align::FilterConfig& filter,
+                       const align::AnnotateConfig& annotate) {
   std::string key;
   key.reserve(query.size() + db_id.size() + 64);
   key += db_id;
@@ -28,6 +29,15 @@ std::string result_key(std::span<const std::uint8_t> query,
     key += std::to_string(filter.band);
     key += ":k";
     key += std::to_string(filter.keep_factor);
+    key += '/';
+  }
+  if (annotate.enabled()) {
+    // kOff adds nothing, mirroring the filter segment: an unannotated
+    // answer is the plain ranked answer.
+    key += "annotate:";
+    key += align::annotate_mode_name(annotate.mode);
+    key += ":e";
+    key += std::to_string(annotate.evalue_cutoff);
     key += '/';
   }
   key.append(reinterpret_cast<const char*>(query.data()), query.size());

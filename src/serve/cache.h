@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "align/annotate.h"
 #include "align/scoring.h"
 #include "align/search.h"
 #include "util/mutex.h"
@@ -35,21 +36,28 @@
 namespace swdual::serve {
 
 /// Canonical cache key for one query's result: db identity + scoring
-/// parameters (align::scoring_key) + kernel + filter config + raw query
-/// residues. The filter segment appears only when the two-stage filter is
-/// enabled: kOff is bit-identical to the exact search, so its key IS the
-/// exact search's key and the two share cache entries. A heuristic config
-/// changes which hits are returned (band + keep_factor decide the candidate
-/// set), so it must split the cache — but the SIMD backend, thread counts,
-/// worker types, and shard topology still stay out of the key: the screen is
-/// bit-identical across backends and candidate selection is a deterministic
-/// global function of the screen, so filtered answers are identical across
-/// all of them (tests/align/test_filter.cpp).
+/// parameters (align::scoring_key) + kernel + filter config + annotation
+/// config + raw query residues. The filter segment appears only when the
+/// two-stage filter is enabled: kOff is bit-identical to the exact search,
+/// so its key IS the exact search's key and the two share cache entries. A
+/// heuristic config changes which hits are returned (band + keep_factor
+/// decide the candidate set), so it must split the cache — but the SIMD
+/// backend, thread counts, worker types, and shard topology still stay out
+/// of the key: the screen is bit-identical across backends and candidate
+/// selection is a deterministic global function of the screen, so filtered
+/// answers are identical across all of them (tests/align/test_filter.cpp).
+/// The annotate segment follows the same rule: mode kOff adds nothing,
+/// while an enabled mode joins the key with its evalue cutoff — the mode
+/// decides what a cached hit carries (stats vs. a CIGAR) and the cutoff
+/// decides which hits survive, so differently-annotated answers must not
+/// alias. Calibration inputs stay out: params are a deterministic function
+/// of (scheme, alphabet, db_id), all already in the key.
 std::string result_key(std::span<const std::uint8_t> query,
                        const std::string& db_id,
                        const align::ScoringScheme& scheme,
                        align::KernelKind kernel,
-                       const align::FilterConfig& filter = {});
+                       const align::FilterConfig& filter = {},
+                       const align::AnnotateConfig& annotate = {});
 
 class ResultCache {
  public:

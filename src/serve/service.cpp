@@ -44,6 +44,19 @@ void QueryService::start() {
   SWDUAL_REQUIRE(config_.admission_capacity > 0,
                  "admission_capacity must be positive");
   config_.master.filter.validate();
+  if (config_.master.annotate.enabled()) {
+    config_.master.annotate.validate();
+    // One calibration per service, acquired before the batcher starts:
+    // every dispatch (master path, sharded path, shard recovery) then
+    // borrows the same deterministic parameters.
+    const seq::AlphabetKind kind =
+        mapped_ ? mapped_->alphabet()
+                : (db_.empty() ? seq::AlphabetKind::kProtein
+                               : db_.front().alphabet);
+    stats_params_ = stats_cache_.acquire(
+        config_.master.scheme, seq::Alphabet::get(kind), config_.db_id);
+    db_residues_ = align::db_residue_count(view_);
+  }
   if (config_.shards > 0) {
     align::ShardedSearchOptions options;
     options.num_shards = config_.shards;
@@ -71,7 +84,8 @@ Submission QueryService::submit(const seq::Sequence& query) {
   request.query = query;
   request.key = result_key({query.residues.data(), query.residues.size()},
                            config_.db_id, config_.master.scheme,
-                           config_.master.cpu_kernel, config_.master.filter);
+                           config_.master.cpu_kernel, config_.master.filter,
+                           config_.master.annotate);
   request.enqueue_wall = config_.tracer ? config_.tracer->now() : 0.0;
 
   Submission ticket;
@@ -165,6 +179,7 @@ void QueryService::fulfill(Request& request,
   response.partial_reason = std::move(partial_reason);
   response.filtered = config_.master.filter.enabled();
   response.filter = filter;
+  response.annotated = config_.master.annotate.enabled();
   if (response.partial) {
     util::MutexLock lock(mutex_);
     ++partial_responses_;
@@ -240,6 +255,7 @@ void QueryService::execute_batch(std::vector<Request> batch) {
   engine.tracer = config_.tracer;
   engine.metrics = config_.metrics;
   engine.profile_cache = &profiles_;
+  engine.stats = stats_params_.get();  // run_search annotates post-merge
 
   master::SearchReport report;
   try {
@@ -363,6 +379,19 @@ void QueryService::execute_group_sharded(
         }
       }
       remaining.push_back(failure);
+    }
+  }
+
+  // Annotate AFTER the recovery merge, never inside the sharded engine or
+  // the per-shard recovery run (the shard overload of run_search disables
+  // annotation itself): each query's hits are only now the final global
+  // top-k, and the search space must be the whole database's residues.
+  if (config_.master.annotate.enabled()) {
+    for (std::size_t q = 0; q < results.size(); ++q) {
+      align::annotate_hits(results[q].ranked.hits, queries[q], view_,
+                           config_.master.scheme, config_.master.annotate,
+                           *stats_params_, db_residues_, config_.tracer,
+                           config_.metrics, obs::kMasterTrack);
     }
   }
 

@@ -80,7 +80,11 @@ struct ServiceConfig {
   /// any shard count (the same way the SIMD backend is excluded). The
   /// two-stage filter config (master.filter) DOES join the key when enabled
   /// — it changes which hits come back — but stays topology-free for the
-  /// same determinism reason (see serve/cache.h).
+  /// same determinism reason (see serve/cache.h). The annotation config
+  /// (master.annotate) joins the key the same way when enabled: annotated
+  /// hits carry extra payload and the e-value cutoff changes which hits
+  /// survive, but annotation itself is topology-independent (it runs once
+  /// on the merged global top-k), so the key still excludes topology.
   std::string db_id = "db";
 
   /// Scale-out: > 0 runs every batch through an align::ShardedSearchEngine
@@ -149,6 +153,12 @@ struct QueryResponse {
   /// paid for by the request that populated the cache).
   bool filtered = false;
   align::FilterStats filter;
+
+  /// True when annotation (ServiceConfig master.annotate) is enabled: every
+  /// hit's `annotation` then carries e-value and bit score, plus a CIGAR
+  /// and aligned coordinates under stats+cigar. Annotations ride the result
+  /// cache with the hits, so cache hits are annotated too.
+  bool annotated = false;
 };
 
 /// Ticket returned by submit(). `result` is only valid when accepted().
@@ -244,6 +254,12 @@ class QueryService {
   ServiceConfig config_;
   ResultCache results_;
   align::ProfileCache profiles_;
+  align::StatsCache stats_cache_;  ///< calibrated Karlin–Altschul params
+  /// Acquired once at start() when master.annotate is enabled; every
+  /// dispatch borrows the same calibration (deterministic per scheme ×
+  /// alphabet × db_id, see align::StatsCache).
+  std::shared_ptr<const align::KarlinAltschulParams> stats_params_;
+  std::uint64_t db_residues_ = 0;  ///< Karlin–Altschul search space n
   std::unique_ptr<align::ShardedSearchEngine> sharded_;  ///< shards > 0 only
 
   /// Service capability, declared before both cache capabilities: the

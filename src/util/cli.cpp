@@ -107,6 +107,14 @@ double CliParser::option_double(const std::string& name) const {
   return value;
 }
 
+double CliParser::option_positive_double(const std::string& name) const {
+  const double value = option_double(name);
+  // NaN fails the comparison too, so "--evalue nan" is rejected here.
+  SWDUAL_REQUIRE(value > 0,
+                 "option --" + name + " must be positive: " + option(name));
+  return value;
+}
+
 std::size_t CliParser::option_uint(const std::string& name) const {
   const std::string& text = option(name);
   // strtoull accepts "-5" and wraps it to a huge positive value; a count

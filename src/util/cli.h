@@ -44,6 +44,11 @@ class CliParser {
   /// input and for magnitudes that overflow to ±HUGE_VAL.
   double option_double(const std::string& name) const;
 
+  /// Parse a strictly positive double (e-value cutoffs, scale factors,
+  /// ...). Rejects zero, negatives, and NaN; "inf" is accepted (an e-value
+  /// cutoff of +inf means "no cutoff").
+  double option_positive_double(const std::string& name) const;
+
   /// Parse a count-like option (threads, workers, top-k, ...): a
   /// non-negative integer that fits std::size_t. Rejects negatives ("-1"
   /// never wraps to 18446744073709551615) and out-of-range magnitudes.

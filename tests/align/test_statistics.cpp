@@ -1,6 +1,11 @@
 // Tests for Karlin–Altschul statistics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "align/statistics.h"
 #include "seq/dbgen.h"
 #include "util/error.h"
@@ -92,6 +97,72 @@ TEST(Statistics, UncalibratedParamsRejected) {
   KarlinAltschulParams params;  // zeros
   EXPECT_THROW(evalue(params, 50, 100, 100), InvalidArgument);
   EXPECT_THROW(bit_score(params, 50), InvalidArgument);
+}
+
+TEST(Statistics, NonFiniteParamsAndEmptySearchSpaceRejected) {
+  KarlinAltschulParams nan_lambda{
+      std::numeric_limits<double>::quiet_NaN(), 0.1};
+  EXPECT_THROW(evalue(nan_lambda, 50, 100, 100), InvalidArgument);
+  EXPECT_THROW(bit_score(nan_lambda, 50), InvalidArgument);
+  KarlinAltschulParams inf_k{0.3, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(evalue(inf_k, 50, 100, 100), InvalidArgument);
+  EXPECT_THROW(bit_score(inf_k, 50), InvalidArgument);
+  // A zero-size search space has no chance hits to count; silently
+  // returning E = 0 would fake infinite significance.
+  KarlinAltschulParams good{0.3, 0.1};
+  EXPECT_THROW(evalue(good, 50, 0, 100), InvalidArgument);
+  EXPECT_THROW(evalue(good, 50, 100, 0), InvalidArgument);
+  EXPECT_THROW(pvalue(good, 50, 0, 100), InvalidArgument);
+  EXPECT_THROW(pvalue(good, 50, 100, 0), InvalidArgument);
+}
+
+TEST(GappedCalibration, ZeroFrequencyResiduesAreNeverSampled) {
+  // Regression: the CDF sampler used to map a residue whose frequency is
+  // exactly 0 to the next non-zero entry's slot only by luck of the
+  // upper_bound, and rng.uniform() can return exactly 0.0, which landed on
+  // the first code even when its frequency was 0. Calibrating with
+  // freqs = {0, p, q} over a 3×3 matrix must equal calibrating with
+  // {p, q} over the 2×2 submatrix that drops residue 0.
+  const ScoreMatrix dna = ScoreMatrix::uniform(seq::AlphabetKind::kDna, 2,
+                                               -3);
+  ScoringScheme padded;
+  padded.matrix = &dna;
+  const KarlinAltschulParams with_zero = calibrate_gapped_params(
+      padded, {0.0, 0.5, 0.5}, 80, 80, 50, 9);
+  const KarlinAltschulParams without_zero = calibrate_gapped_params(
+      padded, {0.5, 0.5}, 80, 80, 50, 9);
+  // Identical sample streams: the shifted support must not change which
+  // residues (beyond relabeling) or how many randoms are drawn. The
+  // uniform matrix scores depend only on equality, and codes 1/2 vs 0/1
+  // keep the same equality pattern under the same RNG stream.
+  EXPECT_DOUBLE_EQ(with_zero.lambda, without_zero.lambda);
+  EXPECT_DOUBLE_EQ(with_zero.k, without_zero.k);
+}
+
+TEST(GappedCalibration, RejectsNegativeAndNonFiniteFrequencies) {
+  const ScoringScheme scheme;
+  EXPECT_THROW(
+      calibrate_gapped_params(scheme, {0.5, -0.5, 1.0}, 40, 40, 10, 1),
+      InvalidArgument);
+  EXPECT_THROW(
+      calibrate_gapped_params(
+          scheme, {0.5, std::numeric_limits<double>::quiet_NaN()}, 40, 40,
+          10, 1),
+      InvalidArgument);
+}
+
+TEST(UngappedLambda, BracketingFailureReportsInvalidArgument) {
+  // The only positive score lies on a zero-frequency residue pair: the
+  // restriction sum never reaches 1, so λ cannot be bracketed. This must
+  // surface as InvalidArgument (clear diagnosis), not an infinite loop or
+  // a garbage λ.
+  const std::size_t size = seq::Alphabet::get(seq::AlphabetKind::kDna).size();
+  std::vector<std::int8_t> scores(size * size, -1);
+  scores[2 * size + 2] = 5;  // positive score only on dead residue 2
+  const ScoreMatrix lopsided(seq::AlphabetKind::kDna, size, scores,
+                             "lopsided");
+  EXPECT_THROW(solve_ungapped_lambda(lopsided, {0.5, 0.5, 0.0}),
+               InvalidArgument);
 }
 
 }  // namespace

@@ -98,6 +98,26 @@ TEST(ResultCache, KeySeparatesEveryDimension) {
   align::FilterConfig off;
   EXPECT_EQ(base,
             result_key(q, "db1", scheme, align::KernelKind::kInterSeq, off));
+
+  // Annotation splits the cache only when enabled; mode and cutoff are both
+  // part of an enabled config's identity (the mode decides the payload, the
+  // cutoff decides which hits survive).
+  align::AnnotateConfig stats;
+  stats.mode = align::AnnotateMode::kStats;
+  const std::string annotated = result_key(
+      q, "db1", scheme, align::KernelKind::kInterSeq, off, stats);
+  EXPECT_NE(base, annotated);
+  align::AnnotateConfig cigar = stats;
+  cigar.mode = align::AnnotateMode::kStatsCigar;
+  EXPECT_NE(annotated, result_key(q, "db1", scheme,
+                                  align::KernelKind::kInterSeq, off, cigar));
+  align::AnnotateConfig strict = stats;
+  strict.evalue_cutoff = 0.001;
+  EXPECT_NE(annotated, result_key(q, "db1", scheme,
+                                  align::KernelKind::kInterSeq, off, strict));
+  // Annotate kOff adds nothing: plain and off-annotated answers alias.
+  EXPECT_EQ(base, result_key(q, "db1", scheme, align::KernelKind::kInterSeq,
+                             off, align::AnnotateConfig{}));
 }
 
 TEST(ResultCache, KeyLayoutIsPinned) {
@@ -145,6 +165,28 @@ TEST(ResultCache, KeyLayoutIsPinned) {
   EXPECT_EQ(result_key({query.data(), query.size()}, "dbX", scheme, kernel,
                        filter),
             filtered);
+
+  // An enabled annotation likewise adds exactly one segment (after the
+  // filter's, before the query bytes): "annotate:<mode>:e<cutoff>".
+  align::AnnotateConfig annotate;
+  annotate.mode = align::AnnotateMode::kStatsCigar;
+  annotate.evalue_cutoff = 10.0;
+  std::string annotated = "dbX";
+  annotated += '/';
+  annotated += align::scoring_key(scheme);
+  annotated += '/';
+  annotated += align::kernel_name(kernel);
+  annotated += '/';
+  annotated += "annotate:";
+  annotated += align::annotate_mode_name(align::AnnotateMode::kStatsCigar);
+  annotated += ":e";
+  annotated += std::to_string(10.0);
+  annotated += '/';
+  annotated.append(reinterpret_cast<const char*>(query.data()),
+                   query.size());
+  EXPECT_EQ(result_key({query.data(), query.size()}, "dbX", scheme, kernel,
+                       align::FilterConfig{}, annotate),
+            annotated);
 }
 
 }  // namespace

@@ -25,6 +25,11 @@ Enforces conventions clang-tidy cannot express:
     kernel is the screen's reference oracle, not a search primitive; other
     layers go through the two-stage filter pipeline (search_database_filtered
     / banded_screen), which keeps band semantics and escalation in one place
+  * no ``calibrate_gapped_params`` / ``sw_align_affine`` calls outside
+    src/align/ and src/core/ — statistics calibration is StatsCache's job
+    (deterministic, shared, cached per database) and the O(m·n) traceback
+    must not leak into service layers; annotation goes through
+    AnnotateConfig + annotate_hits
   * optionally (--cxx), every header under src/ compiles standalone
 
 Exit status 0 when clean, 1 with one ``file:line: message`` per violation
@@ -94,6 +99,17 @@ RAW_READ_ALLOWED = ("src/seq/swdb.cpp",)
 # search_database_filtered / the engines' *_filtered entry points.
 BANDED_ORACLE_CALL = re.compile(r"\bbanded_gotoh_score\s*\(")
 BANDED_ORACLE_ALLOWED_PREFIX = "src/align/"
+
+# Statistics calibration and the full-matrix traceback are annotation
+# internals: calibrate_gapped_params must go through align::StatsCache (one
+# deterministic calibration per (scheme, alphabet, db), shared), and
+# sw_align_affine's O(m·n) matrix must not leak into service layers — the
+# annotate pipeline uses the frugal wrapper on located regions. Other
+# layers request annotation via AnnotateConfig / annotate_hits instead.
+STATS_INTERNAL_CALL = re.compile(
+    r"\b(calibrate_gapped_params|sw_align_affine)\s*\("
+)
+STATS_INTERNAL_ALLOWED_PREFIXES = ("src/align/", "src/core/")
 
 
 def strip_comments(text: str) -> str:
@@ -218,6 +234,17 @@ def lint_file(path: pathlib.Path) -> list[str]:
                 "banded_gotoh_score outside src/align/ — the scalar banded "
                 "oracle is align-internal; use search_database_filtered / "
                 "the *_filtered engine entry points",
+            )
+
+    if not rel.as_posix().startswith(STATS_INTERNAL_ALLOWED_PREFIXES):
+        for match in STATS_INTERNAL_CALL.finditer(code):
+            lineno = code.count("\n", 0, match.start()) + 1
+            report(
+                lineno,
+                f"{match.group(1)} outside src/align//src/core/ — "
+                "calibration goes through align::StatsCache and tracebacks "
+                "through the annotate pipeline (AnnotateConfig + "
+                "annotate_hits)",
             )
 
     if top_dir in DETERMINISTIC_DIRS:
